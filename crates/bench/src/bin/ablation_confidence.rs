@@ -1,0 +1,72 @@
+//! Experiment A5 — confidence-aware selection (Section VI future work):
+//! discount predictions by `z` residual standard deviations before
+//! selecting. Sweeps `z` and reports the cap-compliance / performance
+//! trade-off under leave-one-benchmark-out cross-validation.
+//!
+//! Run with: `cargo run --release -p acs-bench --bin ablation_confidence`
+
+use acs_core::confidence::predict_with_confidence;
+use acs_core::{train, TrainingParams};
+use acs_mlstat::leave_one_group_out;
+
+fn main() {
+    let apps = acs_bench::characterized_suite();
+    let benchmarks: Vec<&str> = apps.iter().map(|a| a.app.benchmark.as_str()).collect();
+    let folds = leave_one_group_out(&benchmarks);
+
+    println!("Ablation A5 — risk-averse selection (z · residual sigma), LOBO-CV");
+    println!();
+    println!("{:>4} | {:>9} | {:>16} | {:>15}", "z", "% under", "% oracle perf", "(under-limit)");
+    println!("{}", "-".repeat(54));
+
+    let mut results = Vec::new();
+    for z in [0.0, 0.5, 1.0, 1.5, 2.0, 3.0] {
+        let mut under_w = 0.0;
+        let mut total_w = 0.0;
+        let mut perf_w = 0.0;
+
+        for fold in &folds {
+            let training: Vec<_> = fold
+                .train
+                .iter()
+                .flat_map(|&ai| apps[ai].profiles.iter().cloned())
+                .collect();
+            let model = train(&training, TrainingParams::default()).unwrap();
+
+            for &ai in &fold.test {
+                for profile in &apps[ai].profiles {
+                    let bounded = predict_with_confidence(&model, &profile.sample_pair());
+                    let frontier = profile.oracle_frontier();
+                    let caps: Vec<f64> =
+                        frontier.points().iter().map(|p| p.power_w).collect();
+                    let w = profile.kernel.weight / caps.len() as f64;
+                    for &cap in &caps {
+                        let cfg = bounded.select_risk_averse(cap, z);
+                        let run = profile.run_at(&cfg);
+                        let oracle = frontier.best_under(cap).unwrap();
+                        total_w += w;
+                        if run.true_power_w() <= cap * (1.0 + 1e-9) {
+                            under_w += w;
+                            perf_w += w * (1.0 / run.time_s) / oracle.perf;
+                        }
+                    }
+                }
+            }
+        }
+
+        let pct_under = under_w / total_w * 100.0;
+        let perf = if under_w > 0.0 { perf_w / under_w * 100.0 } else { 0.0 };
+        println!("{z:>4.1} | {pct_under:>9.1} | {perf:>16.1} |");
+        results.push((z, pct_under, perf));
+    }
+
+    println!();
+    println!(
+        "Expectation (Section VI): growing z buys cap compliance at a small\n\
+         performance cost — the model declines configurations whose predicted\n\
+         power sits within the error band of the cap."
+    );
+
+    let path = acs_bench::write_result("ablation_confidence", &results);
+    println!("\nwrote {}", path.display());
+}

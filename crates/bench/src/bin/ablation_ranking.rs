@@ -1,0 +1,82 @@
+//! Experiment A9 — configuration-ranking quality. Section III-B: "Our goal
+//! in using linear performance and power prediction models is to rank
+//! configurations in performance and power in a computationally efficient
+//! manner. We find that linear models satisfy this goal." This experiment
+//! measures that claim directly: the Spearman rank correlation between
+//! predicted and true orderings of all 42 configurations, per held-out
+//! kernel, under leave-one-benchmark-out cross-validation.
+//!
+//! Run with: `cargo run --release -p acs-bench --bin ablation_ranking`
+
+use acs_core::{train, Predictor, TrainingParams};
+use acs_mlstat::{leave_one_group_out, quantile, spearman};
+
+fn main() {
+    let apps = acs_bench::characterized_suite();
+    let benchmarks: Vec<&str> = apps.iter().map(|a| a.app.benchmark.as_str()).collect();
+    let folds = leave_one_group_out(&benchmarks);
+
+    let mut perf_rhos = Vec::new();
+    let mut power_rhos = Vec::new();
+
+    for fold in &folds {
+        let training: Vec<_> = fold
+            .train
+            .iter()
+            .flat_map(|&ai| apps[ai].profiles.iter().cloned())
+            .collect();
+        let model = train(&training, TrainingParams::default()).expect("training succeeds");
+        let predictor = Predictor::new(&model);
+
+        for &ai in &fold.test {
+            for profile in &apps[ai].profiles {
+                let predicted = predictor.predict(&profile.sample_pair());
+                let truth = profile.true_points();
+                let (mut pp, mut tp, mut pw, mut tw) = (vec![], vec![], vec![], vec![]);
+                for (pred, act) in predicted.points.iter().zip(&truth) {
+                    pp.push(pred.perf);
+                    tp.push(act.perf);
+                    pw.push(pred.power_w);
+                    tw.push(act.power_w);
+                }
+                if let Some(r) = spearman(&pp, &tp) {
+                    perf_rhos.push(r);
+                }
+                if let Some(r) = spearman(&pw, &tw) {
+                    power_rhos.push(r);
+                }
+            }
+        }
+    }
+
+    let stats = |v: &[f64]| {
+        (
+            quantile(v, 0.05).unwrap(),
+            quantile(v, 0.5).unwrap(),
+            quantile(v, 0.95).unwrap(),
+        )
+    };
+    let (p5, p50, p95) = stats(&perf_rhos);
+    let (w5, w50, w95) = stats(&power_rhos);
+
+    println!("Ablation A9 — held-out configuration-ranking quality (Spearman ρ, 65 kernels)");
+    println!();
+    println!("                    |   p5  | median |  p95");
+    println!("  performance rank  | {p5:>5.3} | {p50:>6.3} | {p95:>5.3}");
+    println!("  power rank        | {w5:>5.3} | {w50:>6.3} | {w95:>5.3}");
+    println!();
+    println!("  distribution of performance ρ:");
+    print!("{}", acs_mlstat::histogram(&perf_rhos, 8, 40));
+    println!();
+    println!(
+        "Shape check: the paper's claim that linear models suffice for RANKING\n\
+         holds when median ρ is high (≥0.9) even though absolute prediction\n\
+         errors (MAPE) are much larger."
+    );
+
+    let path = acs_bench::write_result(
+        "ablation_ranking",
+        &((p5, p50, p95), (w5, w50, w95)),
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,47 @@
+//! Experiment A2 — variance-stabilizing-transform ablation. Section VI
+//! proposes applying a variance-stabilizing transformation to model inputs
+//! and outputs "to give less weight to both very small and very large
+//! fitted model values". This binary trains the model with and without a
+//! square-root response transform and compares held-out quality.
+//!
+//! Run with: `cargo run --release -p acs-bench --bin ablation_transform`
+
+use acs_core::eval::evaluate;
+use acs_core::{Method, TrainingParams};
+
+fn main() {
+    let apps = acs_bench::characterized_suite();
+
+    println!("Ablation A2 — variance-stabilizing transform (sqrt on responses)");
+    println!();
+
+    let mut rows = Vec::new();
+    for stabilize in [false, true] {
+        let params = TrainingParams { stabilize_variance: stabilize, ..Default::default() };
+        let eval = evaluate(&apps, params).expect("training succeeds");
+        let table = eval.table3();
+        println!("stabilize_variance = {stabilize}:");
+        print!("{}", acs_bench::render_table3(&table));
+        println!();
+        rows.push((stabilize, table));
+    }
+
+    let get = |rows: &[(bool, Vec<acs_core::MethodSummary>)], s: bool, m: Method| {
+        rows.iter()
+            .find(|(st, _)| *st == s)
+            .and_then(|(_, t)| t.iter().find(|x| x.method == m).copied())
+            .expect("row present")
+    };
+    let off = get(&rows, false, Method::ModelFL);
+    let on = get(&rows, true, Method::ModelFL);
+    println!(
+        "Model+FL %under: {:.1} → {:.1}; under %perf: {:.1} → {:.1} (off → on)",
+        off.pct_under,
+        on.pct_under,
+        off.under_perf_pct.unwrap_or(0.0),
+        on.under_perf_pct.unwrap_or(0.0),
+    );
+
+    let path = acs_bench::write_result("ablation_transform", &rows);
+    println!("\nwrote {}", path.display());
+}

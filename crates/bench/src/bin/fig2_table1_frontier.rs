@@ -1,0 +1,78 @@
+//! Experiment T1 — Figure 2 and Table I: the power–performance Pareto
+//! frontier of the `CalcFBHourglassForce` kernel from LULESH, plus the
+//! Table II sample configurations.
+//!
+//! Run with: `cargo run --release -p acs-bench --bin fig2_table1_frontier`
+
+use acs_core::{sample_config, KernelProfile};
+use acs_sim::Device;
+
+fn main() {
+    let machine = acs_bench::default_machine();
+    let apps = acs_kernels::app_instances();
+    let lulesh_small = apps
+        .iter()
+        .find(|a| a.label() == "LULESH Small")
+        .expect("LULESH Small in suite");
+    let kernel = lulesh_small
+        .kernels
+        .iter()
+        .find(|k| k.name == "CalcFBHourglassForce")
+        .expect("CalcFBHourglassForce kernel");
+
+    let profile = KernelProfile::collect(&machine, kernel);
+    let frontier = profile.frontier().normalized();
+
+    println!("Table I / Figure 2 — Pareto frontier of {}", kernel.id());
+    println!();
+    println!("Device | GPU f.    | Threads | CPU f.  | Power   | Perf.*");
+    println!("-------+-----------+---------+---------+---------+-------");
+    for p in frontier.points() {
+        println!(
+            "{:<6} | {:>6.3} GHz | {:>7} | {:>3.1} GHz | {:>5.1} w | {:>5.2}",
+            p.config.device,
+            p.config.gpu_pstate.freq_ghz(),
+            p.config.threads,
+            p.config.cpu_pstate.freq_ghz(),
+            p.power_w,
+            p.perf,
+        );
+    }
+    println!("*Normalized performance");
+    println!();
+    println!(
+        "Paper shape check: CPU configurations occupy the low-power region, GPU \
+         configurations the high-performance region."
+    );
+    let first_gpu = frontier.points().iter().position(|p| p.config.device == Device::Gpu);
+    match first_gpu {
+        Some(i) => {
+            let all_cpu_before = frontier.points()[..i]
+                .iter()
+                .all(|p| p.config.device == Device::Cpu);
+            println!(
+                "  crossover at frontier position {i}/{}; CPU-only below: {all_cpu_before}",
+                frontier.len()
+            );
+        }
+        None => println!("  no GPU configuration on this frontier"),
+    }
+
+    println!();
+    println!("Table II — sample configurations:");
+    for device in [Device::Cpu, Device::Gpu] {
+        let c = sample_config(device);
+        println!(
+            "  {:<3}: CPU {:.1} GHz, {} thread(s), GPU {:.0} MHz",
+            device,
+            c.cpu_pstate.freq_ghz(),
+            c.threads,
+            c.gpu_pstate.freq_ghz() * 1000.0
+        );
+    }
+
+    // Full scatter (Figure 2's non-frontier points) as machine-readable output.
+    let all_points = profile.measured_points();
+    let path = acs_bench::write_result("fig2_table1_frontier", &(frontier.points(), all_points));
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,49 @@
+//! Experiment F3 — Figure 3: an example classification tree, trained on
+//! the full suite's sample-configuration features.
+//!
+//! Run with: `cargo run --release -p acs-bench --bin fig3_tree`
+
+use acs_core::{train, KernelProfile, TrainingParams};
+
+fn main() {
+    let apps = acs_bench::characterized_suite();
+    let profiles: Vec<KernelProfile> =
+        apps.iter().flat_map(|a| a.profiles.iter().cloned()).collect();
+
+    let model = train(&profiles, TrainingParams::default()).expect("training succeeds");
+
+    println!("Figure 3 — classification tree over sample-configuration features");
+    println!("(trained on all {} kernel/input combinations, k = 5 clusters)", profiles.len());
+    println!();
+    print!("{}", model.render_tree());
+    println!();
+    println!("cluster sizes: {:?}", model.clustering.sizes());
+    println!("clustering silhouette: {:.3}", model.silhouette);
+    println!(
+        "tree training accuracy: {:.1}%",
+        model.tree_training_accuracy(&profiles) * 100.0
+    );
+
+    // The paper notes each cluster contains kernels from at least three of
+    // the benchmark/input combinations; report the analogous spread.
+    for c in 0..model.clustering.k() {
+        let mut benchmarks: Vec<String> = model
+            .clustering
+            .members(c)
+            .into_iter()
+            .map(|i| {
+                let id = &model.kernel_ids[i];
+                id.split('/').take(2).collect::<Vec<_>>().join("/")
+            })
+            .collect();
+        benchmarks.sort();
+        benchmarks.dedup();
+        println!("cluster {c}: kernels from {} benchmark/input combinations", benchmarks.len());
+    }
+
+    let path = acs_bench::write_result(
+        "fig3_tree",
+        &(model.render_tree(), model.clustering.sizes(), model.silhouette),
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,47 @@
+//! Experiment F4 — Figure 4: each method plotted by the two headline
+//! metrics together — percent of power constraints met, and percent of
+//! optimal (oracle) performance achieved while meeting them. The best
+//! method sits closest to the oracle's (100, 100) corner.
+//!
+//! Run with: `cargo run --release -p acs-bench --bin fig4_scatter`
+
+fn main() {
+    let eval = acs_bench::full_evaluation();
+    let table = eval.table3();
+
+    println!("Figure 4 — % constraints met vs. % optimal performance (under-limit)");
+    println!();
+    println!("{:<10} | {:>12} | {:>18} | distance to oracle corner", "Method", "% under", "% oracle perf");
+    println!("{}", "-".repeat(75));
+    let mut rows = Vec::new();
+    for s in &table {
+        let perf = s.under_perf_pct.unwrap_or(0.0);
+        let dist = ((100.0 - s.pct_under).powi(2) + (100.0 - perf).powi(2)).sqrt();
+        println!("{:<10} | {:>12.0} | {:>18.0} | {:>6.1}", s.method.name(), s.pct_under, perf, dist);
+        rows.push((s.method.name(), s.pct_under, perf, dist));
+    }
+    println!("{:<10} | {:>12} | {:>18} | {:>6.1}", "Oracle", 100, 100, 0.0);
+    println!();
+
+    // ASCII scatter, x = % under (50..100), y = % oracle perf (40..100).
+    println!("  %perf");
+    for y in (40..=100).rev().step_by(10) {
+        let mut line = format!("  {y:>4} |");
+        for x in (50..=100).step_by(2) {
+            let hit = rows.iter().find(|(_, px, py, _)| {
+                (px - x as f64).abs() < 1.0 && (py - y as f64).abs() < 5.0
+            });
+            line.push_str(match hit {
+                Some((name, ..)) => &name[..1], // M/M/G/C initial
+                None => " ",
+            });
+        }
+        println!("{line}");
+    }
+    println!("       +{}", "-".repeat(26));
+    println!("        50        75       100  % under");
+    println!("  (M = Model/Model+FL, G = GPU+FL, C = CPU+FL)");
+
+    let path = acs_bench::write_result("fig4_scatter", &table);
+    println!("\nwrote {}", path.display());
+}

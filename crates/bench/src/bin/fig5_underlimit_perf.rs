@@ -1,0 +1,21 @@
+//! Experiment F5 — Figure 5: percent of optimal (oracle) performance in
+//! under-limit cases, broken down by benchmark/input combination.
+//!
+//! Run with: `cargo run --release -p acs-bench --bin fig5_underlimit_perf`
+
+fn main() {
+    let eval = acs_bench::full_evaluation();
+    let txt = acs_bench::render_by_app(
+        &eval,
+        "Figure 5 — % of oracle performance, under-limit cases, by benchmark",
+        |s| s.under_perf_pct,
+    );
+    println!("{txt}");
+    println!(
+        "Paper shape check: Model+FL maintains high performance across all\n\
+         benchmarks (paper worst case 74.9%); CPU+FL and GPU+FL collapse on\n\
+         their worst-case benchmarks (paper: 13.3% and 62.4%)."
+    );
+    let path = acs_bench::write_result("fig5_underlimit_perf", &txt);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,21 @@
+//! Experiment F6 — Figure 6: percent of cases meeting the power
+//! constraint, broken down by benchmark/input combination.
+//!
+//! Run with: `cargo run --release -p acs-bench --bin fig6_underlimit_pct`
+
+fn main() {
+    let eval = acs_bench::full_evaluation();
+    let txt = acs_bench::render_by_app(
+        &eval,
+        "Figure 6 — % of cases under-limit, by benchmark",
+        |s| Some(s.pct_under),
+    );
+    println!("{txt}");
+    println!(
+        "Paper shape check: Model+FL meets constraints most often for nearly\n\
+         every benchmark; LU (both inputs) is the hardest because every\n\
+         method that picks the GPU cannot reach the lowest caps."
+    );
+    let path = acs_bench::write_result("fig6_underlimit_pct", &txt);
+    println!("\nwrote {}", path.display());
+}

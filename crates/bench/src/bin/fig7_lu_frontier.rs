@@ -1,0 +1,55 @@
+//! Experiment F7 — Figure 7: the power–performance frontier of LU Small,
+//! the suite's hardest case. Its defining feature is a sharp performance
+//! cliff at the CPU→GPU switch: the paper reports attainable normalized
+//! performance jumping from 10.4% to 89.0% between 17.2 W and 17.6 W.
+//!
+//! Run with: `cargo run --release -p acs-bench --bin fig7_lu_frontier`
+
+use acs_core::KernelProfile;
+use acs_sim::Device;
+
+fn main() {
+    let machine = acs_bench::default_machine();
+    let apps = acs_kernels::app_instances();
+    let lu_small = apps.iter().find(|a| a.label() == "LU Small").expect("LU Small");
+    let kernel = &lu_small.kernels[0];
+
+    let profile = KernelProfile::collect(&machine, kernel);
+    let frontier = profile.frontier().normalized();
+
+    println!("Figure 7 — power–performance frontier of {}", kernel.id());
+    println!();
+    println!("Power   | Norm. perf | Configuration");
+    println!("--------+------------+----------------------------------");
+    for p in frontier.points() {
+        let bar = "#".repeat((p.perf * 40.0).round() as usize);
+        println!("{:>5.1} W | {:>9.3}  | {:<40} {bar}", p.power_w, p.perf, p.config.to_string());
+    }
+
+    // Quantify the cliff: the largest perf jump between adjacent frontier
+    // points, and whether it coincides with the device switch.
+    let pts = frontier.points();
+    let mut best_jump = (0.0f64, 0usize);
+    for (i, w) in pts.windows(2).enumerate() {
+        let jump = w[1].perf - w[0].perf;
+        if jump > best_jump.0 {
+            best_jump = (jump, i + 1);
+        }
+    }
+    let (jump, at) = best_jump;
+    println!();
+    println!(
+        "largest cliff: {:.1}% → {:.1}% of max performance between {:.1} W and {:.1} W",
+        pts[at - 1].perf * 100.0,
+        pts[at].perf * 100.0,
+        pts[at - 1].power_w,
+        pts[at].power_w
+    );
+    let device_switch =
+        pts[at - 1].config.device == Device::Cpu && pts[at].config.device == Device::Gpu;
+    println!("cliff coincides with CPU→GPU switch: {device_switch}");
+    println!("jump magnitude: {:.1} percentage points (paper: 78.6)", jump * 100.0);
+
+    let path = acs_bench::write_result("fig7_lu_frontier", &frontier.points());
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,20 @@
+//! Experiment F8 — Figure 8: power relative to the oracle in over-limit
+//! cases, broken down by benchmark/input combination.
+//!
+//! Run with: `cargo run --release -p acs-bench --bin fig8_overlimit_power`
+
+fn main() {
+    let eval = acs_bench::full_evaluation();
+    let txt = acs_bench::render_by_app(
+        &eval,
+        "Figure 8 — % of oracle power, over-limit cases, by benchmark (— = no over-limit cases)",
+        |s| s.over_power_pct,
+    );
+    println!("{txt}");
+    println!(
+        "Paper shape check: in over-limit cases Model+FL uses the least power\n\
+         of the methods on nearly every benchmark; GPU+FL the most."
+    );
+    let path = acs_bench::write_result("fig8_overlimit_power", &txt);
+    println!("\nwrote {}", path.display());
+}

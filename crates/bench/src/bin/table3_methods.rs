@@ -1,0 +1,29 @@
+//! Experiment T3 — Table III: comparison of power-limiting methods
+//! (Model, Model+FL, GPU+FL, CPU+FL) against a perfect-knowledge oracle,
+//! under leave-one-benchmark-out cross-validation over all 65
+//! benchmark/input kernel combinations.
+//!
+//! Run with: `cargo run --release -p acs-bench --bin table3_methods`
+
+fn main() {
+    let eval = acs_bench::full_evaluation();
+    let table = eval.table3();
+
+    println!("Table III — methods vs. oracle (65 kernel/input combinations, LOBO-CV)");
+    println!();
+    print!("{}", acs_bench::render_table3(&table));
+    println!();
+    println!("Paper reference (Table III):");
+    println!("  Model     | 70 | 91 | 94 | 112 | 139");
+    println!("  Model+FL  | 88 | 91 | 91 | 106 | 154");
+    println!("  GPU+FL    | 60 | 94 | 95 | 137 | 1723");
+    println!("  CPU+FL    | 76 | 69 | 94 | 111 | 216");
+    println!();
+    println!("Per-fold clustering silhouettes:");
+    for (label, s) in &eval.fold_silhouettes {
+        println!("  hold out {label:<8} silhouette {s:.3}");
+    }
+
+    let path = acs_bench::write_result("table3_methods", &table);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,122 @@
+//! # acs-bench — experiment harness
+//!
+//! Shared plumbing for the table/figure regeneration binaries (one binary
+//! per paper artifact; see DESIGN.md section 4 for the index) and the
+//! Criterion benchmarks.
+
+#![warn(missing_docs)]
+
+use acs_core::eval::{characterize_apps, evaluate, AppProfiles, Evaluation};
+use acs_core::{MethodSummary, TrainingParams};
+use acs_sim::Machine;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// The fixed seed every experiment uses: results in EXPERIMENTS.md were
+/// produced with this machine.
+pub const EXPERIMENT_SEED: u64 = 2014;
+
+/// The machine all experiments run on.
+pub fn default_machine() -> Machine {
+    Machine::new(EXPERIMENT_SEED)
+}
+
+/// Characterize the full 7-instance, 65-kernel-combination suite.
+pub fn characterized_suite() -> Vec<AppProfiles> {
+    characterize_apps(&default_machine(), &acs_kernels::app_instances())
+}
+
+/// Run the paper's full leave-one-benchmark-out evaluation with default
+/// training parameters (k = 5 clusters).
+pub fn full_evaluation() -> Evaluation {
+    evaluate(&characterized_suite(), TrainingParams::default())
+        .expect("full-suite training succeeds")
+}
+
+/// Format an optional percentage for table output.
+pub fn pct(v: Option<f64>) -> String {
+    match v {
+        Some(p) => format!("{p:.0}"),
+        None => "—".to_string(),
+    }
+}
+
+/// Render summaries as a Table III-style text table.
+pub fn render_table3(rows: &[MethodSummary]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Method    | %Under  | Under %Perf | Under %Power | Over %Power | Over %Perf\n",
+    );
+    out.push_str(
+        "----------+---------+-------------+--------------+-------------+-----------\n",
+    );
+    for s in rows {
+        out.push_str(&format!(
+            "{:<9} | {:>7.0} | {:>11} | {:>12} | {:>11} | {:>10}\n",
+            s.method.name(),
+            s.pct_under,
+            pct(s.under_perf_pct),
+            pct(s.under_power_pct),
+            pct(s.over_power_pct),
+            pct(s.over_perf_pct),
+        ));
+    }
+    out
+}
+
+/// Render a per-application-instance figure: one row per app label, one
+/// column per compared method, using `metric` to pull the plotted value
+/// out of each per-app summary.
+pub fn render_by_app(
+    eval: &Evaluation,
+    title: &str,
+    metric: impl Fn(&MethodSummary) -> Option<f64>,
+) -> String {
+    use acs_core::Method;
+    let mut out = format!("{title}\n\n");
+    out.push_str(&format!("{:<14}", "Benchmark"));
+    for m in Method::COMPARED {
+        out.push_str(&format!(" | {:>9}", m.name()));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(14 + Method::COMPARED.len() * 12));
+    out.push('\n');
+    for label in eval.app_labels() {
+        out.push_str(&format!("{label:<14}"));
+        for m in Method::COMPARED {
+            let per_app = eval.by_app(m);
+            let s = per_app.iter().find(|(l, _)| l == &label).map(|(_, s)| s);
+            let v = s.and_then(&metric);
+            out.push_str(&format!(" | {:>9}", pct(v)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write an experiment's machine-readable result next to the repo's
+/// `results/` directory (created on demand). Returns the path.
+pub fn write_result<T: Serialize>(experiment: &str, value: &T) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{experiment}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize result");
+    std::fs::write(&path, json).expect("write result");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(Some(91.4)), "91");
+        assert_eq!(pct(None), "—");
+    }
+
+    #[test]
+    fn machine_is_seeded() {
+        assert_eq!(default_machine().seed, EXPERIMENT_SEED);
+    }
+}

@@ -1,0 +1,22 @@
+//! The `acs` binary: thin shell around [`acs_cli::run`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match acs_cli::Args::parse(argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", acs_cli::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    match acs_cli::run(&args, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

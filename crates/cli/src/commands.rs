@@ -1,0 +1,365 @@
+//! The CLI subcommands, as library functions writing to any `Write` sink
+//! so they are directly testable.
+
+use crate::args::{ArgError, Args};
+use acs_core::eval::{characterize_apps, evaluate};
+use acs_core::{
+    sample_config, train, CappedRuntime, KernelProfile, Predictor, SamplePair, TrainedModel,
+    TrainingParams,
+};
+use acs_sim::{Device, Machine};
+use std::io::Write;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments.
+    Args(ArgError),
+    /// Filesystem or serialization failure.
+    Io(String),
+    /// Domain failure (training, unknown kernel, ...).
+    Domain(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Io(m) | CliError::Domain(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+fn io_err<E: std::fmt::Display>(e: E) -> CliError {
+    CliError::Io(e.to_string())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+acs — adaptive configuration selection for power-constrained heterogeneous systems
+
+USAGE: acs <command> [--key value ...]
+
+COMMANDS:
+  suite                                   list the benchmark suite's kernels
+  characterize --out FILE [--seed N]      sweep every kernel over all 42
+                                          configurations; write profiles JSON
+  train --profiles FILE --out FILE        run the offline stage on profiles
+        [--clusters K] [--prune true]     and save the trained model
+  tree --model FILE                       print the model's classification tree
+  predict --model FILE --kernel ID        classify + predict a kernel and
+          [--seed N] [--cap W]            select a configuration under a cap
+  evaluate [--seed N] [--clusters K]      full leave-one-benchmark-out
+                                          evaluation (Table III)
+  runtime --model FILE --app LABEL        run an application under a cap with
+          --cap W [--iters N] [--seed N]  the capped scheduler; print the
+                                          scheduling timeline and summary
+";
+
+/// Dispatch a parsed command line.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    match args.command.as_str() {
+        "suite" => cmd_suite(out),
+        "characterize" => cmd_characterize(args, out),
+        "train" => cmd_train(args, out),
+        "tree" => cmd_tree(args, out),
+        "predict" => cmd_predict(args, out),
+        "evaluate" => cmd_evaluate(args, out),
+        "runtime" => cmd_runtime(args, out),
+        "help" => {
+            write!(out, "{USAGE}").map_err(io_err)?;
+            Ok(())
+        }
+        other => Err(CliError::Domain(format!("unknown command '{other}'\n\n{USAGE}"))),
+    }
+}
+
+fn cmd_suite(out: &mut dyn Write) -> Result<(), CliError> {
+    for app in acs_kernels::app_instances() {
+        writeln!(out, "{} ({} kernels)", app.label(), app.kernels.len()).map_err(io_err)?;
+        for k in &app.kernels {
+            writeln!(out, "  {}  (weight {:.3})", k.id(), k.weight).map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_characterize(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let seed: u64 = args.get_or("seed", 2014)?;
+    let path = args.require("out")?;
+    let machine = Machine::new(seed);
+    let profiles: Vec<KernelProfile> = acs_kernels::all_kernel_instances()
+        .iter()
+        .map(|k| KernelProfile::collect(&machine, k))
+        .collect();
+    let json = serde_json::to_string(&profiles).map_err(io_err)?;
+    std::fs::write(path, json).map_err(io_err)?;
+    writeln!(
+        out,
+        "characterized {} kernel/input combinations over {} configurations each → {path}",
+        profiles.len(),
+        acs_sim::Configuration::space_size()
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn load_profiles(path: &str) -> Result<Vec<KernelProfile>, CliError> {
+    let json = std::fs::read_to_string(path).map_err(io_err)?;
+    serde_json::from_str(&json).map_err(io_err)
+}
+
+fn cmd_train(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let profiles = load_profiles(args.require("profiles")?)?;
+    let out_path = args.require("out")?;
+    let params = TrainingParams {
+        n_clusters: args.get_or("clusters", 5)?,
+        prune_tree: args.get_or("prune", false)?,
+        stabilize_variance: args.get_or("stabilize", false)?,
+        ..Default::default()
+    };
+    let model = train(&profiles, params).map_err(|e| CliError::Domain(e.to_string()))?;
+    model.save(out_path).map_err(io_err)?;
+    writeln!(
+        out,
+        "trained {} clusters over {} kernels (silhouette {:.3}, tree depth {}) → {out_path}",
+        model.clusters.len(),
+        model.kernel_ids.len(),
+        model.silhouette,
+        model.tree.depth()
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn cmd_tree(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let model = TrainedModel::load(args.require("model")?).map_err(io_err)?;
+    write!(out, "{}", model.render_tree()).map_err(io_err)?;
+    Ok(())
+}
+
+fn cmd_predict(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let model = TrainedModel::load(args.require("model")?).map_err(io_err)?;
+    let kernel_id = args.require("kernel")?;
+    let seed: u64 = args.get_or("seed", 2014)?;
+    let cap: f64 = args.get_or("cap", f64::INFINITY)?;
+
+    let kernel = acs_kernels::all_kernel_instances()
+        .into_iter()
+        .find(|k| k.id() == kernel_id)
+        .ok_or_else(|| {
+            CliError::Domain(format!(
+                "unknown kernel '{kernel_id}' (try `acs suite` for the list)"
+            ))
+        })?;
+
+    let machine = Machine::new(seed);
+    let samples = SamplePair::new(
+        machine.run_iter(&kernel, &sample_config(Device::Cpu), 0),
+        machine.run_iter(&kernel, &sample_config(Device::Gpu), 1),
+    );
+    let predictor = Predictor::new(&model);
+    let predicted = predictor.predict(&samples);
+
+    writeln!(out, "kernel:   {kernel_id}").map_err(io_err)?;
+    writeln!(out, "cluster:  {}", predicted.cluster).map_err(io_err)?;
+    writeln!(out, "frontier: {} configurations", predicted.frontier.len()).map_err(io_err)?;
+    let config = predicted.select(cap);
+    let point = predicted.point_for(&config);
+    if cap.is_finite() {
+        writeln!(out, "cap:      {cap:.1} W").map_err(io_err)?;
+    }
+    writeln!(
+        out,
+        "selected: {config}  (predicted {:.1} W, {:.3} ms/iter)",
+        point.power_w,
+        1e3 / point.perf
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn cmd_evaluate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let seed: u64 = args.get_or("seed", 2014)?;
+    let params = TrainingParams {
+        n_clusters: args.get_or("clusters", 5)?,
+        ..Default::default()
+    };
+    let machine = Machine::new(seed);
+    let apps = characterize_apps(&machine, &acs_kernels::app_instances());
+    let eval = evaluate(&apps, params).map_err(|e| CliError::Domain(e.to_string()))?;
+
+    writeln!(
+        out,
+        "{:<9} | {:>7} | {:>11} | {:>12} | {:>11} | {:>10}",
+        "Method", "%Under", "Under %Perf", "Under %Power", "Over %Power", "Over %Perf"
+    )
+    .map_err(io_err)?;
+    for s in eval.table3() {
+        let p = |v: Option<f64>| v.map_or("—".to_string(), |x| format!("{x:.0}"));
+        writeln!(
+            out,
+            "{:<9} | {:>7.0} | {:>11} | {:>12} | {:>11} | {:>10}",
+            s.method.name(),
+            s.pct_under,
+            p(s.under_perf_pct),
+            p(s.under_power_pct),
+            p(s.over_power_pct),
+            p(s.over_perf_pct),
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn cmd_runtime(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let model = TrainedModel::load(args.require("model")?).map_err(io_err)?;
+    let label = args.require("app")?;
+    let cap: f64 = args.require_parsed("cap")?;
+    let iters: u64 = args.get_or("iters", 3)?;
+    let seed: u64 = args.get_or("seed", 2014)?;
+
+    let app = acs_kernels::app_instances()
+        .into_iter()
+        .find(|a| a.label() == label)
+        .ok_or_else(|| {
+            CliError::Domain(format!("unknown application '{label}' (try `acs suite`)"))
+        })?;
+
+    let mut rt = CappedRuntime::new(Machine::new(seed), model, cap);
+    let report = rt.run_app(&app, iters);
+
+    writeln!(out, "application:   {}", report.app).map_err(io_err)?;
+    writeln!(out, "cap:           {:.1} W", report.cap_w).map_err(io_err)?;
+    writeln!(out, "total time:    {:.2} ms", report.total_time_s * 1e3).map_err(io_err)?;
+    writeln!(out, "avg power:     {:.1} W", report.avg_power_w).map_err(io_err)?;
+    writeln!(out, "cap compliance: {:.0}%", report.cap_compliance * 100.0).map_err(io_err)?;
+    writeln!(out, "
+final configurations:").map_err(io_err)?;
+    for (id, cfg) in &report.final_configs {
+        writeln!(out, "  {id} → {cfg}").map_err(io_err)?;
+    }
+    if args.get_or("timeline", false)? {
+        writeln!(out, "
+scheduling timeline:").map_err(io_err)?;
+        write!(out, "{}", rt.timeline().render()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(cmd: &str) -> Result<String, CliError> {
+        let args = Args::parse(cmd.split_whitespace().map(String::from))?;
+        let mut buf = Vec::new();
+        run(&args, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("acs-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn suite_lists_all_kernels() {
+        let out = run_str("suite").unwrap();
+        assert!(out.contains("LULESH Small (20 kernels)"));
+        assert!(out.contains("LU/Large/lud"));
+        assert_eq!(out.matches("weight").count(), 65);
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_str("help").unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("characterize"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(matches!(run_str("frobnicate"), Err(CliError::Domain(_))));
+    }
+
+    #[test]
+    fn characterize_train_predict_roundtrip() {
+        let profiles = tmp("profiles.json");
+        let model = tmp("model.json");
+
+        let out = run_str(&format!("characterize --out {profiles} --seed 7")).unwrap();
+        assert!(out.contains("65 kernel/input combinations"));
+
+        let out = run_str(&format!("train --profiles {profiles} --out {model}")).unwrap();
+        assert!(out.contains("trained 5 clusters"));
+
+        let out = run_str(&format!(
+            "predict --model {model} --kernel LU/Small/lud --cap 20 --seed 7"
+        ))
+        .unwrap();
+        assert!(out.contains("cluster:"));
+        assert!(out.contains("selected:"));
+
+        let out = run_str(&format!("tree --model {model}")).unwrap();
+        assert!(out.contains("cluster"));
+    }
+
+    #[test]
+    fn predict_unknown_kernel_fails_cleanly() {
+        let profiles = tmp("p2.json");
+        let model = tmp("m2.json");
+        run_str(&format!("characterize --out {profiles} --seed 3")).unwrap();
+        run_str(&format!("train --profiles {profiles} --out {model}")).unwrap();
+        let err = run_str(&format!("predict --model {model} --kernel No/Such/Kernel"));
+        match err {
+            Err(CliError::Domain(msg)) => assert!(msg.contains("unknown kernel")),
+            other => panic!("expected domain error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn train_rejects_too_many_clusters() {
+        let profiles = tmp("p3.json");
+        run_str(&format!("characterize --out {profiles} --seed 3")).unwrap();
+        let err = run_str(&format!(
+            "train --profiles {profiles} --out {} --clusters 100",
+            tmp("m3.json")
+        ));
+        assert!(matches!(err, Err(CliError::Domain(_))));
+    }
+
+    #[test]
+    fn runtime_reports_and_traces() {
+        let profiles = tmp("p4.json");
+        let model = tmp("m4.json");
+        run_str(&format!("characterize --out {profiles} --seed 7")).unwrap();
+        run_str(&format!("train --profiles {profiles} --out {model}")).unwrap();
+        let out = run_str(&format!(
+            "runtime --model {model} --app CoMD --cap 25 --iters 3 --timeline true --seed 7"
+        ))
+        .unwrap();
+        assert!(out.contains("cap compliance"));
+        assert!(out.contains("final configurations"));
+        assert!(out.contains("scheduling timeline"));
+        assert!(out.contains("CoMD/Default/LJForce"));
+        // Unknown app fails cleanly.
+        let err = run_str(&format!("runtime --model {model} --app Nope --cap 25"));
+        assert!(matches!(err, Err(CliError::Domain(_))));
+    }
+
+    #[test]
+    fn missing_required_option_is_an_arg_error() {
+        assert!(matches!(run_str("characterize"), Err(CliError::Args(_))));
+        assert!(matches!(run_str("tree"), Err(CliError::Args(_))));
+    }
+}

@@ -1,0 +1,407 @@
+//! The paper's evaluation protocol (Sections V-B through V-D).
+//!
+//! For every kernel, the tested power constraints are exactly the power
+//! levels of the configurations on that kernel's *oracle* Pareto frontier.
+//! Each method then selects a configuration per constraint; a case is
+//! *under-limit* when the selected configuration's true power meets the
+//! constraint and *over-limit* otherwise. Metrics compare each method's
+//! power and performance to the oracle's at the same constraint, averaged
+//! across kernels weighted by the fraction of benchmark time each kernel
+//! accounts for (Section V-D), under leave-one-benchmark-out
+//! cross-validation (Section V-C).
+
+use crate::methods::{select, Method};
+use crate::offline::{train, TrainedModel, TrainError, TrainingParams};
+use crate::online::Predictor;
+use crate::profile::{collect_suite, KernelProfile};
+use acs_kernels::AppInstance;
+use acs_mlstat::leave_one_group_out;
+use acs_sim::{Configuration, Machine};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Tolerance for "meets the power constraint": measured equality up to
+/// floating-point noise counts as meeting it (the oracle's own pick sits
+/// exactly at the cap).
+const CAP_EPSILON: f64 = 1e-9;
+
+/// One (kernel, power constraint, method) outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseResult {
+    /// Which method produced this case.
+    pub method: Method,
+    /// Kernel identifier.
+    pub kernel_id: String,
+    /// Application instance label (e.g. `LULESH Small`).
+    pub app_label: String,
+    /// Case weight: kernel's share of app time, split evenly over the
+    /// kernel's constraints so every kernel contributes its weight once.
+    pub weight: f64,
+    /// The power constraint, W.
+    pub cap_w: f64,
+    /// The configuration the method selected.
+    pub config: Configuration,
+    /// True power of the selected configuration, W.
+    pub power_w: f64,
+    /// Performance (inverse time) of the selected configuration.
+    pub perf: f64,
+    /// True power of the oracle's selection at the same constraint, W.
+    pub oracle_power_w: f64,
+    /// Performance of the oracle's selection.
+    pub oracle_perf: f64,
+}
+
+impl CaseResult {
+    /// Whether the method met the power constraint.
+    pub fn under_limit(&self) -> bool {
+        self.power_w <= self.cap_w * (1.0 + CAP_EPSILON)
+    }
+
+    /// Method performance as a fraction of oracle performance.
+    pub fn perf_ratio(&self) -> f64 {
+        self.perf / self.oracle_perf
+    }
+
+    /// Method power as a fraction of oracle power.
+    pub fn power_ratio(&self) -> f64 {
+        self.power_w / self.oracle_power_w
+    }
+}
+
+/// Aggregate metrics for one method over a set of cases — one row of
+/// Table III (all values in percent).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MethodSummary {
+    /// The method.
+    pub method: Method,
+    /// Percent of cases meeting the power constraint.
+    pub pct_under: f64,
+    /// Percent of oracle performance achieved in under-limit cases.
+    pub under_perf_pct: Option<f64>,
+    /// Percent of oracle power used in under-limit cases.
+    pub under_power_pct: Option<f64>,
+    /// Percent of oracle power used in over-limit cases.
+    pub over_power_pct: Option<f64>,
+    /// Percent of oracle performance achieved in over-limit cases.
+    pub over_perf_pct: Option<f64>,
+}
+
+/// A complete evaluation: every case for every compared method.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// All cases.
+    pub cases: Vec<CaseResult>,
+    /// Silhouette widths of the per-fold clusterings (diagnostic).
+    pub fold_silhouettes: Vec<(String, f64)>,
+}
+
+fn weighted_pct(values: &[(f64, f64)]) -> Option<f64> {
+    let total: f64 = values.iter().map(|(_, w)| w).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    Some(values.iter().map(|(v, w)| v * w).sum::<f64>() / total * 100.0)
+}
+
+/// Summarize one method over a slice of cases.
+pub fn summarize(cases: &[CaseResult], method: Method) -> MethodSummary {
+    let mine: Vec<&CaseResult> = cases.iter().filter(|c| c.method == method).collect();
+    let total_w: f64 = mine.iter().map(|c| c.weight).sum();
+    let under: Vec<&&CaseResult> = mine.iter().filter(|c| c.under_limit()).collect();
+    let over: Vec<&&CaseResult> = mine.iter().filter(|c| !c.under_limit()).collect();
+
+    let under_w: f64 = under.iter().map(|c| c.weight).sum();
+    let pct_under = if total_w > 0.0 { under_w / total_w * 100.0 } else { 0.0 };
+
+    MethodSummary {
+        method,
+        pct_under,
+        under_perf_pct: weighted_pct(
+            &under.iter().map(|c| (c.perf_ratio(), c.weight)).collect::<Vec<_>>(),
+        ),
+        under_power_pct: weighted_pct(
+            &under.iter().map(|c| (c.power_ratio(), c.weight)).collect::<Vec<_>>(),
+        ),
+        over_power_pct: weighted_pct(
+            &over.iter().map(|c| (c.power_ratio(), c.weight)).collect::<Vec<_>>(),
+        ),
+        over_perf_pct: weighted_pct(
+            &over.iter().map(|c| (c.perf_ratio(), c.weight)).collect::<Vec<_>>(),
+        ),
+    }
+}
+
+impl Evaluation {
+    /// Table III: one summary per compared method over all cases.
+    pub fn table3(&self) -> Vec<MethodSummary> {
+        Method::COMPARED.iter().map(|&m| summarize(&self.cases, m)).collect()
+    }
+
+    /// Application-instance labels present, in first-appearance order.
+    pub fn app_labels(&self) -> Vec<String> {
+        let mut labels = Vec::new();
+        for c in &self.cases {
+            if !labels.contains(&c.app_label) {
+                labels.push(c.app_label.clone());
+            }
+        }
+        labels
+    }
+
+    /// Per-application summaries for one method (Figures 5, 6, 8, 9).
+    pub fn by_app(&self, method: Method) -> Vec<(String, MethodSummary)> {
+        self.app_labels()
+            .into_iter()
+            .map(|label| {
+                let cases: Vec<CaseResult> =
+                    self.cases.iter().filter(|c| c.app_label == label).cloned().collect();
+                let summary = summarize(&cases, method);
+                (label, summary)
+            })
+            .collect()
+    }
+
+    /// Cases of one method only.
+    pub fn cases_of(&self, method: Method) -> Vec<&CaseResult> {
+        self.cases.iter().filter(|c| c.method == method).collect()
+    }
+}
+
+/// Characterized application instance: the app plus its kernels' profiles.
+#[derive(Debug, Clone)]
+pub struct AppProfiles {
+    /// The application instance.
+    pub app: AppInstance,
+    /// One profile per kernel, aligned with `app.kernels`.
+    pub profiles: Vec<KernelProfile>,
+}
+
+/// Characterize every kernel of every application instance (in parallel).
+pub fn characterize_apps(machine: &Machine, apps: &[AppInstance]) -> Vec<AppProfiles> {
+    apps.iter()
+        .map(|app| AppProfiles {
+            app: app.clone(),
+            profiles: collect_suite(machine, &app.kernels),
+        })
+        .collect()
+}
+
+/// Evaluate all methods on characterized applications under
+/// leave-one-benchmark-out cross-validation.
+pub fn evaluate(apps: &[AppProfiles], params: TrainingParams) -> Result<Evaluation, TrainError> {
+    // Fold by *benchmark* (LULESH, CoMD, SMC, LU): holding out a benchmark
+    // holds out all of its input sizes, per Section V-C.
+    let benchmarks: Vec<&str> = apps.iter().map(|a| a.app.benchmark.as_str()).collect();
+    let folds = leave_one_group_out(&benchmarks);
+
+    let mut cases = Vec::new();
+    let mut fold_silhouettes = Vec::new();
+
+    for fold in &folds {
+        let training: Vec<KernelProfile> = fold
+            .train
+            .iter()
+            .flat_map(|&ai| apps[ai].profiles.iter().cloned())
+            .collect();
+        let model = train(&training, params)?;
+        fold_silhouettes.push((fold.label.clone(), model.silhouette));
+
+        // Evaluate every kernel of the held-out benchmark's app instances.
+        let fold_cases: Vec<CaseResult> = fold
+            .test
+            .par_iter()
+            .flat_map_iter(|&ai| {
+                let app = &apps[ai];
+                app.profiles.iter().flat_map(|profile| {
+                    evaluate_kernel(profile, &model, &app.app.label())
+                })
+            })
+            .collect();
+        cases.extend(fold_cases);
+    }
+
+    Ok(Evaluation { cases, fold_silhouettes })
+}
+
+/// Evaluate all compared methods on one kernel at every oracle-frontier
+/// power constraint.
+pub fn evaluate_kernel(
+    profile: &KernelProfile,
+    model: &TrainedModel,
+    app_label: &str,
+) -> Vec<CaseResult> {
+    let predictor = Predictor::new(model);
+    let oracle_frontier = profile.oracle_frontier();
+    let caps: Vec<f64> = oracle_frontier.points().iter().map(|p| p.power_w).collect();
+    if caps.is_empty() {
+        return Vec::new();
+    }
+    let case_weight = profile.kernel.weight / caps.len() as f64;
+
+    let mut out = Vec::with_capacity(caps.len() * Method::COMPARED.len());
+    for &cap in &caps {
+        let oracle_cfg = select(Method::Oracle, profile, None, cap);
+        let oracle_run = profile.run_at(&oracle_cfg);
+        for &method in &Method::COMPARED {
+            let cfg = select(method, profile, Some(&predictor), cap);
+            let run = profile.run_at(&cfg);
+            out.push(CaseResult {
+                method,
+                kernel_id: profile.kernel.id(),
+                app_label: app_label.to_string(),
+                weight: case_weight,
+                cap_w: cap,
+                config: cfg,
+                power_w: run.true_power_w(),
+                perf: 1.0 / run.time_s,
+                oracle_power_w: oracle_run.true_power_w(),
+                oracle_perf: 1.0 / oracle_run.time_s,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_kernels::InputSize;
+
+    /// A reduced two-benchmark suite so the test evaluation stays fast.
+    fn mini_apps(machine: &Machine) -> Vec<AppProfiles> {
+        let apps = vec![
+            AppInstance {
+                benchmark: "CoMD".into(),
+                input: "Default".into(),
+                kernels: acs_kernels::comd::kernels(InputSize::Default)
+                    .into_iter()
+                    .map(|mut k| {
+                        k.weight = 1.0 / 7.0;
+                        k
+                    })
+                    .collect(),
+            },
+            AppInstance {
+                benchmark: "SMC".into(),
+                input: "Small".into(),
+                kernels: acs_kernels::smc::kernels(InputSize::Small)
+                    .into_iter()
+                    .map(|mut k| {
+                        k.weight = 1.0 / 8.0;
+                        k
+                    })
+                    .collect(),
+            },
+        ];
+        characterize_apps(machine, &apps)
+    }
+
+    fn mini_eval() -> Evaluation {
+        let machine = Machine::new(42);
+        let apps = mini_apps(&machine);
+        evaluate(&apps, TrainingParams { n_clusters: 3, ..Default::default() }).unwrap()
+    }
+
+    #[test]
+    fn evaluation_produces_cases_for_all_methods() {
+        let e = mini_eval();
+        for &m in &Method::COMPARED {
+            assert!(!e.cases_of(m).is_empty(), "{m} has no cases");
+        }
+        assert_eq!(e.fold_silhouettes.len(), 2, "two benchmarks → two folds");
+    }
+
+    #[test]
+    fn oracle_reference_is_never_beaten_under_limit() {
+        // In an under-limit case a method cannot out-perform the oracle:
+        // the oracle is optimal among cap-respecting configurations.
+        let e = mini_eval();
+        for c in &e.cases {
+            if c.under_limit() {
+                assert!(
+                    c.perf_ratio() <= 1.0 + 1e-9,
+                    "{} beat the oracle under-limit on {} (ratio {})",
+                    c.method,
+                    c.kernel_id,
+                    c.perf_ratio()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn over_limit_cases_use_more_power_than_cap() {
+        let e = mini_eval();
+        for c in &e.cases {
+            if !c.under_limit() {
+                assert!(c.power_w > c.cap_w);
+            }
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_app_count_per_method() {
+        // Each kernel contributes its weight once; app weights sum to 1.
+        let e = mini_eval();
+        for &m in &Method::COMPARED {
+            let w: f64 = e.cases_of(m).iter().map(|c| c.weight).sum();
+            assert!((w - 2.0).abs() < 1e-9, "{m}: weight sum {w} (2 apps)");
+        }
+    }
+
+    #[test]
+    fn summaries_are_within_bounds() {
+        let e = mini_eval();
+        for s in e.table3() {
+            assert!((0.0..=100.0).contains(&s.pct_under), "{:?}", s);
+            if let Some(p) = s.under_perf_pct {
+                assert!(p <= 100.0 + 1e-6, "{:?}", s);
+                assert!(p > 0.0);
+            }
+            if let Some(p) = s.over_power_pct {
+                assert!(p > 100.0 * 0.5, "{:?}", s); // over-limit power near/above oracle
+            }
+        }
+    }
+
+    #[test]
+    fn model_fl_meets_caps_at_least_as_often_as_model() {
+        let e = mini_eval();
+        let t = e.table3();
+        let get = |m: Method| t.iter().find(|s| s.method == m).unwrap().pct_under;
+        assert!(
+            get(Method::ModelFL) >= get(Method::Model) - 1e-9,
+            "FL can only help cap compliance: Model {} vs Model+FL {}",
+            get(Method::Model),
+            get(Method::ModelFL)
+        );
+    }
+
+    #[test]
+    fn by_app_covers_all_labels() {
+        let e = mini_eval();
+        let labels = e.app_labels();
+        assert_eq!(labels.len(), 2);
+        let per_app = e.by_app(Method::ModelFL);
+        assert_eq!(per_app.len(), 2);
+        for (label, s) in per_app {
+            assert!(labels.contains(&label));
+            assert!((0.0..=100.0).contains(&s.pct_under));
+        }
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let a = mini_eval();
+        let b = mini_eval();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn summarize_empty_set_is_benign() {
+        let s = summarize(&[], Method::Model);
+        assert_eq!(s.pct_under, 0.0);
+        assert!(s.under_perf_pct.is_none());
+        assert!(s.over_power_pct.is_none());
+    }
+}

@@ -1,0 +1,386 @@
+//! The offline stage (Section III-B): characterize training kernels, group
+//! them into clusters by frontier similarity, fit per-cluster regression
+//! models, and train the classification tree that will route new kernels to
+//! clusters online.
+
+use crate::dissimilarity::dissimilarity_matrix;
+use crate::features::{config_features, TREE_FEATURE_NAMES};
+use crate::profile::KernelProfile;
+use acs_mlstat::{
+    pam, silhouette, ClassificationTree, Clustering, FitError, LinearModel, TreeError, TreeParams,
+};
+use acs_sim::Device;
+use serde::{Deserialize, Serialize};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingParams {
+    /// Number of kernel clusters. The paper found five optimal: "using
+    /// fewer clusters resulted in over-generalized models, and using more
+    /// clusters resulted in over-specialized models".
+    pub n_clusters: usize,
+    /// Classification-tree controls.
+    pub tree: TreeParams,
+    /// Apply a square-root variance-stabilizing transform to regression
+    /// responses (the Section VI future-work idea; exposed for ablation
+    /// A2 and off by default).
+    pub stabilize_variance: bool,
+    /// Reduced-error-prune the classification tree against a held-out
+    /// fifth of the training kernels (CART's standard overfitting
+    /// control; off by default to match the paper's small fixed-depth
+    /// tree).
+    pub prune_tree: bool,
+}
+
+impl Default for TrainingParams {
+    fn default() -> Self {
+        Self {
+            n_clusters: 5,
+            tree: TreeParams::default(),
+            stabilize_variance: false,
+            prune_tree: false,
+        }
+    }
+}
+
+/// The four regression models of one kernel cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterModels {
+    /// Performance-scaling model for CPU configurations (no intercept;
+    /// predicts `perf(config) / perf(CPU sample)`).
+    pub perf_cpu: LinearModel,
+    /// Performance-scaling model for GPU configurations.
+    pub perf_gpu: LinearModel,
+    /// Absolute power model for CPU configurations (with intercept, W).
+    pub power_cpu: LinearModel,
+    /// Absolute power model for GPU configurations.
+    pub power_gpu: LinearModel,
+}
+
+/// Errors from offline training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// Not enough training kernels for the requested cluster count.
+    TooFewKernels {
+        /// Kernels available for training.
+        kernels: usize,
+        /// Clusters requested.
+        clusters: usize,
+    },
+    /// A cluster regression failed to fit.
+    Regression(FitError),
+    /// The classification tree failed to fit.
+    Tree(TreeError),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::TooFewKernels { kernels, clusters } => {
+                write!(f, "{kernels} kernels cannot form {clusters} clusters")
+            }
+            TrainError::Regression(e) => write!(f, "cluster regression: {e}"),
+            TrainError::Tree(e) => write!(f, "classification tree: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// The product of the offline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainedModel {
+    /// Hyperparameters used.
+    pub params: TrainingParams,
+    /// Training-kernel ids, aligned with `clustering.assignment`.
+    pub kernel_ids: Vec<String>,
+    /// The kernel clustering over the training set.
+    pub clustering: Clustering,
+    /// Mean silhouette width of the clustering (model-quality diagnostic).
+    pub silhouette: f64,
+    /// Per-cluster regression models, indexed by cluster id.
+    pub clusters: Vec<ClusterModels>,
+    /// The classifier that assigns new kernels to clusters.
+    pub tree: ClassificationTree,
+}
+
+/// Response transform (and its inverse) for the optional variance
+/// stabilization ablation. Responses here are non-negative (performance
+/// ratios and watts), so a square root is the classic choice.
+fn stabilize(y: f64, on: bool) -> f64 {
+    if on {
+        y.max(0.0).sqrt()
+    } else {
+        y
+    }
+}
+
+/// Invert [`stabilize`].
+pub(crate) fn unstabilize(y: f64, on: bool) -> f64 {
+    if on {
+        y.max(0.0) * y.max(0.0)
+    } else {
+        y
+    }
+}
+
+fn fit_cluster(
+    members: &[&KernelProfile],
+    stabilize_variance: bool,
+) -> Result<ClusterModels, TrainError> {
+    let mut rows_cpu: Vec<Vec<f64>> = Vec::new();
+    let mut perf_cpu_y: Vec<f64> = Vec::new();
+    let mut power_cpu_y: Vec<f64> = Vec::new();
+    let mut rows_gpu: Vec<Vec<f64>> = Vec::new();
+    let mut perf_gpu_y: Vec<f64> = Vec::new();
+    let mut power_gpu_y: Vec<f64> = Vec::new();
+
+    for profile in members {
+        let samples = profile.sample_pair();
+        for run in &profile.runs {
+            let x = config_features(&run.config).to_vec();
+            let s_perf = samples.perf_on(run.config.device);
+            let ratio = (1.0 / run.time_s) / s_perf;
+            match run.config.device {
+                Device::Cpu => {
+                    rows_cpu.push(x);
+                    perf_cpu_y.push(stabilize(ratio, stabilize_variance));
+                    power_cpu_y.push(stabilize(run.power_w(), stabilize_variance));
+                }
+                Device::Gpu => {
+                    rows_gpu.push(x);
+                    perf_gpu_y.push(stabilize(ratio, stabilize_variance));
+                    power_gpu_y.push(stabilize(run.power_w(), stabilize_variance));
+                }
+            }
+        }
+    }
+
+    Ok(ClusterModels {
+        perf_cpu: LinearModel::fit(&rows_cpu, &perf_cpu_y, false)
+            .map_err(TrainError::Regression)?,
+        perf_gpu: LinearModel::fit(&rows_gpu, &perf_gpu_y, false)
+            .map_err(TrainError::Regression)?,
+        power_cpu: LinearModel::fit(&rows_cpu, &power_cpu_y, true)
+            .map_err(TrainError::Regression)?,
+        power_gpu: LinearModel::fit(&rows_gpu, &power_gpu_y, true)
+            .map_err(TrainError::Regression)?,
+    })
+}
+
+/// Run the complete offline stage on a training set of characterized
+/// kernels.
+pub fn train(profiles: &[KernelProfile], params: TrainingParams) -> Result<TrainedModel, TrainError> {
+    if profiles.len() < params.n_clusters || params.n_clusters == 0 {
+        return Err(TrainError::TooFewKernels {
+            kernels: profiles.len(),
+            clusters: params.n_clusters,
+        });
+    }
+
+    // 1. Pareto frontiers → dissimilarity matrix → PAM clustering.
+    let frontiers: Vec<_> = profiles.iter().map(KernelProfile::frontier).collect();
+    let matrix = dissimilarity_matrix(&frontiers);
+    let clustering = pam(&matrix, params.n_clusters);
+    let sil = silhouette(&matrix, &clustering);
+
+    // 2. Per-cluster regression models.
+    let mut clusters = Vec::with_capacity(params.n_clusters);
+    for c in 0..params.n_clusters {
+        let members: Vec<&KernelProfile> =
+            clustering.members(c).into_iter().map(|i| &profiles[i]).collect();
+        clusters.push(fit_cluster(&members, params.stabilize_variance)?);
+    }
+
+    // 3. Classification tree on sample-configuration features. With
+    // pruning enabled, every fifth kernel is held out of tree *growth*
+    // and used to prune it instead.
+    let rows: Vec<Vec<f64>> =
+        profiles.iter().map(|p| p.sample_pair().tree_features().to_vec()).collect();
+    let tree = if params.prune_tree && profiles.len() >= 10 {
+        let grow: Vec<usize> = (0..rows.len()).filter(|i| i % 5 != 4).collect();
+        let hold: Vec<usize> = (0..rows.len()).filter(|i| i % 5 == 4).collect();
+        let grow_rows: Vec<Vec<f64>> = grow.iter().map(|&i| rows[i].clone()).collect();
+        let grow_labels: Vec<usize> =
+            grow.iter().map(|&i| clustering.assignment[i]).collect();
+        let mut t =
+            ClassificationTree::fit(&grow_rows, &grow_labels, params.n_clusters, params.tree)
+                .map_err(TrainError::Tree)?;
+        let hold_rows: Vec<Vec<f64>> = hold.iter().map(|&i| rows[i].clone()).collect();
+        let hold_labels: Vec<usize> =
+            hold.iter().map(|&i| clustering.assignment[i]).collect();
+        t.prune(&hold_rows, &hold_labels);
+        t
+    } else {
+        ClassificationTree::fit(&rows, &clustering.assignment, params.n_clusters, params.tree)
+            .map_err(TrainError::Tree)?
+    };
+
+    Ok(TrainedModel {
+        params,
+        kernel_ids: profiles.iter().map(|p| p.kernel.id()).collect(),
+        clustering,
+        silhouette: sil,
+        clusters,
+        tree,
+    })
+}
+
+impl TrainedModel {
+    /// Render the classification tree with feature names (Figure 3).
+    pub fn render_tree(&self) -> String {
+        self.tree.render(&TREE_FEATURE_NAMES)
+    }
+
+    /// Training accuracy of the tree on its own training kernels.
+    pub fn tree_training_accuracy(&self, profiles: &[KernelProfile]) -> f64 {
+        let rows: Vec<Vec<f64>> =
+            profiles.iter().map(|p| p.sample_pair().tree_features().to_vec()).collect();
+        self.tree.accuracy(&rows, &self.clustering.assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::collect_suite;
+    use acs_sim::{KernelCharacteristics, Machine};
+
+    /// A small but diverse training set: three archetypes × variations.
+    fn training_profiles() -> Vec<KernelProfile> {
+        let m = Machine::new(7);
+        let mut kernels = Vec::new();
+        for i in 0..4u32 {
+            let s = 1.0 + i as f64 * 0.2;
+            kernels.push(KernelCharacteristics {
+                name: format!("gpu-friendly-{i}"),
+                gpu_speedup: 12.0 * s,
+                compute_time_s: 0.012 * s,
+                ..Default::default()
+            });
+            kernels.push(KernelCharacteristics {
+                name: format!("membound-{i}"),
+                compute_time_s: 0.001 * s,
+                memory_time_s: 0.012 * s,
+                gpu_speedup: 3.0,
+                ..Default::default()
+            });
+            kernels.push(KernelCharacteristics {
+                name: format!("divergent-{i}"),
+                gpu_speedup: 1.2,
+                branch_divergence: 0.7,
+                parallel_fraction: 0.85,
+                ..Default::default()
+            });
+        }
+        collect_suite(&m, &kernels)
+    }
+
+    #[test]
+    fn training_succeeds_on_diverse_suite() {
+        let profiles = training_profiles();
+        let model = train(&profiles, TrainingParams { n_clusters: 3, ..Default::default() })
+            .expect("training succeeds");
+        assert_eq!(model.clusters.len(), 3);
+        assert_eq!(model.kernel_ids.len(), profiles.len());
+        assert_eq!(model.clustering.assignment.len(), profiles.len());
+    }
+
+    #[test]
+    fn clustering_recovers_archetypes() {
+        let profiles = training_profiles();
+        let model =
+            train(&profiles, TrainingParams { n_clusters: 3, ..Default::default() }).unwrap();
+        // Kernels of the same archetype should mostly share a cluster.
+        let cluster_of = |name: &str| {
+            let i = profiles.iter().position(|p| p.kernel.name == name).unwrap();
+            model.clustering.assignment[i]
+        };
+        assert_eq!(cluster_of("gpu-friendly-0"), cluster_of("gpu-friendly-3"));
+        assert_ne!(cluster_of("gpu-friendly-0"), cluster_of("divergent-0"));
+        // The CPU-leaning archetypes are closer to each other than to the
+        // GPU cluster; require majority cohesion rather than purity.
+        let membound: Vec<usize> =
+            (0..4).map(|i| cluster_of(&format!("membound-{i}"))).collect();
+        let modal = *membound
+            .iter()
+            .max_by_key(|&&c| membound.iter().filter(|&&x| x == c).count())
+            .unwrap();
+        let cohesion = membound.iter().filter(|&&c| c == modal).count();
+        assert!(cohesion >= 3, "membound assignments {membound:?}");
+    }
+
+    #[test]
+    fn regressions_fit_training_data_well() {
+        let profiles = training_profiles();
+        let model =
+            train(&profiles, TrainingParams { n_clusters: 3, ..Default::default() }).unwrap();
+        for (i, c) in model.clusters.iter().enumerate() {
+            assert!(c.perf_cpu.r_squared > 0.7, "cluster {i} perf_cpu r² {}", c.perf_cpu.r_squared);
+            assert!(c.power_cpu.r_squared > 0.7, "cluster {i} power_cpu r² {}", c.power_cpu.r_squared);
+            assert!(c.perf_gpu.r_squared > 0.5, "cluster {i} perf_gpu r² {}", c.perf_gpu.r_squared);
+            assert!(c.power_gpu.r_squared > 0.5, "cluster {i} power_gpu r² {}", c.power_gpu.r_squared);
+        }
+    }
+
+    #[test]
+    fn tree_classifies_training_kernels_well() {
+        let profiles = training_profiles();
+        let model =
+            train(&profiles, TrainingParams { n_clusters: 3, ..Default::default() }).unwrap();
+        let acc = model.tree_training_accuracy(&profiles);
+        assert!(acc > 0.8, "tree training accuracy {acc}");
+    }
+
+    #[test]
+    fn too_few_kernels_is_an_error() {
+        let profiles = training_profiles();
+        let err = train(&profiles[..2], TrainingParams { n_clusters: 5, ..Default::default() });
+        assert!(matches!(err, Err(TrainError::TooFewKernels { .. })));
+        let err0 = train(&profiles, TrainingParams { n_clusters: 0, ..Default::default() });
+        assert!(matches!(err0, Err(TrainError::TooFewKernels { .. })));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let profiles = training_profiles();
+        let p = TrainingParams { n_clusters: 3, ..Default::default() };
+        assert_eq!(train(&profiles, p).unwrap(), train(&profiles, p).unwrap());
+    }
+
+    #[test]
+    fn render_tree_mentions_features() {
+        let profiles = training_profiles();
+        let model =
+            train(&profiles, TrainingParams { n_clusters: 3, ..Default::default() }).unwrap();
+        let txt = model.render_tree();
+        assert!(txt.contains("cluster"), "rendered tree:\n{txt}");
+    }
+
+    #[test]
+    fn pruned_tree_training_still_classifies() {
+        let profiles = training_profiles();
+        let params =
+            TrainingParams { n_clusters: 3, prune_tree: true, ..Default::default() };
+        let model = train(&profiles, params).unwrap();
+        // The pruned tree is at most as large as the unpruned one and
+        // still routes training kernels decently.
+        let unpruned =
+            train(&profiles, TrainingParams { n_clusters: 3, ..Default::default() }).unwrap();
+        assert!(model.tree.node_count() <= unpruned.tree.node_count());
+        assert!(model.tree_training_accuracy(&profiles) > 0.6);
+    }
+
+    #[test]
+    fn variance_stabilization_roundtrip() {
+        assert_eq!(unstabilize(stabilize(4.0, true), true), 4.0);
+        assert_eq!(unstabilize(stabilize(4.0, false), false), 4.0);
+        let profiles = training_profiles();
+        let model = train(
+            &profiles,
+            TrainingParams { n_clusters: 3, stabilize_variance: true, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(model.clusters.len(), 3);
+    }
+}

@@ -1,0 +1,138 @@
+//! Model persistence.
+//!
+//! The offline stage runs "only once to characterize a new system"
+//! (Section III); its product must therefore outlive the process. A
+//! [`TrainedModel`] serializes to a self-contained JSON document that a
+//! runtime can load at job launch.
+
+use crate::offline::TrainedModel;
+use std::path::Path;
+
+/// Errors from persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Serialization/deserialization failure.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io: {e}"),
+            PersistError::Format(e) => write!(f, "format: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+impl TrainedModel {
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> Result<String, PersistError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Deserialize from a JSON string.
+    pub fn from_json(json: &str) -> Result<Self, PersistError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Write the model to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Load a model from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Self::from_json(&std::fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::{train, TrainingParams};
+    use crate::online::Predictor;
+    use crate::profile::collect_suite;
+    use acs_sim::{KernelCharacteristics, Machine};
+
+    fn model() -> (TrainedModel, Vec<crate::profile::KernelProfile>) {
+        let m = Machine::new(7);
+        let kernels: Vec<KernelCharacteristics> = (0..6)
+            .map(|i| KernelCharacteristics {
+                name: format!("k{i}"),
+                gpu_speedup: 2.0 + i as f64 * 3.0,
+                memory_time_s: 0.001 * (1 + i % 3) as f64,
+                ..Default::default()
+            })
+            .collect();
+        let profiles = collect_suite(&m, &kernels);
+        (
+            train(&profiles, TrainingParams { n_clusters: 3, ..Default::default() }).unwrap(),
+            profiles,
+        )
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_model() {
+        let (m, _) = model();
+        let json = m.to_json().unwrap();
+        let back = TrainedModel::from_json(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn roundtripped_model_predicts_identically() {
+        let (m, profiles) = model();
+        let back = TrainedModel::from_json(&m.to_json().unwrap()).unwrap();
+        for p in &profiles {
+            let samples = p.sample_pair();
+            let a = Predictor::new(&m).predict(&samples);
+            let b = Predictor::new(&back).predict(&samples);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (m, _) = model();
+        let dir = std::env::temp_dir().join("acs-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        m.save(&path).unwrap();
+        let back = TrainedModel::load(&path).unwrap();
+        assert_eq!(m, back);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(matches!(
+            TrainedModel::from_json("{not json"),
+            Err(PersistError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(matches!(
+            TrainedModel::load("/nonexistent/acs/model.json"),
+            Err(PersistError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,157 @@
+//! Suite-wide invariants: the synthetic benchmark suite must provide the
+//! statistical raw material the paper's method depends on — behavioral
+//! diversity, stable identities, well-formed weights — at every input
+//! size, simulated end-to-end.
+
+use acs_kernels::{all_kernel_instances, app_instances, InputSize};
+use acs_sim::{Configuration, CpuPState, Device, GpuPState, Machine};
+
+#[test]
+fn every_kernel_has_a_nonempty_frontier_with_both_regions() {
+    // Across the whole suite, low-power ends of frontiers must be CPU
+    // configurations (the paper's Figure 2 observation) — the GPU's
+    // active floor is simply too high.
+    let machine = Machine::noiseless(0);
+    for kernel in all_kernel_instances() {
+        let runs = machine.sweep(&kernel);
+        let min_power_run = runs
+            .iter()
+            .min_by(|a, b| a.true_power_w().partial_cmp(&b.true_power_w()).unwrap())
+            .unwrap();
+        assert_eq!(
+            min_power_run.config.device,
+            Device::Cpu,
+            "{}: minimum power must be a CPU configuration",
+            kernel.id()
+        );
+    }
+}
+
+#[test]
+fn suite_contains_both_gpu_winners_and_cpu_winners() {
+    let machine = Machine::noiseless(0);
+    let mut gpu_best = 0usize;
+    let mut cpu_best = 0usize;
+    for kernel in all_kernel_instances() {
+        let runs = machine.sweep(&kernel);
+        let best = runs
+            .iter()
+            .min_by(|a, b| a.time_s.partial_cmp(&b.time_s).unwrap())
+            .unwrap();
+        match best.config.device {
+            Device::Gpu => gpu_best += 1,
+            Device::Cpu => cpu_best += 1,
+        }
+    }
+    assert!(gpu_best >= 10, "suite too CPU-leaning: {gpu_best} GPU winners");
+    assert!(cpu_best >= 5, "suite too GPU-leaning: {cpu_best} CPU winners");
+}
+
+#[test]
+fn large_inputs_run_longer_than_small() {
+    let machine = Machine::noiseless(0);
+    let cfg = Configuration::cpu(4, CpuPState::MAX);
+    let apps = app_instances();
+    for app in &apps {
+        if app.input != "Small" {
+            continue;
+        }
+        let large =
+            apps.iter().find(|a| a.benchmark == app.benchmark && a.input == "Large");
+        let Some(large) = large else { continue };
+        for (s, l) in app.kernels.iter().zip(&large.kernels) {
+            assert_eq!(s.name, l.name);
+            let ts = machine.run(s, &cfg).time_s;
+            let tl = machine.run(l, &cfg).time_s;
+            assert!(tl > ts * 4.0, "{}: Large ({tl}) vs Small ({ts})", s.name);
+        }
+    }
+}
+
+#[test]
+fn launch_overhead_matters_more_at_small_inputs() {
+    // A defining Small-vs-Large asymmetry: the GPU-vs-CPU tradeoff
+    // shifts toward the GPU at Large inputs for GPU-capable kernels.
+    let machine = Machine::noiseless(0);
+    let apps = app_instances();
+    let small = apps.iter().find(|a| a.label() == "LULESH Small").unwrap();
+    let large = apps.iter().find(|a| a.label() == "LULESH Large").unwrap();
+
+    let gpu = Configuration::gpu(GpuPState::MAX, CpuPState::MAX);
+    let cpu = Configuration::cpu(4, CpuPState::MAX);
+    let mut improved = 0usize;
+    let mut total = 0usize;
+    for (s, l) in small.kernels.iter().zip(&large.kernels) {
+        let ratio_small =
+            machine.run(s, &gpu).time_s / machine.run(s, &cpu).time_s;
+        let ratio_large =
+            machine.run(l, &gpu).time_s / machine.run(l, &cpu).time_s;
+        total += 1;
+        if ratio_large < ratio_small {
+            improved += 1;
+        }
+    }
+    assert!(
+        improved * 2 > total,
+        "GPU relative attractiveness should improve at Large for most kernels ({improved}/{total})"
+    );
+}
+
+#[test]
+fn weights_reflect_hot_kernels() {
+    for app in app_instances() {
+        if app.kernels.len() < 2 {
+            continue; // LU's single kernel is trivially "hot"
+        }
+        let max_weight = app.kernels.iter().map(|k| k.weight).fold(0.0, f64::max);
+        assert!(
+            max_weight > 1.5 / app.kernels.len() as f64,
+            "{}: no hot kernel (max weight {max_weight})",
+            app.label()
+        );
+    }
+}
+
+#[test]
+fn counter_signatures_distinguish_archetypes() {
+    // The classification tree can only work if sample-config counters
+    // separate behavior classes. Check two extremes directly.
+    let machine = Machine::new(0);
+    let apps = app_instances();
+    let comd = apps.iter().find(|a| a.benchmark == "CoMD").unwrap();
+    let lj = comd.kernels.iter().find(|k| k.name == "LJForce").unwrap();
+    let neigh = comd.kernels.iter().find(|k| k.name == "BuildNeighborList").unwrap();
+
+    let cfg = Configuration::cpu(4, CpuPState::MAX);
+    let f_lj = machine.run(lj, &cfg).counters.normalized_features();
+    let f_ne = machine.run(neigh, &cfg).counters.normalized_features();
+
+    // LJForce: vector-heavy; BuildNeighborList: branchy and stall-heavy.
+    assert!(f_lj[5] > f_ne[5] * 2.0, "vector_per_inst should separate");
+    assert!(f_ne[4] > f_lj[4], "branches_per_inst should separate");
+    assert!(f_ne[6] > f_lj[6], "stall_fraction should separate");
+}
+
+#[test]
+fn ids_are_parseable_triples() {
+    for k in all_kernel_instances() {
+        let id = k.id();
+        let parts: Vec<&str> = id.split('/').collect();
+        assert_eq!(parts.len(), 3, "{id}");
+        assert_eq!(parts[0], k.benchmark);
+        assert_eq!(parts[1], k.input);
+        assert_eq!(parts[2], k.name);
+    }
+}
+
+#[test]
+fn input_size_labels_are_consistent() {
+    for k in all_kernel_instances() {
+        assert!(
+            ["Small", "Large", "Default"].contains(&k.input.as_str()),
+            "unexpected input label {}",
+            k.input
+        );
+    }
+    assert_eq!(InputSize::Small.label(), "Small");
+}

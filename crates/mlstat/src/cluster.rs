@@ -1,0 +1,392 @@
+//! Relational clustering on a dissimilarity matrix.
+//!
+//! The paper clusters kernels "via the R Fossil package" from a pairwise
+//! dissimilarity matrix (Section III-B). The standard algorithm for
+//! relational (dissimilarity-only) clustering is PAM — Partitioning Around
+//! Medoids (Kaufman & Rousseeuw) — implemented here with the classic BUILD
+//! and SWAP phases, plus average-silhouette scoring for choosing `k`.
+
+use serde::{Deserialize, Serialize};
+
+/// A symmetric pairwise dissimilarity matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dissimilarity {
+    n: usize,
+    /// Full row-major storage (kept symmetric by the setter).
+    data: Vec<f64>,
+}
+
+impl Dissimilarity {
+    /// An `n × n` all-zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self { n, data: vec![0.0; n * n] }
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Dissimilarity between items `i` and `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Set the dissimilarity between `i` and `j` (kept symmetric).
+    pub fn set(&mut self, i: usize, j: usize, d: f64) {
+        self.data[i * self.n + j] = d;
+        self.data[j * self.n + i] = d;
+    }
+
+    /// Validate symmetry, zero diagonal, and non-negativity.
+    pub fn validate(&self) -> Result<(), String> {
+        for i in 0..self.n {
+            if self.get(i, i) != 0.0 {
+                return Err(format!("diagonal ({i},{i}) = {} ≠ 0", self.get(i, i)));
+            }
+            for j in 0..i {
+                let d = self.get(i, j);
+                if d < 0.0 || !d.is_finite() {
+                    return Err(format!("d({i},{j}) = {d} invalid"));
+                }
+                if (d - self.get(j, i)).abs() > 1e-12 {
+                    return Err(format!("asymmetric at ({i},{j})"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of a PAM clustering run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Clustering {
+    /// Medoid item index per cluster.
+    pub medoids: Vec<usize>,
+    /// Cluster assignment per item (index into `medoids`).
+    pub assignment: Vec<usize>,
+    /// Total dissimilarity of items to their medoids (the PAM objective).
+    pub cost: f64,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.medoids.len()
+    }
+
+    /// Item indices belonging to cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| (a == c).then_some(i))
+            .collect()
+    }
+
+    /// Sizes of every cluster.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k()];
+        for &a in &self.assignment {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+fn assign_and_cost(d: &Dissimilarity, medoids: &[usize]) -> (Vec<usize>, f64) {
+    let mut assignment = vec![0usize; d.len()];
+    let mut cost = 0.0;
+    #[allow(clippy::needless_range_loop)] // parallel-array indexing is the clear form here
+    for i in 0..d.len() {
+        // A medoid always claims its own cluster — otherwise two medoids
+        // at dissimilarity zero could leave one cluster empty.
+        if let Some(own) = medoids.iter().position(|&m| m == i) {
+            assignment[i] = own;
+            continue;
+        }
+        let (best_c, best_d) = medoids
+            .iter()
+            .enumerate()
+            .map(|(c, &m)| (c, d.get(i, m)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("at least one medoid");
+        assignment[i] = best_c;
+        cost += best_d;
+    }
+    (assignment, cost)
+}
+
+/// PAM (k-medoids): BUILD a greedy initial medoid set, then SWAP until no
+/// single medoid↔non-medoid exchange lowers the objective.
+///
+/// Deterministic: ties break toward lower item indices, so the same matrix
+/// always yields the same clustering. Panics if `k` is zero or exceeds the
+/// number of items.
+pub fn pam(d: &Dissimilarity, k: usize) -> Clustering {
+    let n = d.len();
+    assert!(k >= 1 && k <= n, "k = {k} must be in 1..={n}");
+
+    // BUILD: first medoid minimizes total dissimilarity; each subsequent
+    // medoid maximizes the cost reduction.
+    let mut medoids: Vec<usize> = Vec::with_capacity(k);
+    let first = (0..n)
+        .min_by(|&a, &b| {
+            let ca: f64 = (0..n).map(|i| d.get(i, a)).sum();
+            let cb: f64 = (0..n).map(|i| d.get(i, b)).sum();
+            ca.partial_cmp(&cb).unwrap()
+        })
+        .expect("non-empty matrix");
+    medoids.push(first);
+
+    while medoids.len() < k {
+        // Current distance of every item to its nearest medoid.
+        let near: Vec<f64> = (0..n)
+            .map(|i| medoids.iter().map(|&m| d.get(i, m)).fold(f64::INFINITY, f64::min))
+            .collect();
+        let candidate = (0..n)
+            .filter(|i| !medoids.contains(i))
+            .max_by(|&a, &b| {
+                let gain = |c: usize| -> f64 {
+                    (0..n).map(|i| (near[i] - d.get(i, c)).max(0.0)).sum()
+                };
+                gain(a)
+                    .partial_cmp(&gain(b))
+                    .unwrap()
+                    // Tie-break toward the lower index for determinism.
+                    .then(b.cmp(&a))
+            })
+            .expect("k <= n leaves a candidate");
+        medoids.push(candidate);
+    }
+
+    // SWAP: steepest-descent single swaps.
+    let (mut assignment, mut cost) = assign_and_cost(d, &medoids);
+    loop {
+        let mut best: Option<(usize, usize, f64)> = None; // (medoid slot, item, new cost)
+        for slot in 0..medoids.len() {
+            for item in 0..n {
+                if medoids.contains(&item) {
+                    continue;
+                }
+                let mut trial = medoids.clone();
+                trial[slot] = item;
+                let (_, c) = assign_and_cost(d, &trial);
+                if c + 1e-12 < best.map_or(cost, |(_, _, bc)| bc) {
+                    best = Some((slot, item, c));
+                }
+            }
+        }
+        match best {
+            Some((slot, item, c)) => {
+                medoids[slot] = item;
+                cost = c;
+                assignment = assign_and_cost(d, &medoids).0;
+            }
+            None => break,
+        }
+    }
+
+    // Canonical order: sort medoids so cluster ids are stable.
+    let mut order: Vec<usize> = (0..medoids.len()).collect();
+    order.sort_by_key(|&c| medoids[c]);
+    let medoids_sorted: Vec<usize> = order.iter().map(|&c| medoids[c]).collect();
+    let remap: Vec<usize> = {
+        let mut r = vec![0usize; medoids.len()];
+        for (new_c, &old_c) in order.iter().enumerate() {
+            r[old_c] = new_c;
+        }
+        r
+    };
+    let assignment = assignment.into_iter().map(|a| remap[a]).collect();
+
+    Clustering { medoids: medoids_sorted, assignment, cost }
+}
+
+/// Mean silhouette width of a clustering: in [-1, 1], higher is better.
+/// Items in singleton clusters contribute 0, per the usual convention.
+pub fn silhouette(d: &Dissimilarity, clustering: &Clustering) -> f64 {
+    let n = d.len();
+    if n == 0 || clustering.k() < 2 {
+        return 0.0;
+    }
+    let sizes = clustering.sizes();
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = clustering.assignment[i];
+        if sizes[own] <= 1 {
+            continue; // silhouette 0 for singletons
+        }
+        // a(i): mean dissimilarity to own cluster (excluding self).
+        let mut a = 0.0;
+        for j in 0..n {
+            if j != i && clustering.assignment[j] == own {
+                a += d.get(i, j);
+            }
+        }
+        a /= (sizes[own] - 1) as f64;
+        // b(i): smallest mean dissimilarity to another cluster.
+        let mut b = f64::INFINITY;
+        #[allow(clippy::needless_range_loop)] // parallel-array indexing is the clear form here
+        for c in 0..clustering.k() {
+            if c == own || sizes[c] == 0 {
+                continue;
+            }
+            let mut m = 0.0;
+            for j in 0..n {
+                if clustering.assignment[j] == c {
+                    m += d.get(i, j);
+                }
+            }
+            b = b.min(m / sizes[c] as f64);
+        }
+        if b.is_finite() {
+            total += (b - a) / a.max(b).max(1e-300);
+        }
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight groups far apart: {0,1,2} and {3,4,5}.
+    fn two_blobs() -> Dissimilarity {
+        let mut d = Dissimilarity::zeros(6);
+        for i in 0..6 {
+            for j in 0..6 {
+                if i == j {
+                    continue;
+                }
+                let same = (i < 3) == (j < 3);
+                d.set(i, j, if same { 0.1 } else { 1.0 });
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn pam_separates_two_blobs() {
+        let d = two_blobs();
+        let c = pam(&d, 2);
+        assert_eq!(c.k(), 2);
+        // All of 0..3 together, all of 3..6 together.
+        assert_eq!(c.assignment[0], c.assignment[1]);
+        assert_eq!(c.assignment[1], c.assignment[2]);
+        assert_eq!(c.assignment[3], c.assignment[4]);
+        assert_eq!(c.assignment[4], c.assignment[5]);
+        assert_ne!(c.assignment[0], c.assignment[3]);
+        assert!((c.cost - 4.0 * 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assignment_is_nearest_medoid() {
+        let d = two_blobs();
+        let c = pam(&d, 2);
+        for i in 0..d.len() {
+            let own = d.get(i, c.medoids[c.assignment[i]]);
+            for &m in &c.medoids {
+                assert!(own <= d.get(i, m) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn k_equals_n_is_free() {
+        let d = two_blobs();
+        let c = pam(&d, 6);
+        assert_eq!(c.cost, 0.0);
+        let mut medoids = c.medoids.clone();
+        medoids.dedup();
+        assert_eq!(medoids.len(), 6);
+    }
+
+    #[test]
+    fn k_equals_one_picks_central_item() {
+        let mut d = Dissimilarity::zeros(3);
+        d.set(0, 1, 1.0);
+        d.set(1, 2, 1.0);
+        d.set(0, 2, 2.0);
+        let c = pam(&d, 1);
+        assert_eq!(c.medoids, vec![1], "item 1 is the 1-median");
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = two_blobs();
+        assert_eq!(pam(&d, 2), pam(&d, 2));
+        assert_eq!(pam(&d, 3), pam(&d, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in")]
+    fn k_zero_panics() {
+        let _ = pam(&two_blobs(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in")]
+    fn k_too_large_panics() {
+        let _ = pam(&two_blobs(), 7);
+    }
+
+    #[test]
+    fn silhouette_prefers_true_structure() {
+        let d = two_blobs();
+        let good = silhouette(&d, &pam(&d, 2));
+        let worse = silhouette(&d, &pam(&d, 3));
+        assert!(good > 0.8, "clean blobs: silhouette {good}");
+        assert!(good > worse, "k=2 ({good}) must beat k=3 ({worse})");
+    }
+
+    #[test]
+    fn silhouette_of_single_cluster_is_zero() {
+        let d = two_blobs();
+        assert_eq!(silhouette(&d, &pam(&d, 1)), 0.0);
+    }
+
+    #[test]
+    fn members_and_sizes_agree() {
+        let d = two_blobs();
+        let c = pam(&d, 2);
+        let sizes = c.sizes();
+        #[allow(clippy::needless_range_loop)] // parallel-array indexing is the clear form here
+        for cl in 0..c.k() {
+            assert_eq!(c.members(cl).len(), sizes[cl]);
+        }
+        assert_eq!(sizes.iter().sum::<usize>(), d.len());
+    }
+
+    #[test]
+    fn validate_accepts_good_rejects_bad() {
+        let d = two_blobs();
+        assert!(d.validate().is_ok());
+        let mut bad = two_blobs();
+        bad.data[1] = -0.5; // direct poke to break symmetry/negativity
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn swap_improves_on_bad_build() {
+        // A chain where greedy BUILD can start suboptimally; SWAP must
+        // still find a 2-clustering with optimal cost.
+        let mut d = Dissimilarity::zeros(4);
+        let pts: [f64; 4] = [0.0, 1.0, 10.0, 11.0];
+        for i in 0..4 {
+            for j in 0..4 {
+                d.set(i, j, (pts[i] - pts[j]).abs());
+            }
+        }
+        let c = pam(&d, 2);
+        assert!((c.cost - 2.0).abs() < 1e-9, "optimal cost is 1+1, got {}", c.cost);
+    }
+}

@@ -1,0 +1,333 @@
+//! Multivariate ordinary-least-squares regression with first-order
+//! interaction expansion — the model family of Section III-B:
+//!
+//! * performance: `P_perf = (a₁x₁ + … + aₙxₙ) · S_perf` (no intercept;
+//!   scaling relative to the sample-configuration performance), and
+//! * power: `P_power = b₀ + b₁x₁ + … + bₙxₙ` (with intercept),
+//!
+//! where the `xᵢ` are the configuration variables and their pairwise
+//! products. Fitting solves the normal equations by Cholesky, falling back
+//! to a small ridge penalty when the design is rank-deficient (e.g. a
+//! training cluster whose kernels never vary one knob).
+
+use crate::matrix::{Matrix, MatrixError};
+use serde::{Deserialize, Serialize};
+
+/// Expand a raw feature vector with all pairwise interaction terms
+/// `xᵢ·xⱼ (i < j)`, preserving the original features first.
+pub fn with_interactions(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    let mut out = Vec::with_capacity(n + n * (n - 1) / 2);
+    out.extend_from_slice(x);
+    for i in 0..n {
+        for j in i + 1..n {
+            out.push(x[i] * x[j]);
+        }
+    }
+    out
+}
+
+/// Number of columns produced by [`with_interactions`] for `n` raw features.
+pub fn interaction_len(n: usize) -> usize {
+    n + n * n.saturating_sub(1) / 2
+}
+
+/// A fitted linear model `y ≈ β·x (+ β₀)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearModel {
+    /// Coefficients; when `intercept` is true, `coeffs[0]` is β₀ and the
+    /// remaining entries align with the design columns.
+    pub coeffs: Vec<f64>,
+    /// Whether the model includes an intercept column.
+    pub intercept: bool,
+    /// Coefficient of determination on the training data.
+    pub r_squared: f64,
+    /// Ridge penalty that was needed to fit (0 when OLS succeeded).
+    pub ridge_lambda: f64,
+    /// Root-mean-square training residual — a (crude) per-prediction
+    /// uncertainty scale usable for confidence-aware selection.
+    pub residual_rmse: f64,
+    /// Standard error of each coefficient (same layout as `coeffs`), from
+    /// the classical OLS covariance `σ²·(XᵀX)⁻¹`. Empty when the Gram
+    /// matrix could not be inverted even with ridge.
+    pub coef_std_errors: Vec<f64>,
+}
+
+/// Errors from model fitting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// Fewer observations than parameters even ridge cannot rescue sanely.
+    NoData,
+    /// Underlying linear-algebra failure.
+    Matrix(MatrixError),
+    /// Response/row count mismatch.
+    Dimension(String),
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::NoData => write!(f, "no observations"),
+            FitError::Matrix(e) => write!(f, "linear algebra: {e}"),
+            FitError::Dimension(msg) => write!(f, "dimension: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+impl From<MatrixError> for FitError {
+    fn from(e: MatrixError) -> Self {
+        FitError::Matrix(e)
+    }
+}
+
+impl LinearModel {
+    /// Fit `y ≈ X β` by OLS on the given design rows (already expanded;
+    /// no intercept is added when `intercept` is false).
+    pub fn fit(rows: &[Vec<f64>], y: &[f64], intercept: bool) -> Result<Self, FitError> {
+        if rows.is_empty() || y.is_empty() {
+            return Err(FitError::NoData);
+        }
+        if rows.len() != y.len() {
+            return Err(FitError::Dimension(format!(
+                "{} design rows vs {} responses",
+                rows.len(),
+                y.len()
+            )));
+        }
+        let p_raw = rows[0].len();
+        if rows.iter().any(|r| r.len() != p_raw) {
+            return Err(FitError::Dimension("ragged design rows".into()));
+        }
+        let p = p_raw + usize::from(intercept);
+
+        let mut data = Vec::with_capacity(rows.len() * p);
+        for r in rows {
+            if intercept {
+                data.push(1.0);
+            }
+            data.extend_from_slice(r);
+        }
+        let x = Matrix::from_rows(rows.len(), p, data).map_err(FitError::Matrix)?;
+        let mut gram = x.gram();
+        let xty = x.t_vec(y)?;
+
+        // OLS, with ridge fallback for rank-deficient designs.
+        let mut ridge_lambda = 0.0;
+        let coeffs = match gram.solve_spd(&xty) {
+            Ok(c) => c,
+            Err(MatrixError::Singular) => {
+                // Scale the penalty with the trace so it is dimensionless.
+                let trace: f64 = (0..p).map(|i| gram[(i, i)]).sum();
+                ridge_lambda = 1e-6 * (trace / p as f64).max(1e-12);
+                gram.add_diagonal(ridge_lambda);
+                gram.solve_spd(&xty)?
+            }
+            Err(e) => return Err(e.into()),
+        };
+
+        // R² on training data.
+        let yhat = x.matvec(&coeffs)?;
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let ss_res: f64 = y.iter().zip(&yhat).map(|(a, b)| (a - b).powi(2)).sum();
+        let ss_tot: f64 = y.iter().map(|a| (a - mean).powi(2)).sum();
+        let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+        let residual_rmse = (ss_res / y.len() as f64).sqrt();
+
+        // Coefficient standard errors: sqrt of diag(σ²·(XᵀX)⁻¹), with the
+        // unbiased residual variance estimate. Solve one column of the
+        // inverse per coefficient against the (possibly ridged) Gram.
+        let dof = y.len().saturating_sub(p);
+        let coef_std_errors = if dof > 0 {
+            let sigma2 = ss_res / dof as f64;
+            let mut errs = Vec::with_capacity(p);
+            let mut ok = true;
+            for j in 0..p {
+                let mut e = vec![0.0; p];
+                e[j] = 1.0;
+                match gram.solve_spd(&e) {
+                    Ok(col) => errs.push((sigma2 * col[j].max(0.0)).sqrt()),
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                errs
+            } else {
+                Vec::new()
+            }
+        } else {
+            Vec::new()
+        };
+
+        Ok(Self { coeffs, intercept, r_squared, ridge_lambda, residual_rmse, coef_std_errors })
+    }
+
+    /// Predict the response for one (already expanded) feature row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        if self.intercept {
+            self.coeffs[0]
+                + self.coeffs[1..].iter().zip(x).map(|(c, v)| c * v).sum::<f64>()
+        } else {
+            self.coeffs.iter().zip(x).map(|(c, v)| c * v).sum()
+        }
+    }
+
+    /// Number of raw design columns this model expects.
+    pub fn input_len(&self) -> usize {
+        self.coeffs.len() - usize::from(self.intercept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interaction_expansion_layout() {
+        let x = [2.0, 3.0, 5.0];
+        let e = with_interactions(&x);
+        assert_eq!(e, vec![2.0, 3.0, 5.0, 6.0, 10.0, 15.0]);
+        assert_eq!(e.len(), interaction_len(3));
+    }
+
+    #[test]
+    fn interaction_len_small_cases() {
+        assert_eq!(interaction_len(0), 0);
+        assert_eq!(interaction_len(1), 1);
+        assert_eq!(interaction_len(2), 3);
+        assert_eq!(interaction_len(4), 10);
+    }
+
+    #[test]
+    fn recovers_planted_model_with_intercept() {
+        // y = 3 + 2 x1 - x2
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 + 2.0 * r[0] - r[1]).collect();
+        let m = LinearModel::fit(&rows, &y, true).unwrap();
+        assert!((m.coeffs[0] - 3.0).abs() < 1e-9);
+        assert!((m.coeffs[1] - 2.0).abs() < 1e-9);
+        assert!((m.coeffs[2] + 1.0).abs() < 1e-9);
+        assert!((m.r_squared - 1.0).abs() < 1e-12);
+        assert_eq!(m.ridge_lambda, 0.0);
+    }
+
+    #[test]
+    fn recovers_planted_model_without_intercept() {
+        // y = 0.5 x1 + 4 x2, no intercept.
+        let rows: Vec<Vec<f64>> =
+            (1..15).map(|i| vec![i as f64, ((i * 3) % 5) as f64 + 1.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 0.5 * r[0] + 4.0 * r[1]).collect();
+        let m = LinearModel::fit(&rows, &y, false).unwrap();
+        assert!((m.coeffs[0] - 0.5).abs() < 1e-9);
+        assert!((m.coeffs[1] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_matches_fit() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 1.0 + 2.0 * r[0]).collect();
+        let m = LinearModel::fit(&rows, &y, true).unwrap();
+        assert!((m.predict(&[100.0]) - 201.0).abs() < 1e-6);
+        assert_eq!(m.input_len(), 1);
+    }
+
+    #[test]
+    fn recovers_interaction_model() {
+        // y = x1 + x2 + 0.5 x1 x2 over a grid.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..5 {
+            for b in 0..5 {
+                let x = [a as f64, b as f64];
+                rows.push(with_interactions(&x));
+                y.push(x[0] + x[1] + 0.5 * x[0] * x[1]);
+            }
+        }
+        let m = LinearModel::fit(&rows, &y, false).unwrap();
+        assert!((m.coeffs[0] - 1.0).abs() < 1e-9);
+        assert!((m.coeffs[1] - 1.0).abs() < 1e-9);
+        assert!((m.coeffs[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_deficient_falls_back_to_ridge() {
+        // Second column is a copy of the first: singular gram.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, i as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0]).collect();
+        let m = LinearModel::fit(&rows, &y, false).unwrap();
+        assert!(m.ridge_lambda > 0.0);
+        // Ridge splits the weight across the duplicated columns; the
+        // prediction is still right.
+        assert!((m.predict(&[2.0, 2.0]) - 6.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert_eq!(LinearModel::fit(&[], &[], true), Err(FitError::NoData));
+        assert!(matches!(
+            LinearModel::fit(&[vec![1.0]], &[1.0, 2.0], true),
+            Err(FitError::Dimension(_))
+        ));
+        assert!(matches!(
+            LinearModel::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0], true),
+            Err(FitError::Dimension(_))
+        ));
+    }
+
+    #[test]
+    fn constant_response_has_unit_r_squared() {
+        let rows: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let y = vec![7.0; 5];
+        let m = LinearModel::fit(&rows, &y, true).unwrap();
+        assert!((m.predict(&[3.0]) - 7.0).abs() < 1e-9);
+        assert_eq!(m.r_squared, 1.0);
+    }
+
+    #[test]
+    fn std_errors_shrink_with_sample_size() {
+        let gen = |n: usize| {
+            let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![(i % 13) as f64]).collect();
+            let y: Vec<f64> = rows
+                .iter()
+                .enumerate()
+                .map(|(i, r)| 2.0 * r[0] + ((i * 2654435761) % 100) as f64 / 50.0 - 1.0)
+                .collect();
+            LinearModel::fit(&rows, &y, true).unwrap()
+        };
+        let small = gen(20);
+        let large = gen(500);
+        assert_eq!(small.coef_std_errors.len(), 2);
+        assert!(large.coef_std_errors[1] < small.coef_std_errors[1]);
+        // The true slope lies within a few standard errors.
+        assert!((large.coeffs[1] - 2.0).abs() < 4.0 * large.coef_std_errors[1]);
+    }
+
+    #[test]
+    fn exact_fit_has_zero_std_errors() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] + 1.0).collect();
+        let m = LinearModel::fit(&rows, &y, true).unwrap();
+        for se in &m.coef_std_errors {
+            assert!(*se < 1e-6, "exact fit should have ~0 std errors, got {se}");
+        }
+    }
+
+    #[test]
+    fn noisy_fit_has_reasonable_r_squared() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        // Deterministic pseudo-noise.
+        let y: Vec<f64> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| 2.0 * r[0] + ((i * 2654435761) % 100) as f64 / 100.0 - 0.5)
+            .collect();
+        let m = LinearModel::fit(&rows, &y, true).unwrap();
+        assert!(m.r_squared > 0.99, "r² = {}", m.r_squared);
+    }
+}

@@ -1,0 +1,565 @@
+//! CART classification tree (Breiman et al. 1984, the paper's reference
+//! \[36\]).
+//!
+//! The online stage needs to assign a brand-new kernel to one of the
+//! offline-trained clusters using only features observed at the two sample
+//! configurations. The paper trains a classification tree on normalized
+//! performance-counter and power features (Figure 3 shows an example).
+//! This implementation uses binary axis-aligned splits chosen by Gini
+//! impurity, with depth and minimum-leaf-size controls.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Training/complexity controls.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth (root has depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_split: usize,
+    /// Minimum samples each child must keep.
+    pub min_leaf: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self { max_depth: 6, min_split: 4, min_leaf: 2 }
+    }
+}
+
+/// A trained classification tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassificationTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+    n_classes: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    /// `feature < threshold` goes left, else right.
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    /// Majority class at the leaf with its training purity.
+    Leaf { class: usize, purity: f64, count: usize },
+}
+
+/// Errors from tree training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// Empty training set or ragged feature rows.
+    BadInput(String),
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::BadInput(m) => write!(f, "bad input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / t).powi(2)).sum::<f64>()
+}
+
+fn class_counts(labels: &[usize], idx: &[usize], n_classes: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; n_classes];
+    for &i in idx {
+        counts[labels[i]] += 1;
+    }
+    counts
+}
+
+fn majority(counts: &[usize]) -> (usize, usize) {
+    counts
+        .iter()
+        .enumerate()
+        // max_by_key is stable toward later elements; invert index for
+        // deterministic lowest-class tie-breaks.
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(c, &n)| (c, n))
+        .unwrap_or((0, 0))
+}
+
+impl ClassificationTree {
+    /// Train a tree on feature rows and integer class labels in
+    /// `0..n_classes`.
+    pub fn fit(
+        rows: &[Vec<f64>],
+        labels: &[usize],
+        n_classes: usize,
+        params: TreeParams,
+    ) -> Result<Self, TreeError> {
+        if rows.is_empty() || rows.len() != labels.len() {
+            return Err(TreeError::BadInput(format!(
+                "{} rows vs {} labels",
+                rows.len(),
+                labels.len()
+            )));
+        }
+        let n_features = rows[0].len();
+        if n_features == 0 || rows.iter().any(|r| r.len() != n_features) {
+            return Err(TreeError::BadInput("ragged or empty feature rows".into()));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= n_classes) {
+            return Err(TreeError::BadInput(format!("label {bad} >= n_classes {n_classes}")));
+        }
+
+        let mut tree = Self { nodes: Vec::new(), n_features, n_classes };
+        let all: Vec<usize> = (0..rows.len()).collect();
+        tree.build(rows, labels, &all, 0, &params);
+        Ok(tree)
+    }
+
+    fn build(
+        &mut self,
+        rows: &[Vec<f64>],
+        labels: &[usize],
+        idx: &[usize],
+        depth: usize,
+        params: &TreeParams,
+    ) -> usize {
+        let counts = class_counts(labels, idx, self.n_classes);
+        let node_gini = gini(&counts, idx.len());
+        let (class, count) = majority(&counts);
+
+        let make_leaf = depth >= params.max_depth
+            || idx.len() < params.min_split
+            || node_gini == 0.0;
+        if !make_leaf {
+            if let Some((feature, threshold, left_idx, right_idx)) =
+                self.best_split(rows, labels, idx, params)
+            {
+                let slot = self.nodes.len();
+                // Reserve the slot so children indices are known after.
+                self.nodes.push(Node::Leaf { class, purity: 0.0, count });
+                let left = self.build(rows, labels, &left_idx, depth + 1, params);
+                let right = self.build(rows, labels, &right_idx, depth + 1, params);
+                self.nodes[slot] = Node::Split { feature, threshold, left, right };
+                return slot;
+            }
+        }
+        let purity = if idx.is_empty() { 0.0 } else { count as f64 / idx.len() as f64 };
+        let slot = self.nodes.len();
+        self.nodes.push(Node::Leaf { class, purity, count });
+        slot
+    }
+
+    /// Exhaustive best split by weighted child Gini; thresholds midway
+    /// between consecutive distinct feature values.
+    #[allow(clippy::type_complexity)]
+    fn best_split(
+        &self,
+        rows: &[Vec<f64>],
+        labels: &[usize],
+        idx: &[usize],
+        params: &TreeParams,
+    ) -> Option<(usize, f64, Vec<usize>, Vec<usize>)> {
+        let parent_gini = gini(&class_counts(labels, idx, self.n_classes), idx.len());
+        let mut best: Option<(f64, usize, f64)> = None; // (score, feature, threshold)
+
+        #[allow(clippy::needless_range_loop)] // parallel-array indexing is the clear form here
+        for feature in 0..self.n_features {
+            let mut order: Vec<usize> = idx.to_vec();
+            order.sort_by(|&a, &b| rows[a][feature].partial_cmp(&rows[b][feature]).unwrap());
+
+            // Incremental left/right class counts while scanning.
+            let mut left = vec![0usize; self.n_classes];
+            let mut right = class_counts(labels, idx, self.n_classes);
+            for split_at in 1..order.len() {
+                let moved = order[split_at - 1];
+                left[labels[moved]] += 1;
+                right[labels[moved]] -= 1;
+
+                let lo = rows[order[split_at - 1]][feature];
+                let hi = rows[order[split_at]][feature];
+                if lo == hi {
+                    continue; // cannot split between equal values
+                }
+                if split_at < params.min_leaf || order.len() - split_at < params.min_leaf {
+                    continue;
+                }
+                let nl = split_at;
+                let nr = order.len() - split_at;
+                let score = (nl as f64 * gini(&left, nl) + nr as f64 * gini(&right, nr))
+                    / order.len() as f64;
+                let threshold = 0.5 * (lo + hi);
+                let better = match best {
+                    None => score + 1e-12 < parent_gini,
+                    Some((bs, _, _)) => score + 1e-12 < bs,
+                };
+                if better {
+                    best = Some((score, feature, threshold));
+                }
+            }
+        }
+
+        best.map(|(_, feature, threshold)| {
+            let (mut l, mut r) = (Vec::new(), Vec::new());
+            for &i in idx {
+                if rows[i][feature] < threshold {
+                    l.push(i);
+                } else {
+                    r.push(i);
+                }
+            }
+            (feature, threshold, l, r)
+        })
+    }
+
+    /// Predict the class of one feature row.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        assert_eq!(x.len(), self.n_features, "feature count mismatch");
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                Node::Split { feature, threshold, left, right } => {
+                    at = if x[*feature] < *threshold { *left } else { *right };
+                }
+                Node::Leaf { class, .. } => return *class,
+            }
+        }
+    }
+
+    /// Training accuracy over a labelled set.
+    pub fn accuracy(&self, rows: &[Vec<f64>], labels: &[usize]) -> f64 {
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let hits = rows
+            .iter()
+            .zip(labels)
+            .filter(|(r, &l)| self.predict(r) == l)
+            .count();
+        hits as f64 / rows.len() as f64
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum depth of any leaf (root = 0). This bounds the online
+    /// classification cost the paper calls "time on the order of the depth
+    /// of the tree" (Section IV-C).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], at: usize) -> usize {
+            match &nodes[at] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + rec(nodes, *left).max(rec(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            rec(&self.nodes, 0)
+        }
+    }
+
+    /// Reduced-error pruning against a validation set.
+    ///
+    /// Bottom-up, every split whose replacement by a leaf (labelled with
+    /// the training majority of the leaves beneath it) does not increase
+    /// validation error is collapsed. Returns the number of splits
+    /// removed. The classic CART companion to growing (Breiman et al.).
+    pub fn prune(&mut self, rows: &[Vec<f64>], labels: &[usize]) -> usize {
+        assert_eq!(rows.len(), labels.len(), "rows/labels mismatch");
+        let all: Vec<usize> = (0..rows.len()).collect();
+        let before = self.split_count();
+        self.prune_node(0, rows, labels, &all);
+        self.compact();
+        before - self.split_count()
+    }
+
+    fn split_count(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, Node::Split { .. })).count()
+    }
+
+    /// Post-order pruning pass. Returns the training class counts of the
+    /// leaves beneath `at` and the subtree's validation error on `idx`.
+    fn prune_node(
+        &mut self,
+        at: usize,
+        rows: &[Vec<f64>],
+        labels: &[usize],
+        idx: &[usize],
+    ) -> (Vec<usize>, usize) {
+        match self.nodes[at].clone() {
+            Node::Leaf { class, count, .. } => {
+                let mut counts = vec![0usize; self.n_classes];
+                counts[class] += count;
+                let err = idx.iter().filter(|&&i| labels[i] != class).count();
+                (counts, err)
+            }
+            Node::Split { feature, threshold, left, right } => {
+                let (l_idx, r_idx): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| rows[i][feature] < threshold);
+                let (l_counts, l_err) = self.prune_node(left, rows, labels, &l_idx);
+                let (r_counts, r_err) = self.prune_node(right, rows, labels, &r_idx);
+                let counts: Vec<usize> =
+                    l_counts.iter().zip(&r_counts).map(|(a, b)| a + b).collect();
+                let subtree_err = l_err + r_err;
+
+                let (class, count) = majority(&counts);
+                let leaf_err = idx.iter().filter(|&&i| labels[i] != class).count();
+                if leaf_err <= subtree_err {
+                    let total: usize = counts.iter().sum();
+                    let purity =
+                        if total > 0 { count as f64 / total as f64 } else { 0.0 };
+                    self.nodes[at] = Node::Leaf { class, purity, count: total };
+                    (counts, leaf_err)
+                } else {
+                    (counts, subtree_err)
+                }
+            }
+        }
+    }
+
+    /// Rebuild the node arena, dropping nodes unreachable after pruning.
+    fn compact(&mut self) {
+        fn copy(old: &[Node], at: usize, out: &mut Vec<Node>) -> usize {
+            match &old[at] {
+                leaf @ Node::Leaf { .. } => {
+                    out.push(leaf.clone());
+                    out.len() - 1
+                }
+                Node::Split { feature, threshold, left, right } => {
+                    let slot = out.len();
+                    out.push(Node::Leaf { class: 0, purity: 0.0, count: 0 }); // placeholder
+                    let l = copy(old, *left, out);
+                    let r = copy(old, *right, out);
+                    out[slot] = Node::Split {
+                        feature: *feature,
+                        threshold: *threshold,
+                        left: l,
+                        right: r,
+                    };
+                    slot
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            return;
+        }
+        let mut out = Vec::with_capacity(self.nodes.len());
+        copy(&self.nodes, 0, &mut out);
+        self.nodes = out;
+    }
+
+    /// Render the tree as indented text (the Figure 3 artifact), with
+    /// feature names supplied by the caller.
+    pub fn render(&self, feature_names: &[&str]) -> String {
+        let mut out = String::new();
+        self.render_node(0, 0, feature_names, &mut out);
+        out
+    }
+
+    fn render_node(&self, at: usize, indent: usize, names: &[&str], out: &mut String) {
+        let pad = "  ".repeat(indent);
+        match &self.nodes[at] {
+            Node::Split { feature, threshold, left, right } => {
+                let name = names.get(*feature).copied().unwrap_or("?");
+                let _ = writeln!(out, "{pad}if {name} < {threshold:.4}:");
+                self.render_node(*left, indent + 1, names, out);
+                let _ = writeln!(out, "{pad}else:");
+                self.render_node(*right, indent + 1, names, out);
+            }
+            Node::Leaf { class, purity, count } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}→ cluster {class}  ({count} kernels, purity {purity:.2})"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A clean two-feature, three-class problem split on axis thresholds.
+    fn toy() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            let jitter = i as f64 * 0.01;
+            rows.push(vec![0.1 + jitter, 0.2]);
+            labels.push(0);
+            rows.push(vec![0.9 + jitter, 0.2]);
+            labels.push(1);
+            rows.push(vec![0.5, 0.9 + jitter]);
+            labels.push(2);
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn fits_separable_data_perfectly() {
+        let (rows, labels) = toy();
+        let t = ClassificationTree::fit(&rows, &labels, 3, TreeParams::default()).unwrap();
+        assert_eq!(t.accuracy(&rows, &labels), 1.0);
+    }
+
+    #[test]
+    fn predictions_are_trained_labels() {
+        let (rows, labels) = toy();
+        let t = ClassificationTree::fit(&rows, &labels, 3, TreeParams::default()).unwrap();
+        for r in &rows {
+            assert!(t.predict(r) < 3);
+        }
+    }
+
+    #[test]
+    fn pure_node_is_single_leaf() {
+        let rows = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let labels = vec![1, 1, 1];
+        let t = ClassificationTree::fit(&rows, &labels, 2, TreeParams::default()).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.predict(&[99.0]), 1);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let (rows, labels) = toy();
+        let shallow = TreeParams { max_depth: 1, ..TreeParams::default() };
+        let t = ClassificationTree::fit(&rows, &labels, 3, shallow).unwrap();
+        assert!(t.depth() <= 1);
+    }
+
+    #[test]
+    fn min_leaf_respected() {
+        // 9 samples of class 0, 1 of class 1; min_leaf 3 forbids isolating
+        // the singleton.
+        let mut rows: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64]).collect();
+        rows.push(vec![100.0]);
+        let mut labels = vec![0usize; 9];
+        labels.push(1);
+        let params = TreeParams { min_leaf: 3, ..TreeParams::default() };
+        let t = ClassificationTree::fit(&rows, &labels, 2, params).unwrap();
+        // min_leaf forbids isolating the singleton: whatever leaf the
+        // outlier lands in is majority class 0.
+        assert_eq!(t.predict(&[100.0]), 0);
+        assert!(t.node_count() <= 3);
+    }
+
+    #[test]
+    fn identical_features_cannot_split() {
+        let rows = vec![vec![1.0, 2.0]; 6];
+        let labels = vec![0, 1, 0, 1, 0, 1];
+        let t = ClassificationTree::fit(&rows, &labels, 2, TreeParams::default()).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[1.0, 2.0]), 0, "majority/tie-break to class 0");
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!(ClassificationTree::fit(&[], &[], 2, TreeParams::default()).is_err());
+        assert!(
+            ClassificationTree::fit(&[vec![1.0]], &[0, 1], 2, TreeParams::default()).is_err()
+        );
+        assert!(ClassificationTree::fit(
+            &[vec![1.0], vec![1.0, 2.0]],
+            &[0, 1],
+            2,
+            TreeParams::default()
+        )
+        .is_err());
+        assert!(ClassificationTree::fit(&[vec![1.0]], &[5], 2, TreeParams::default()).is_err());
+    }
+
+    #[test]
+    fn render_contains_feature_names() {
+        let (rows, labels) = toy();
+        let t = ClassificationTree::fit(&rows, &labels, 3, TreeParams::default()).unwrap();
+        let txt = t.render(&["ipc", "stall_fraction"]);
+        assert!(txt.contains("ipc") || txt.contains("stall_fraction"));
+        assert!(txt.contains("cluster"));
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let (rows, labels) = toy();
+        let a = ClassificationTree::fit(&rows, &labels, 3, TreeParams::default()).unwrap();
+        let b = ClassificationTree::fit(&rows, &labels, 3, TreeParams::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pruning_removes_noise_splits() {
+        // Train on data with a single true boundary plus label noise; the
+        // tree overfits the noise, and pruning against clean validation
+        // data must simplify it without losing validation accuracy.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let x = i as f64 / 10.0;
+            rows.push(vec![x]);
+            let clean = usize::from(x >= 3.0);
+            // Flip ~15% of training labels deterministically.
+            let noisy = if (i * 2654435761usize).is_multiple_of(7) { 1 - clean } else { clean };
+            labels.push(noisy);
+        }
+        let mut tree = ClassificationTree::fit(
+            &rows,
+            &labels,
+            2,
+            TreeParams { max_depth: 10, min_split: 2, min_leaf: 1 },
+        )
+        .unwrap();
+
+        // Clean validation set on the same boundary.
+        let val_rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 6.7]).collect();
+        let val_labels: Vec<usize> =
+            val_rows.iter().map(|r| usize::from(r[0] >= 3.0)).collect();
+
+        let acc_before = tree.accuracy(&val_rows, &val_labels);
+        let nodes_before = tree.node_count();
+        let removed = tree.prune(&val_rows, &val_labels);
+        let acc_after = tree.accuracy(&val_rows, &val_labels);
+
+        assert!(removed > 0, "overfit tree should lose splits");
+        assert!(tree.node_count() < nodes_before);
+        assert!(acc_after >= acc_before, "{acc_after} < {acc_before}");
+        assert!(acc_after > 0.9);
+    }
+
+    #[test]
+    fn pruning_perfect_tree_is_a_noop_on_training_data() {
+        let (rows, labels) = toy();
+        let mut tree = ClassificationTree::fit(&rows, &labels, 3, TreeParams::default()).unwrap();
+        let nodes = tree.node_count();
+        // Validating against the training data itself: the perfectly
+        // fitting subtrees always beat their majority leaves.
+        tree.prune(&rows, &labels);
+        assert_eq!(tree.node_count(), nodes);
+        assert_eq!(tree.accuracy(&rows, &labels), 1.0);
+    }
+
+    #[test]
+    fn pruning_with_empty_validation_collapses_to_root_majority() {
+        // No validation evidence: leaf error (0) <= subtree error (0)
+        // everywhere, so the tree collapses to a single majority leaf.
+        let (rows, labels) = toy();
+        let mut tree = ClassificationTree::fit(&rows, &labels, 3, TreeParams::default()).unwrap();
+        tree.prune(&[], &[]);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn predict_wrong_arity_panics() {
+        let (rows, labels) = toy();
+        let t = ClassificationTree::fit(&rows, &labels, 3, TreeParams::default()).unwrap();
+        let _ = t.predict(&[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the statistics substrate.
+
+use acs_mlstat::{
+    pam, tau_a, tau_b, ClassificationTree, Dissimilarity, LinearModel, Matrix, TreeParams,
+};
+use proptest::prelude::*;
+
+fn vec_pair(len: std::ops::RangeInclusive<usize>) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    len.prop_flat_map(|n| {
+        (
+            prop::collection::vec(-100.0..100.0f64, n),
+            prop::collection::vec(-100.0..100.0f64, n),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn tau_a_is_bounded_and_symmetric((x, y) in vec_pair(2..=20)) {
+        let t = tau_a(&x, &y).unwrap();
+        prop_assert!((-1.0..=1.0).contains(&t));
+        prop_assert_eq!(tau_a(&y, &x).unwrap(), t);
+    }
+
+    #[test]
+    fn tau_a_self_correlation_is_one_without_ties(mut x in prop::collection::vec(-100.0..100.0f64, 2..20)) {
+        x.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        x.dedup();
+        prop_assume!(x.len() >= 2);
+        prop_assert_eq!(tau_a(&x, &x).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn tau_negates_under_reversal(mut x in prop::collection::vec(-100.0..100.0f64, 2..20)) {
+        x.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        x.dedup();
+        prop_assume!(x.len() >= 2);
+        let rev: Vec<f64> = x.iter().rev().copied().collect();
+        prop_assert_eq!(tau_a(&x, &rev).unwrap(), -1.0);
+    }
+
+    #[test]
+    fn tau_b_bounded((x, y) in vec_pair(2..=20)) {
+        if let Some(t) = tau_b(&x, &y) {
+            prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&t));
+        }
+    }
+
+    #[test]
+    fn regression_recovers_planted_coefficients(
+        a in -5.0..5.0f64,
+        b in -5.0..5.0f64,
+        c in -5.0..5.0f64,
+        xs in prop::collection::vec((-10.0..10.0f64, -10.0..10.0f64), 8..40),
+    ) {
+        // Ensure the design has spread in both columns.
+        let spread = |i: usize| {
+            let vals: Vec<f64> = xs.iter().map(|p| if i == 0 { p.0 } else { p.1 }).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            vals.iter().map(|v| (v - mean).abs()).fold(0.0, f64::max)
+        };
+        prop_assume!(spread(0) > 1.0 && spread(1) > 1.0);
+        // Columns must not be collinear.
+        let corr_num: f64 = xs.iter().map(|p| p.0 * p.1).sum::<f64>();
+        let n0: f64 = xs.iter().map(|p| p.0 * p.0).sum::<f64>();
+        let n1: f64 = xs.iter().map(|p| p.1 * p.1).sum::<f64>();
+        prop_assume!((corr_num * corr_num) < 0.95 * n0 * n1);
+
+        let rows: Vec<Vec<f64>> = xs.iter().map(|p| vec![p.0, p.1]).collect();
+        let y: Vec<f64> = xs.iter().map(|p| a + b * p.0 + c * p.1).collect();
+        let m = LinearModel::fit(&rows, &y, true).unwrap();
+        prop_assert!((m.coeffs[0] - a).abs() < 1e-5, "intercept {} vs {a}", m.coeffs[0]);
+        prop_assert!((m.coeffs[1] - b).abs() < 1e-5);
+        prop_assert!((m.coeffs[2] - c).abs() < 1e-5);
+    }
+
+    #[test]
+    fn spd_solve_roundtrips(entries in prop::collection::vec(-2.0..2.0f64, 16), rhs in prop::collection::vec(-10.0..10.0f64, 4)) {
+        let b = Matrix::from_rows(4, 4, entries).unwrap();
+        let mut a = b.gram();
+        a.add_diagonal(1.0); // guarantees SPD
+        let x = a.solve_spd(&rhs).unwrap();
+        let back = a.matvec(&x).unwrap();
+        for (u, v) in back.iter().zip(&rhs) {
+            prop_assert!((u - v).abs() < 1e-6, "{back:?} vs {rhs:?}");
+        }
+    }
+
+    #[test]
+    fn pam_assigns_to_nearest_medoid(
+        raw in prop::collection::vec(0.01..1.0f64, 45), // 10 choose 2 = 45 pairs
+        k in 1usize..=5,
+    ) {
+        let n = 10;
+        let mut d = Dissimilarity::zeros(n);
+        let mut it = raw.into_iter();
+        for i in 0..n {
+            for j in 0..i {
+                d.set(i, j, it.next().unwrap());
+            }
+        }
+        let c = pam(&d, k);
+        prop_assert_eq!(c.k(), k);
+        prop_assert_eq!(c.assignment.len(), n);
+        // Every cluster is non-empty and each medoid belongs to its own
+        // cluster.
+        for (slot, &m) in c.medoids.iter().enumerate() {
+            prop_assert_eq!(c.assignment[m], slot);
+        }
+        // Non-medoid items sit with their nearest medoid.
+        for i in 0..n {
+            if c.medoids.contains(&i) { continue; }
+            let own = d.get(i, c.medoids[c.assignment[i]]);
+            for &m in &c.medoids {
+                prop_assert!(own <= d.get(i, m) + 1e-12);
+            }
+        }
+        // Cost equals the sum of distances to assigned medoids.
+        let expected: f64 = (0..n).map(|i| d.get(i, c.medoids[c.assignment[i]])).sum();
+        prop_assert!((c.cost - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_predicts_only_training_classes(
+        rows in prop::collection::vec(prop::collection::vec(-10.0..10.0f64, 3), 4..40),
+        seed in 0u64..1000,
+    ) {
+        let n_classes = 3;
+        let labels: Vec<usize> =
+            (0..rows.len()).map(|i| ((i as u64 * 2654435761 + seed) % n_classes as u64) as usize).collect();
+        let tree = ClassificationTree::fit(&rows, &labels, n_classes, TreeParams::default()).unwrap();
+        for r in &rows {
+            prop_assert!(tree.predict(r) < n_classes);
+        }
+        // Accuracy is a valid fraction and depth respects the cap.
+        let acc = tree.accuracy(&rows, &labels);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        prop_assert!(tree.depth() <= TreeParams::default().max_depth);
+    }
+
+    #[test]
+    fn tree_on_separable_data_is_perfect(
+        split in -5.0..5.0f64,
+        offsets in prop::collection::vec(0.1..4.0f64, 6..30),
+    ) {
+        // One feature, classes perfectly separated around `split`.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (i, o) in offsets.iter().enumerate() {
+            if i % 2 == 0 {
+                rows.push(vec![split - o]);
+                labels.push(0);
+            } else {
+                rows.push(vec![split + o]);
+                labels.push(1);
+            }
+        }
+        let tree = ClassificationTree::fit(&rows, &labels, 2, TreeParams::default()).unwrap();
+        prop_assert_eq!(tree.accuracy(&rows, &labels), 1.0);
+    }
+}

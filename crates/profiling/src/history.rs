@@ -1,0 +1,178 @@
+//! Run history.
+//!
+//! "A history of performance and power measurements is made accessible to
+//! the application or runtime, which facilitates online selections of
+//! device and configuration for a given kernel" (Section III-D). The
+//! history is shared between the application threads and the scheduler, so
+//! it is guarded by a `parking_lot::RwLock`.
+
+use crate::sample::ProfileSample;
+use acs_sim::Configuration;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Thread-safe store of profile samples, indexed by kernel id.
+#[derive(Debug, Default)]
+pub struct History {
+    inner: RwLock<HashMap<String, Vec<ProfileSample>>>,
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, sample: ProfileSample) {
+        self.inner.write().entry(sample.kernel_id.clone()).or_default().push(sample);
+    }
+
+    /// Number of samples recorded for a kernel.
+    pub fn sample_count(&self, kernel_id: &str) -> usize {
+        self.inner.read().get(kernel_id).map_or(0, Vec::len)
+    }
+
+    /// Total number of samples across all kernels.
+    pub fn total_samples(&self) -> usize {
+        self.inner.read().values().map(Vec::len).sum()
+    }
+
+    /// All samples for a kernel, cloned out (the store stays locked only
+    /// for the copy).
+    pub fn samples(&self, kernel_id: &str) -> Vec<ProfileSample> {
+        self.inner.read().get(kernel_id).cloned().unwrap_or_default()
+    }
+
+    /// The most recent sample of a kernel at a specific configuration.
+    pub fn latest_at(&self, kernel_id: &str, config: &Configuration) -> Option<ProfileSample> {
+        self.inner
+            .read()
+            .get(kernel_id)?
+            .iter()
+            .rev()
+            .find(|s| &s.config == config)
+            .cloned()
+    }
+
+    /// The best-performing sample observed so far for a kernel, optionally
+    /// restricted to samples within a power cap.
+    pub fn best_observed(&self, kernel_id: &str, cap_w: Option<f64>) -> Option<ProfileSample> {
+        self.inner
+            .read()
+            .get(kernel_id)?
+            .iter()
+            .filter(|s| cap_w.is_none_or(|cap| s.power_w() <= cap))
+            .min_by(|a, b| a.time_s.partial_cmp(&b.time_s).unwrap())
+            .cloned()
+    }
+
+    /// Kernel ids present in the history, sorted.
+    pub fn kernel_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.inner.read().keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Drop all samples (e.g. between cross-validation folds).
+    pub fn clear(&self) {
+        self.inner.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_sim::{CpuPState, KernelCharacteristics, Machine};
+
+    fn sample(kernel: &KernelCharacteristics, threads: u8, iter: u64) -> ProfileSample {
+        let m = Machine::noiseless(0);
+        let cfg = Configuration::cpu(threads, CpuPState::MAX);
+        ProfileSample::from_run(&kernel.id(), iter, &m.run(kernel, &cfg))
+    }
+
+    #[test]
+    fn record_and_query() {
+        let h = History::new();
+        let k = KernelCharacteristics::default();
+        h.record(sample(&k, 1, 0));
+        h.record(sample(&k, 4, 1));
+        assert_eq!(h.sample_count(&k.id()), 2);
+        assert_eq!(h.total_samples(), 2);
+        assert_eq!(h.samples(&k.id()).len(), 2);
+        assert_eq!(h.kernel_ids(), vec![k.id()]);
+    }
+
+    #[test]
+    fn missing_kernel_is_empty() {
+        let h = History::new();
+        assert_eq!(h.sample_count("nope"), 0);
+        assert!(h.samples("nope").is_empty());
+        assert!(h.best_observed("nope", None).is_none());
+        assert!(h.latest_at("nope", &Configuration::cpu(1, CpuPState::MIN)).is_none());
+    }
+
+    #[test]
+    fn best_observed_prefers_fastest() {
+        let h = History::new();
+        let k = KernelCharacteristics::default();
+        h.record(sample(&k, 1, 0));
+        h.record(sample(&k, 4, 1));
+        let best = h.best_observed(&k.id(), None).unwrap();
+        assert_eq!(best.config.threads, 4, "4 threads is fastest");
+    }
+
+    #[test]
+    fn best_observed_respects_cap() {
+        let h = History::new();
+        let k = KernelCharacteristics::default();
+        let slow = sample(&k, 1, 0);
+        let fast = sample(&k, 4, 1);
+        let cap = (slow.power_w() + fast.power_w()) / 2.0;
+        h.record(slow);
+        h.record(fast.clone());
+        assert!(fast.power_w() > cap, "test assumes 4T draws more than the cap");
+        let best = h.best_observed(&k.id(), Some(cap)).unwrap();
+        assert_eq!(best.config.threads, 1);
+        // An impossible cap yields nothing.
+        assert!(h.best_observed(&k.id(), Some(0.1)).is_none());
+    }
+
+    #[test]
+    fn latest_at_finds_most_recent() {
+        let h = History::new();
+        let k = KernelCharacteristics::default();
+        let cfg = Configuration::cpu(2, CpuPState::MAX);
+        let m = Machine::new(5); // noisy: iterations differ
+        h.record(ProfileSample::from_run(&k.id(), 0, &m.run_iter(&k, &cfg, 0)));
+        h.record(ProfileSample::from_run(&k.id(), 1, &m.run_iter(&k, &cfg, 1)));
+        let latest = h.latest_at(&k.id(), &cfg).unwrap();
+        assert_eq!(latest.iteration, 1);
+    }
+
+    #[test]
+    fn clear_empties_store() {
+        let h = History::new();
+        h.record(sample(&KernelCharacteristics::default(), 1, 0));
+        h.clear();
+        assert_eq!(h.total_samples(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let h = std::sync::Arc::new(History::new());
+        let k = KernelCharacteristics::default();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = h.clone();
+                let k = k.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        h.record(sample(&k, (t % 4) + 1, i));
+                    }
+                });
+            }
+        });
+        assert_eq!(h.total_samples(), 200);
+    }
+}

@@ -1,0 +1,197 @@
+//! Profiling regions and invocation contexts.
+//!
+//! Section III-D instruments source with profiling pragmas that delimit
+//! regions; Section VI notes that the system "does not automatically
+//! differentiate between invocations of the same kernel with distinct data
+//! inputs or input sizes" and suggests using call stacks "to differentiate
+//! between invocations of the same kernel from distinct points in the
+//! application". This module provides both: a nested region stack and
+//! context-qualified kernel identities, so one kernel called from two
+//! phases (or with two input sizes) accumulates two independent histories
+//! and can be assigned two different configurations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A stack of named regions representing the current call context.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegionStack {
+    frames: Vec<String>,
+}
+
+/// Token proving a region was entered; must be passed back to
+/// [`RegionStack::exit`] so mismatched exits are caught at the call site.
+#[derive(Debug, PartialEq, Eq)]
+#[must_use = "a region that is entered must be exited"]
+pub struct RegionToken {
+    depth: usize,
+}
+
+impl RegionStack {
+    /// An empty (top-level) context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enter a named region (e.g. an application phase or loop nest).
+    pub fn enter(&mut self, name: &str) -> RegionToken {
+        assert!(!name.contains('>'), "region names may not contain '>'");
+        self.frames.push(name.to_string());
+        RegionToken { depth: self.frames.len() }
+    }
+
+    /// Exit the region `token` came from. Panics on out-of-order exits —
+    /// regions must nest, exactly like the paper's pragma pairs.
+    pub fn exit(&mut self, token: RegionToken) {
+        assert_eq!(
+            token.depth,
+            self.frames.len(),
+            "region exit out of order: token depth {} vs stack depth {}",
+            token.depth,
+            self.frames.len()
+        );
+        self.frames.pop();
+    }
+
+    /// Current nesting depth.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The call path, e.g. `main>timestep>hydro`.
+    pub fn path(&self) -> String {
+        self.frames.join(">")
+    }
+
+    /// Qualify a kernel identity with the current context.
+    pub fn context_key(&self, kernel_id: &str, input_bytes: Option<u64>) -> ContextKey {
+        ContextKey {
+            kernel_id: kernel_id.to_string(),
+            call_path: self.path(),
+            input_bytes,
+        }
+    }
+}
+
+/// A context-qualified kernel identity: the kernel, where it was called
+/// from, and (when the runtime can see it — an OpenCL runtime can) the
+/// input size.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ContextKey {
+    /// The kernel's own identity.
+    pub kernel_id: String,
+    /// `>`-joined call path at invocation.
+    pub call_path: String,
+    /// Total argument bytes, when known.
+    pub input_bytes: Option<u64>,
+}
+
+impl ContextKey {
+    /// The history key this context records under. Two invocations of the
+    /// same kernel from different contexts (or with different input
+    /// sizes) get distinct keys — and therefore independent sample pairs,
+    /// classifications, and selected configurations.
+    pub fn history_id(&self) -> String {
+        match self.input_bytes {
+            Some(b) => format!("{}@{}#{}", self.kernel_id, self.call_path, b),
+            None => format!("{}@{}", self.kernel_id, self.call_path),
+        }
+    }
+}
+
+impl fmt::Display for ContextKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.history_id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{History, ProfileSample, Profiler};
+    use acs_sim::{Configuration, CpuPState, KernelCharacteristics, Machine};
+
+    #[test]
+    fn regions_nest_and_unwind() {
+        let mut stack = RegionStack::new();
+        assert_eq!(stack.path(), "");
+        let a = stack.enter("main");
+        let b = stack.enter("timestep");
+        assert_eq!(stack.path(), "main>timestep");
+        assert_eq!(stack.depth(), 2);
+        stack.exit(b);
+        assert_eq!(stack.path(), "main");
+        stack.exit(a);
+        assert_eq!(stack.depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_exit_panics() {
+        let mut stack = RegionStack::new();
+        let a = stack.enter("outer");
+        let _b = stack.enter("inner");
+        stack.exit(a); // must exit inner first
+    }
+
+    #[test]
+    #[should_panic(expected = "may not contain")]
+    fn separator_in_name_rejected() {
+        let mut stack = RegionStack::new();
+        let _ = stack.enter("bad>name");
+    }
+
+    #[test]
+    fn contexts_distinguish_call_sites() {
+        let mut stack = RegionStack::new();
+        let t = stack.enter("force");
+        let from_force = stack.context_key("CoMD/Default/LJForce", None);
+        stack.exit(t);
+        let t = stack.enter("energy");
+        let from_energy = stack.context_key("CoMD/Default/LJForce", None);
+        stack.exit(t);
+        assert_ne!(from_force.history_id(), from_energy.history_id());
+        assert_eq!(from_force.kernel_id, from_energy.kernel_id);
+    }
+
+    #[test]
+    fn contexts_distinguish_input_sizes() {
+        let stack = RegionStack::new();
+        let small = stack.context_key("LU/lud", Some(1 << 20));
+        let large = stack.context_key("LU/lud", Some(1 << 26));
+        assert_ne!(small.history_id(), large.history_id());
+    }
+
+    #[test]
+    fn history_keeps_contexts_separate() {
+        let machine = Machine::noiseless(0);
+        let profiler = Profiler::new(machine.clone());
+        let kernel = KernelCharacteristics::default();
+        let cfg = Configuration::cpu(4, CpuPState::MAX);
+
+        let mut stack = RegionStack::new();
+        let history = History::new();
+        for phase in ["hydro", "transport"] {
+            let t = stack.enter(phase);
+            let key = stack.context_key(&kernel.id(), None);
+            let sample = profiler.profile(&kernel, &cfg, 0);
+            history.record(ProfileSample { kernel_id: key.history_id(), ..sample });
+            stack.exit(t);
+        }
+        assert_eq!(history.kernel_ids().len(), 2);
+        for id in history.kernel_ids() {
+            assert_eq!(history.sample_count(&id), 1);
+        }
+    }
+
+    #[test]
+    fn display_matches_history_id() {
+        let key = ContextKey {
+            kernel_id: "A/B/k".into(),
+            call_path: "main>x".into(),
+            input_bytes: Some(42),
+        };
+        assert_eq!(key.to_string(), key.history_id());
+        assert_eq!(key.to_string(), "A/B/k@main>x#42");
+    }
+}

@@ -1,0 +1,74 @@
+//! Profile samples: the unit of data the profiling library records.
+
+use acs_sim::{Configuration, CounterSet, KernelRun, PowerBreakdown};
+use serde::{Deserialize, Serialize};
+
+/// One recorded kernel execution, tagged with kernel identity and iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileSample {
+    /// Kernel identifier (`benchmark/input/kernel`).
+    pub kernel_id: String,
+    /// Iteration number within the application run.
+    pub iteration: u64,
+    /// The configuration the iteration executed at.
+    pub config: Configuration,
+    /// Measured wall time, seconds.
+    pub time_s: f64,
+    /// Sensor-estimated average power per plane, W.
+    pub power: PowerBreakdown,
+    /// Performance counter readings.
+    pub counters: CounterSet,
+}
+
+impl ProfileSample {
+    /// Build a sample from a simulator observation.
+    pub fn from_run(kernel_id: &str, iteration: u64, run: &KernelRun) -> Self {
+        Self {
+            kernel_id: kernel_id.to_string(),
+            iteration,
+            config: run.config,
+            time_s: run.time_s,
+            power: run.power,
+            counters: run.counters,
+        }
+    }
+
+    /// Total measured package power, W.
+    #[inline]
+    pub fn power_w(&self) -> f64 {
+        self.power.total_w()
+    }
+
+    /// Performance as inverse time.
+    #[inline]
+    pub fn performance(&self) -> f64 {
+        1.0 / self.time_s
+    }
+
+    /// Energy of the iteration, joules.
+    #[inline]
+    pub fn energy_j(&self) -> f64 {
+        self.power_w() * self.time_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_sim::{CpuPState, KernelCharacteristics, Machine};
+
+    #[test]
+    fn from_run_copies_observation() {
+        let m = Machine::noiseless(0);
+        let k = KernelCharacteristics::default();
+        let cfg = Configuration::cpu(2, CpuPState::MAX);
+        let run = m.run(&k, &cfg);
+        let s = ProfileSample::from_run(&k.id(), 3, &run);
+        assert_eq!(s.kernel_id, k.id());
+        assert_eq!(s.iteration, 3);
+        assert_eq!(s.time_s, run.time_s);
+        assert_eq!(s.power_w(), run.power_w());
+        assert!((s.energy_j() - s.power_w() * s.time_s).abs() < 1e-12);
+        assert!((s.performance() - 1.0 / s.time_s).abs() < 1e-12);
+    }
+}

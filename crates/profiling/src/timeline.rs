@@ -1,0 +1,257 @@
+//! Scheduling timeline: an ordered record of what the runtime did and why.
+//!
+//! The profiling library is "designed to provide a foundation for dynamic
+//! scheduling" (Section III-D); a scheduler that cannot explain its
+//! decisions cannot be debugged. The timeline records kernel executions,
+//! configuration changes, cap changes, and limiter interventions with
+//! virtual timestamps, and renders a human-readable trace.
+
+use acs_sim::Configuration;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One timeline event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A kernel iteration completed.
+    KernelRun {
+        /// Kernel identifier.
+        kernel_id: String,
+        /// Iteration number.
+        iteration: u64,
+        /// Configuration used.
+        config: Configuration,
+        /// Wall time of the iteration, seconds.
+        time_s: f64,
+        /// Measured package power, W.
+        power_w: f64,
+    },
+    /// The scheduler fixed or changed a kernel's configuration.
+    ConfigSelected {
+        /// Kernel identifier.
+        kernel_id: String,
+        /// The chosen configuration.
+        config: Configuration,
+        /// Why (free-form, e.g. "model", "model+fl", "cap change").
+        reason: String,
+    },
+    /// The node power budget changed.
+    CapChanged {
+        /// New cap, W.
+        cap_w: f64,
+    },
+    /// A frequency limiter stepped a device's P-state.
+    LimiterStep {
+        /// Kernel identifier.
+        kernel_id: String,
+        /// Configuration after the step.
+        config: Configuration,
+    },
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Entry {
+    /// Virtual time at which the event was recorded, seconds.
+    pub at_s: f64,
+    /// The event.
+    pub event: Event,
+}
+
+/// An append-only, thread-safe scheduling trace with a virtual clock that
+/// advances by recorded kernel durations.
+#[derive(Debug, Default)]
+pub struct Timeline {
+    inner: Mutex<TimelineInner>,
+}
+
+#[derive(Debug, Default)]
+struct TimelineInner {
+    now_s: f64,
+    entries: Vec<Entry>,
+}
+
+impl Timeline {
+    /// An empty timeline at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an event at the current virtual time. `KernelRun` events
+    /// advance the clock by their duration.
+    pub fn record(&self, event: Event) {
+        let mut inner = self.inner.lock();
+        let at_s = inner.now_s;
+        if let Event::KernelRun { time_s, .. } = &event {
+            inner.now_s += time_s;
+        }
+        inner.entries.push(Entry { at_s, event });
+    }
+
+    /// Current virtual time, seconds.
+    pub fn now_s(&self) -> f64 {
+        self.inner.lock().now_s
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all entries.
+    pub fn entries(&self) -> Vec<Entry> {
+        self.inner.lock().entries.clone()
+    }
+
+    /// Events concerning one kernel.
+    pub fn for_kernel(&self, kernel_id: &str) -> Vec<Entry> {
+        self.entries()
+            .into_iter()
+            .filter(|e| match &e.event {
+                Event::KernelRun { kernel_id: k, .. }
+                | Event::ConfigSelected { kernel_id: k, .. }
+                | Event::LimiterStep { kernel_id: k, .. } => k == kernel_id,
+                Event::CapChanged { .. } => false,
+            })
+            .collect()
+    }
+
+    /// Total energy recorded across kernel runs, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.entries()
+            .iter()
+            .map(|e| match &e.event {
+                Event::KernelRun { time_s, power_w, .. } => time_s * power_w,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Render the trace as aligned text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in self.entries() {
+            let _ = write!(out, "[{:>10.3} ms] ", e.at_s * 1e3);
+            match &e.event {
+                Event::KernelRun { kernel_id, iteration, config, time_s, power_w } => {
+                    let _ = writeln!(
+                        out,
+                        "run   {kernel_id} #{iteration} @ {config}  ({:.3} ms, {:.1} W)",
+                        time_s * 1e3,
+                        power_w
+                    );
+                }
+                Event::ConfigSelected { kernel_id, config, reason } => {
+                    let _ = writeln!(out, "pick  {kernel_id} → {config}  [{reason}]");
+                }
+                Event::CapChanged { cap_w } => {
+                    let _ = writeln!(out, "cap   → {cap_w:.1} W");
+                }
+                Event::LimiterStep { kernel_id, config } => {
+                    let _ = writeln!(out, "limit {kernel_id} ↓ {config}");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_sim::CpuPState;
+
+    fn cfg() -> Configuration {
+        Configuration::cpu(4, CpuPState::MAX)
+    }
+
+    fn run_event(id: &str, iter: u64, time_s: f64) -> Event {
+        Event::KernelRun {
+            kernel_id: id.into(),
+            iteration: iter,
+            config: cfg(),
+            time_s,
+            power_w: 30.0,
+        }
+    }
+
+    #[test]
+    fn clock_advances_on_kernel_runs_only() {
+        let t = Timeline::new();
+        t.record(Event::CapChanged { cap_w: 25.0 });
+        assert_eq!(t.now_s(), 0.0);
+        t.record(run_event("k", 0, 0.010));
+        assert!((t.now_s() - 0.010).abs() < 1e-15);
+        t.record(Event::ConfigSelected {
+            kernel_id: "k".into(),
+            config: cfg(),
+            reason: "model".into(),
+        });
+        assert!((t.now_s() - 0.010).abs() < 1e-15);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn entries_carry_record_time() {
+        let t = Timeline::new();
+        t.record(run_event("a", 0, 0.002));
+        t.record(run_event("b", 0, 0.003));
+        let entries = t.entries();
+        assert_eq!(entries[0].at_s, 0.0);
+        assert!((entries[1].at_s - 0.002).abs() < 1e-15);
+    }
+
+    #[test]
+    fn per_kernel_filter() {
+        let t = Timeline::new();
+        t.record(run_event("a", 0, 0.001));
+        t.record(run_event("b", 0, 0.001));
+        t.record(Event::CapChanged { cap_w: 20.0 });
+        t.record(Event::LimiterStep { kernel_id: "a".into(), config: cfg() });
+        let a = t.for_kernel("a");
+        assert_eq!(a.len(), 2);
+        assert!(t.for_kernel("c").is_empty());
+    }
+
+    #[test]
+    fn energy_accumulates() {
+        let t = Timeline::new();
+        t.record(run_event("a", 0, 0.010)); // 0.3 J
+        t.record(run_event("a", 1, 0.020)); // 0.6 J
+        assert!((t.total_energy_j() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let t = Timeline::new();
+        t.record(Event::CapChanged { cap_w: 25.0 });
+        t.record(run_event("LULESH/Small/K", 0, 0.004));
+        let txt = t.render();
+        assert!(txt.contains("cap   → 25.0 W"));
+        assert!(txt.contains("run   LULESH/Small/K #0"));
+        assert!(txt.starts_with("[     0.000 ms]"));
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let t = std::sync::Arc::new(Timeline::new());
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for j in 0..100 {
+                        t.record(run_event(&format!("k{i}"), j, 0.0001));
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 400);
+        assert!((t.now_s() - 0.04).abs() < 1e-12);
+    }
+}

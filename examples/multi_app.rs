@@ -1,0 +1,66 @@
+//! Multi-application power partitioning: split one node budget between two
+//! co-scheduled applications using only their kernels' *predicted* Pareto
+//! frontiers — the multi-application system the paper names as the next
+//! layer up ("accurate single-application models are a necessary
+//! ingredient in multi-application optimization systems", Section II).
+//!
+//! Run with: `cargo run --release --example multi_app`
+
+use acs::core::partition::{partition_budget, DemandCurve};
+use acs::prelude::*;
+
+fn main() {
+    let machine = Machine::new(42);
+    let apps = acs::kernels::app_instances();
+
+    // Offline: train on LULESH + SMC.
+    let training: Vec<KernelProfile> = apps
+        .iter()
+        .filter(|a| a.benchmark == "LULESH" || a.benchmark == "SMC")
+        .flat_map(|a| a.kernels.iter().map(|k| KernelProfile::collect(&machine, k)))
+        .collect();
+    let model = train(&training, TrainingParams::default()).expect("training");
+    let predictor = Predictor::new(&model);
+
+    // Co-schedule CoMD (GPU-hungry force kernels) and LU Small (extreme
+    // GPU cliff) — neither seen in training.
+    let mut curves = Vec::new();
+    for label in ["CoMD", "LU Small"] {
+        let app = apps.iter().find(|a| a.label() == label).unwrap();
+        let frontiers: Vec<(f64, Frontier)> = app
+            .kernels
+            .iter()
+            .map(|k| {
+                let samples = SamplePair::new(
+                    machine.run_iter(k, &sample_config(Device::Cpu), 0),
+                    machine.run_iter(k, &sample_config(Device::Gpu), 1),
+                );
+                (k.weight, predictor.predict(&samples).frontier)
+            })
+            .collect();
+        curves.push(DemandCurve::from_frontiers(&app.label(), &frontiers));
+    }
+
+    println!("node budget partitioning between CoMD and LU Small");
+    println!("(relative performance = 1.0 means unconstrained speed)\n");
+    println!(
+        "{:>10} | {:>10} {:>9} | {:>10} {:>9} | {:>10}",
+        "node cap", "CoMD gets", "rel perf", "LU gets", "rel perf", "objective"
+    );
+    println!("{}", "-".repeat(72));
+
+    for total in [70.0, 55.0, 45.0, 38.0, 30.0, 24.0] {
+        let p = partition_budget(&curves, total, 0.5);
+        println!(
+            "{:>8.0} W | {:>8.1} W {:>9.2} | {:>8.1} W {:>9.2} | {:>10.2}",
+            total, p.budgets_w[0], p.perfs[0], p.budgets_w[1], p.perfs[1], p.objective
+        );
+    }
+
+    println!(
+        "\nAs the node cap shrinks, the partitioner protects the app whose\n\
+         demand curve falls off fastest, and below the combined minimum it\n\
+         parks one application entirely rather than starving both — decisions\n\
+         made purely from two sample iterations per kernel."
+    );
+}

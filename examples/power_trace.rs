@@ -1,0 +1,70 @@
+//! Visualize what the on-chip power estimator actually sees: the
+//! phase-resolved power waveform of kernel executions and the 1 kHz
+//! accumulator's view of it, for a compute-bound and a memory-bound kernel
+//! on both devices.
+//!
+//! Run with: `cargo run --release --example power_trace`
+
+use acs::prelude::*;
+use acs_sim::{trace_for, NoiseSource, PowerCalibration, PowerSensor};
+
+fn plot(label: &str, kernel: &KernelCharacteristics, config: &Configuration) {
+    let cal = PowerCalibration::default();
+    let trace = trace_for(kernel, config, &cal);
+    let sensor = PowerSensor::default();
+    let noise = NoiseSource::new(42, &kernel.id(), config.index(), 0);
+
+    println!("{label}: {} at {config}", kernel.id());
+    println!(
+        "  duration {:.2} ms, {} phase segments, true average {:.1} W",
+        trace.total_s() * 1e3,
+        trace.segments().len(),
+        trace.average().total_w()
+    );
+
+    // Render the first 2 ms of the waveform at 50 µs resolution.
+    let horizon = trace.total_s().min(0.002);
+    let cols = 72usize;
+    let dt = horizon / cols as f64;
+    let samples: Vec<f64> =
+        (0..cols).map(|i| trace.window_average(|p| p.total_w(), i as f64 * dt, (i + 1) as f64 * dt)).collect();
+    let max = samples.iter().cloned().fold(1.0f64, f64::max);
+    for level in (1..=6).rev() {
+        let threshold = max * level as f64 / 6.0;
+        let row: String = samples
+            .iter()
+            .map(|&w| if w >= threshold - 1e-9 { '█' } else { ' ' })
+            .collect();
+        print!("  {:>5.1} W |{row}|", threshold);
+        println!();
+    }
+    println!("          0 ms {:>66}", format!("{:.2} ms", horizon * 1e3));
+
+    let est_cpu = sensor.estimate_trace(&trace, |p| p.cpu_plane_w, &noise);
+    let est_gpu = sensor.estimate_trace(&trace, |p| p.gpu_nb_plane_w, &noise);
+    println!(
+        "  1 kHz estimator reads: CPU plane {:.2} W, GPU+NB plane {:.2} W (total {:.2} W)\n",
+        est_cpu,
+        est_gpu,
+        est_cpu + est_gpu
+    );
+}
+
+fn main() {
+    let apps = acs::kernels::app_instances();
+    let lulesh = apps.iter().find(|a| a.label() == "LULESH Small").unwrap();
+
+    let compute = lulesh.kernels.iter().find(|k| k.name == "CalcFBHourglassForce").unwrap();
+    let streaming = lulesh.kernels.iter().find(|k| k.name == "CalcPositionForNodes").unwrap();
+
+    plot("compute-dense, CPU", compute, &Configuration::cpu(4, CpuPState::MAX));
+    plot("compute-dense, GPU", compute, &Configuration::gpu(GpuPState::MAX, CpuPState::MAX));
+    plot("memory-bound, CPU", streaming, &Configuration::cpu(4, CpuPState::MAX));
+    plot("memory-bound, GPU", streaming, &Configuration::gpu(GpuPState::MIN, CpuPState::MIN));
+
+    println!(
+        "The memory-bound kernel's waveform swings hard between compute bursts\n\
+         and DRAM stalls; the estimator's windowed accumulation is what keeps\n\
+         its average honest even for sub-millisecond kernels (Section IV-C)."
+    );
+}

@@ -1,0 +1,80 @@
+//! Quickstart: train the model offline on three benchmarks, then pick a
+//! configuration for a brand-new kernel under a 25 W power cap after
+//! observing it for just two iterations.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use acs::prelude::*;
+
+fn main() {
+    // A simulated Trinity-class APU. Everything downstream is
+    // deterministic in this seed.
+    let machine = Machine::new(42);
+
+    // ---------------------------------------------------------------
+    // Offline stage: characterize a training suite (here: LULESH, CoMD,
+    // and SMC — we hold LU out as the "new" application), cluster the
+    // kernels by frontier similarity, and fit per-cluster models.
+    // ---------------------------------------------------------------
+    let apps = acs::kernels::app_instances();
+    let training: Vec<KernelProfile> = apps
+        .iter()
+        .filter(|a| a.benchmark != "LU")
+        .flat_map(|a| a.kernels.iter().map(|k| KernelProfile::collect(&machine, k)))
+        .collect();
+    println!("characterized {} training kernels over 42 configurations each", training.len());
+
+    let model = train(&training, TrainingParams::default()).expect("offline training");
+    println!(
+        "trained {} clusters (silhouette {:.2}), classification tree depth {}",
+        model.clusters.len(),
+        model.silhouette,
+        model.tree.depth(),
+    );
+
+    // ---------------------------------------------------------------
+    // Online stage: a kernel the model has never seen (Rodinia LU). Run
+    // it once per device at the Table II sample configurations — these
+    // two iterations are part of normal execution, not extra work.
+    // ---------------------------------------------------------------
+    let lu = &apps.iter().find(|a| a.label() == "LU Small").unwrap().kernels[0];
+    let samples = SamplePair::new(
+        machine.run(lu, &sample_config(Device::Cpu)),
+        machine.run(lu, &sample_config(Device::Gpu)),
+    );
+
+    let predictor = Predictor::new(&model);
+    let predicted = predictor.predict(&samples);
+    println!(
+        "\nnew kernel {} classified into cluster {} — predicted frontier has {} points",
+        lu.id(),
+        predicted.cluster,
+        predicted.frontier.len()
+    );
+
+    // Select under a 25 W cap and check what actually happens.
+    let cap_w = 25.0;
+    let config = predicted.select(cap_w);
+    let run = machine.run(lu, &config);
+    println!("\nunder a {cap_w:.0} W cap the model selects: {config}");
+    println!(
+        "  measured: {:.2} ms/iteration at {:.1} W ({})",
+        run.time_s * 1e3,
+        run.power_w(),
+        if run.power_w() <= cap_w { "cap met" } else { "cap exceeded" }
+    );
+
+    // Compare with what exhaustive search would have found.
+    let oracle = KernelProfile::collect(&machine, lu);
+    let oracle_cfg = acs::core::methods::oracle_select(&oracle, cap_w);
+    let oracle_run = oracle.run_at(&oracle_cfg);
+    println!(
+        "  oracle (perfect knowledge) selects: {oracle_cfg} — {:.2} ms at {:.1} W",
+        oracle_run.time_s * 1e3,
+        oracle_run.true_power_w()
+    );
+    println!(
+        "  model achieves {:.0}% of oracle performance from only two observations",
+        oracle_run.time_s / run.time_s * 100.0
+    );
+}

@@ -1,0 +1,186 @@
+//! Integration tests for the extension features (objectives, confidence,
+//! partitioning, runtime, persistence) on the real suite, wired end to end
+//! across crates.
+
+use acs::core::confidence::predict_with_confidence;
+use acs::core::partition::{partition_budget, partition_budget_with, DemandCurve, PartitionObjective};
+use acs::core::{CappedRuntime, Objective};
+use acs::prelude::*;
+
+fn machine() -> Machine {
+    Machine::new(2014)
+}
+
+fn trained_without(benchmark: &str) -> (TrainedModel, Vec<KernelProfile>) {
+    let m = machine();
+    let apps = acs::kernels::app_instances();
+    let mut training = Vec::new();
+    let mut held = Vec::new();
+    for app in &apps {
+        for k in &app.kernels {
+            let p = KernelProfile::collect(&m, k);
+            if app.benchmark == benchmark {
+                held.push(p);
+            } else {
+                training.push(p);
+            }
+        }
+    }
+    (train(&training, TrainingParams::default()).unwrap(), held)
+}
+
+#[test]
+fn objectives_differ_sensibly_on_a_real_kernel() {
+    let (model, held) = trained_without("CoMD");
+    let predictor = Predictor::new(&model);
+    let lj = held.iter().find(|p| p.kernel.name == "LJForce").unwrap();
+    let predicted = predictor.predict(&lj.sample_pair());
+
+    let pick = |o: Objective| o.select(&predicted.points).unwrap();
+    let power_of = |c: Configuration| predicted.points[c.index()].power_w;
+
+    let max_perf = pick(Objective::MaxPerf);
+    let min_e = pick(Objective::MinEnergy);
+    let capped = pick(Objective::MaxPerfUnderCap(18.0));
+
+    assert!(power_of(min_e) <= power_of(max_perf));
+    assert!(power_of(capped) <= 18.0 + 1e-9 || power_of(capped) <= power_of(min_e) + 1e-9);
+    // EDP sits between energy and perf extremes in predicted power.
+    let edp = pick(Objective::MinEnergyDelay);
+    assert!(power_of(edp) >= power_of(min_e) - 1e-9);
+    assert!(power_of(edp) <= power_of(max_perf) + 1e-9);
+}
+
+#[test]
+fn risk_aversion_trades_perf_for_compliance_on_real_suite() {
+    let m = machine();
+    let (model, held) = trained_without("SMC");
+
+    let mut compliance = [0usize; 2];
+    let mut perf_sum = [0.0f64; 2];
+    let mut cases = 0usize;
+    for profile in &held {
+        let bounded = predict_with_confidence(&model, &profile.sample_pair());
+        for cap_point in profile.oracle_frontier().points() {
+            let cap = cap_point.power_w;
+            for (slot, z) in [(0usize, 0.0), (1usize, 2.0)] {
+                let cfg = bounded.select_risk_averse(cap, z);
+                let run = m.run(&profile.kernel, &cfg);
+                if run.true_power_w() <= cap * (1.0 + 1e-9) {
+                    compliance[slot] += 1;
+                }
+                perf_sum[slot] += 1.0 / run.time_s;
+            }
+            cases += 1;
+        }
+    }
+    assert!(cases > 100);
+    assert!(compliance[1] >= compliance[0], "risk aversion must help compliance");
+    assert!(perf_sum[1] <= perf_sum[0] * 1.001, "and cost some performance");
+}
+
+#[test]
+fn partitioner_handles_real_demand_curves() {
+    let (model, _) = trained_without("LU");
+    let predictor = Predictor::new(&model);
+    let m = machine();
+    let apps = acs::kernels::app_instances();
+
+    let curve_for = |label: &str| {
+        let app = apps.iter().find(|a| a.label() == label).unwrap();
+        let frontiers: Vec<(f64, Frontier)> = app
+            .kernels
+            .iter()
+            .map(|k| {
+                let samples = SamplePair::new(
+                    m.run_iter(k, &sample_config(Device::Cpu), 0),
+                    m.run_iter(k, &sample_config(Device::Gpu), 1),
+                );
+                (k.weight, predictor.predict(&samples).frontier)
+            })
+            .collect();
+        DemandCurve::from_frontiers(label, &frontiers)
+    };
+
+    let curves = vec![curve_for("CoMD"), curve_for("SMC Small")];
+    let generous = partition_budget(&curves, 80.0, 0.5);
+    assert!(generous.perfs.iter().all(|&p| p > 0.9), "{generous:?}");
+
+    let tight_sum = partition_budget(&curves, 30.0, 0.5);
+    let tight_fair = partition_budget_with(&curves, 30.0, 0.5, PartitionObjective::MaxMin);
+    let min = |p: &acs::core::Partition| p.perfs.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(min(&tight_fair) >= min(&tight_sum) - 1e-9, "fairness lifts the floor");
+}
+
+#[test]
+fn runtime_with_persisted_model_matches_in_memory_model() {
+    let (model, _) = trained_without("LULESH");
+    let dir = std::env::temp_dir().join("acs-ext-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    model.save(&path).unwrap();
+    let reloaded = TrainedModel::load(&path).unwrap();
+
+    let app = acs::kernels::app_instances()
+        .into_iter()
+        .find(|a| a.label() == "LULESH Small")
+        .unwrap();
+
+    let mut rt_a = CappedRuntime::new(machine(), model, 22.0);
+    let mut rt_b = CappedRuntime::new(machine(), reloaded, 22.0);
+    let a = rt_a.run_app(&app, 3);
+    let b = rt_b.run_app(&app, 3);
+    assert_eq!(a, b, "persisted model must schedule identically");
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn boost_and_governor_substrates_compose() {
+    use acs_sim::boost::{boosted_cpu_run, ThermalModel, BOOST_STATES};
+    use acs_sim::{OndemandGovernor, PowerCalibration, TransitionModel};
+
+    // The ondemand governor settles at max under load; boost then rides on
+    // top for light thread counts; the transition model prices the walk.
+    let gov = OndemandGovernor::default();
+    let (state, moves) = gov.settle(CpuPState::MIN, 0.95);
+    assert_eq!(state, CpuPState::MAX);
+    assert!(moves >= 1);
+
+    let kernel = acs::kernels::app_instances()[0].kernels[0].clone();
+    let boosted = boosted_cpu_run(
+        &kernel,
+        &Configuration::cpu(1, state),
+        &PowerCalibration::default(),
+        &ThermalModel::default(),
+        BOOST_STATES[1],
+    );
+    assert!(boosted.effective_freq_ghz >= state.freq_ghz());
+
+    let t = TransitionModel::default();
+    let walk = t.cpu_walk_latency_s(CpuPState::MIN, state);
+    assert!(walk > 0.0 && walk < 1e-3, "ladder walk {walk}s fits the 1 ms budget");
+}
+
+#[test]
+fn microbenchmark_trained_model_selects_for_real_kernels() {
+    let m = machine();
+    let micro = acs::kernels::generate(&acs::kernels::GeneratorConfig::default(), 2014);
+    let profiles: Vec<KernelProfile> =
+        micro.iter().map(|k| KernelProfile::collect(&m, k)).collect();
+    let model = train(&profiles, TrainingParams::default()).unwrap();
+    let predictor = Predictor::new(&model);
+
+    // Every real kernel classifies into a valid cluster and gets a valid
+    // configuration at any cap.
+    for kernel in acs::kernels::all_kernel_instances().iter().take(10) {
+        let samples = SamplePair::new(
+            m.run_iter(kernel, &sample_config(Device::Cpu), 0),
+            m.run_iter(kernel, &sample_config(Device::Gpu), 1),
+        );
+        let predicted = predictor.predict(&samples);
+        assert!(predicted.cluster < model.clusters.len());
+        let cfg = predicted.select(20.0);
+        let run = m.run_iter(kernel, &cfg, 2);
+        assert!(run.time_s > 0.0);
+    }
+}

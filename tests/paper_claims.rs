@@ -1,0 +1,192 @@
+//! Reproduction-target tests: the qualitative claims of the paper's
+//! evaluation (DESIGN.md section 5), asserted on the full 65-combination
+//! suite under leave-one-benchmark-out cross-validation.
+//!
+//! These are *shape* assertions — orderings and coarse bands, not the
+//! paper's absolute numbers (our substrate is a simulator, not the
+//! authors' Trinity testbed).
+
+use acs::core::eval::{characterize_apps, evaluate, Evaluation};
+use acs::prelude::*;
+
+fn full_evaluation() -> Evaluation {
+    let machine = Machine::new(2014);
+    let apps = characterize_apps(&machine, &acs::kernels::app_instances());
+    evaluate(&apps, TrainingParams::default()).expect("full-suite training succeeds")
+}
+
+fn pct_under(e: &Evaluation, m: Method) -> f64 {
+    e.table3().iter().find(|s| s.method == m).unwrap().pct_under
+}
+
+fn under_perf(e: &Evaluation, m: Method) -> f64 {
+    e.table3().iter().find(|s| s.method == m).unwrap().under_perf_pct.unwrap_or(0.0)
+}
+
+fn over_power(e: &Evaluation, m: Method) -> f64 {
+    e.table3().iter().find(|s| s.method == m).unwrap().over_power_pct.unwrap_or(100.0)
+}
+
+#[test]
+fn table3_shape_reproduces() {
+    let e = full_evaluation();
+
+    // Claim 1: Model+FL meets power constraints most often (paper: 88%),
+    // GPU+FL least often (paper: 60%).
+    let methods = Method::COMPARED;
+    let best_under = methods.iter().copied().max_by(|a, b| {
+        pct_under(&e, *a).partial_cmp(&pct_under(&e, *b)).unwrap()
+    });
+    let worst_under = methods.iter().copied().min_by(|a, b| {
+        pct_under(&e, *a).partial_cmp(&pct_under(&e, *b)).unwrap()
+    });
+    assert_eq!(best_under, Some(Method::ModelFL), "Model+FL must meet caps most often");
+    assert_eq!(worst_under, Some(Method::GpuFL), "GPU+FL must meet caps least often");
+
+    // Claim 2: Model+FL meets caps in the high-80s-or-better band and the
+    // model methods keep ~90% of oracle performance doing so (paper: 88%
+    // under, 91% perf).
+    assert!(pct_under(&e, Method::ModelFL) >= 80.0);
+    assert!(under_perf(&e, Method::Model) >= 80.0, "{}", under_perf(&e, Method::Model));
+    assert!(under_perf(&e, Method::ModelFL) >= 80.0);
+
+    // Claim 3: CPU+FL is clearly the worst under-limit performer
+    // (paper: 69% vs 91/91/94).
+    for m in [Method::Model, Method::ModelFL, Method::GpuFL] {
+        assert!(
+            under_perf(&e, Method::CpuFL) < under_perf(&e, m) - 10.0,
+            "CPU+FL ({:.0}%) must clearly trail {m} ({:.0}%)",
+            under_perf(&e, Method::CpuFL),
+            under_perf(&e, m)
+        );
+    }
+
+    // Claim 4: in over-limit cases GPU+FL overshoots power the most
+    // (paper: 137%) and Model+FL the least (paper: 106%).
+    for m in [Method::Model, Method::ModelFL, Method::CpuFL] {
+        assert!(
+            over_power(&e, Method::GpuFL) > over_power(&e, m),
+            "GPU+FL must overshoot the most"
+        );
+    }
+    assert!(
+        over_power(&e, Method::ModelFL) <= over_power(&e, Method::CpuFL),
+        "Model+FL must overshoot less than CPU+FL"
+    );
+}
+
+#[test]
+fn lu_small_cliff_reproduces() {
+    // Figure 7: a sharp performance cliff at the CPU→GPU device switch.
+    let machine = Machine::new(2014);
+    let apps = acs::kernels::app_instances();
+    let lu = &apps.iter().find(|a| a.label() == "LU Small").unwrap().kernels[0];
+    let frontier = KernelProfile::collect(&machine, lu).frontier().normalized();
+
+    let pts = frontier.points();
+    let (mut jump, mut at) = (0.0, 0);
+    for (i, w) in pts.windows(2).enumerate() {
+        if w[1].perf - w[0].perf > jump {
+            jump = w[1].perf - w[0].perf;
+            at = i + 1;
+        }
+    }
+    assert!(jump > 0.3, "LU Small cliff must exceed 30 points (paper: 78.6), got {jump}");
+    assert_eq!(pts[at - 1].config.device, Device::Cpu);
+    assert_eq!(pts[at].config.device, Device::Gpu);
+}
+
+#[test]
+fn frontier_device_split_matches_figure2() {
+    // Figure 2: "using the GPU results in better performance for higher
+    // power limits, while the CPU is able to reach lower power limits" —
+    // check for the GPU-friendly LULESH flagship kernel.
+    let machine = Machine::new(2014);
+    let apps = acs::kernels::app_instances();
+    let k = apps
+        .iter()
+        .find(|a| a.label() == "LULESH Small")
+        .unwrap()
+        .kernels
+        .iter()
+        .find(|k| k.name == "CalcFBHourglassForce")
+        .unwrap()
+        .clone();
+    let frontier = KernelProfile::collect(&machine, &k).frontier();
+    let pts = frontier.points();
+
+    assert_eq!(pts.first().unwrap().config.device, Device::Cpu, "lowest power is CPU");
+    assert_eq!(pts.last().unwrap().config.device, Device::Gpu, "highest perf is GPU");
+    // Single crossover: once the frontier switches to GPU it stays GPU.
+    let first_gpu = pts.iter().position(|p| p.config.device == Device::Gpu).unwrap();
+    assert!(pts[first_gpu..].iter().all(|p| p.config.device == Device::Gpu));
+    assert!(pts[..first_gpu].iter().all(|p| p.config.device == Device::Cpu));
+}
+
+#[test]
+fn best_config_power_spread_matches_paper_band() {
+    // Section III-B: "even after selecting the best-performing
+    // configuration for each kernel, one kernel uses 19 watts, while
+    // another uses 55" — require a wide spread (ours: roughly 2x across
+    // the suite).
+    let machine = Machine::new(2014);
+    let mut best_powers: Vec<f64> = acs::kernels::all_kernel_instances()
+        .iter()
+        .map(|k| {
+            let p = KernelProfile::collect(&machine, k);
+            p.best_run().true_power_w()
+        })
+        .collect();
+    best_powers.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = best_powers.first().unwrap();
+    let max = best_powers.last().unwrap();
+    assert!(max / min > 1.5, "best-config power spread too narrow: {min:.1}–{max:.1} W");
+    assert!(*min > 8.0 && *max < 70.0, "spread {min:.1}–{max:.1} W outside plausible envelope");
+}
+
+#[test]
+fn perf_range_varies_by_orders_of_magnitude() {
+    // Section III-B: one kernel's best/worst performance ratio is huge
+    // (paper: 367x) while another's is small (1.62x).
+    let machine = Machine::new(2014);
+    let mut ratios: Vec<f64> = acs::kernels::all_kernel_instances()
+        .iter()
+        .map(|k| {
+            let p = KernelProfile::collect(&machine, k);
+            let best = p.best_run().time_s;
+            let worst = p
+                .runs
+                .iter()
+                .map(|r| r.time_s)
+                .fold(0.0f64, f64::max);
+            worst / best
+        })
+        .collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Paper's extreme kernel spans 367x; our simulated LU spans ~38x —
+    // same order-of-magnitude story (documented in EXPERIMENTS.md).
+    assert!(*ratios.last().unwrap() > 25.0, "max perf range {:.1}", ratios.last().unwrap());
+    assert!(*ratios.first().unwrap() < 10.0, "min perf range {:.1}", ratios.first().unwrap());
+}
+
+#[test]
+fn online_overhead_is_sub_millisecond() {
+    // Section II / IV-C: "less than one millisecond to make each
+    // configuration selection".
+    let machine = Machine::new(2014);
+    let apps = characterize_apps(&machine, &acs::kernels::app_instances());
+    let training: Vec<KernelProfile> =
+        apps.iter().skip(1).flat_map(|a| a.profiles.iter().cloned()).collect();
+    let model = acs::core::train(&training, TrainingParams::default()).unwrap();
+    let predictor = Predictor::new(&model);
+    let samples = apps[0].profiles[0].sample_pair();
+
+    let start = std::time::Instant::now();
+    let n = 200;
+    for i in 0..n {
+        let p = predictor.predict(&samples);
+        std::hint::black_box(p.select(10.0 + i as f64 / 10.0));
+    }
+    let per = start.elapsed().as_secs_f64() / f64::from(n);
+    assert!(per < 1e-3, "online selection took {:.3} ms", per * 1e3);
+}
