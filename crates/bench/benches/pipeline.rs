@@ -15,11 +15,8 @@ use std::hint::black_box;
 
 fn training_set() -> Vec<KernelProfile> {
     let machine = Machine::new(2014);
-    let kernels: Vec<KernelCharacteristics> = acs_kernels::app_instances()
-        .into_iter()
-        .take(3)
-        .flat_map(|a| a.kernels)
-        .collect();
+    let kernels: Vec<KernelCharacteristics> =
+        acs_kernels::app_instances().into_iter().take(3).flat_map(|a| a.kernels).collect();
     acs_core::collect_suite(&machine, &kernels)
 }
 

@@ -29,9 +29,8 @@ fn main() {
         // Symmetric CPU points (noiseless analytic, matching the
         // asymmetric model's fidelity).
         let mut sym_points = Vec::new();
-        for cfg in Configuration::enumerate()
-            .into_iter()
-            .filter(|c| c.device == acs_sim::Device::Cpu)
+        for cfg in
+            Configuration::enumerate().into_iter().filter(|c| c.device == acs_sim::Device::Cpu)
         {
             let t = acs_sim::cpu::cpu_time(&kernel, &cfg);
             let p = cal.cpu_run_power(&kernel, &cfg, &t);
@@ -94,7 +93,9 @@ fn main() {
     println!();
     println!("  kernels where any asymmetric config beats the symmetric frontier: {kernels_with_gain}/{total_kernels}");
     println!("  mean share of asymmetric configs that beat it:                    {share:.1}%");
-    println!("  largest performance gain at equal power (vs. frontier steps):     {max_gain_pct:.2}%");
+    println!(
+        "  largest performance gain at equal power (vs. frontier steps):     {max_gain_pct:.2}%"
+    );
     println!("  asymmetric points beating the interpolated (hull) frontier:       {hull_beats}");
     println!();
     println!(

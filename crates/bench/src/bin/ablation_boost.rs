@@ -12,8 +12,11 @@ fn main() {
     let thermal = ThermalModel::default();
     let boost = BOOST_STATES[1];
 
-    println!("Ablation A4 — opportunistic overclocking ({:.1} GHz boost, {:.0} W thermal budget)",
-        boost.freq_ghz, thermal.power_budget_w());
+    println!(
+        "Ablation A4 — opportunistic overclocking ({:.1} GHz boost, {:.0} W thermal budget)",
+        boost.freq_ghz,
+        thermal.power_budget_w()
+    );
     println!();
     println!(
         "{:<34} | {:>7} | {:>9} | {:>9} | {:>9} | {:>9}",

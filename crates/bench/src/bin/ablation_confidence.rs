@@ -26,19 +26,15 @@ fn main() {
         let mut perf_w = 0.0;
 
         for fold in &folds {
-            let training: Vec<_> = fold
-                .train
-                .iter()
-                .flat_map(|&ai| apps[ai].profiles.iter().cloned())
-                .collect();
+            let training: Vec<_> =
+                fold.train.iter().flat_map(|&ai| apps[ai].profiles.iter().cloned()).collect();
             let model = train(&training, TrainingParams::default()).unwrap();
 
             for &ai in &fold.test {
                 for profile in &apps[ai].profiles {
                     let bounded = predict_with_confidence(&model, &profile.sample_pair());
                     let frontier = profile.oracle_frontier();
-                    let caps: Vec<f64> =
-                        frontier.points().iter().map(|p| p.power_w).collect();
+                    let caps: Vec<f64> = frontier.points().iter().map(|p| p.power_w).collect();
                     let w = profile.kernel.weight / caps.len() as f64;
                     for &cap in &caps {
                         let cfg = bounded.select_risk_averse(cap, z);

@@ -20,11 +20,8 @@ fn main() {
     let mut power_rhos = Vec::new();
 
     for fold in &folds {
-        let training: Vec<_> = fold
-            .train
-            .iter()
-            .flat_map(|&ai| apps[ai].profiles.iter().cloned())
-            .collect();
+        let training: Vec<_> =
+            fold.train.iter().flat_map(|&ai| apps[ai].profiles.iter().cloned()).collect();
         let model = train(&training, TrainingParams::default()).expect("training succeeds");
         let predictor = Predictor::new(&model);
 
@@ -50,11 +47,7 @@ fn main() {
     }
 
     let stats = |v: &[f64]| {
-        (
-            quantile(v, 0.05).unwrap(),
-            quantile(v, 0.5).unwrap(),
-            quantile(v, 0.95).unwrap(),
-        )
+        (quantile(v, 0.05).unwrap(), quantile(v, 0.5).unwrap(), quantile(v, 0.95).unwrap())
     };
     let (p5, p50, p95) = stats(&perf_rhos);
     let (w5, w50, w95) = stats(&power_rhos);
@@ -74,9 +67,6 @@ fn main() {
          errors (MAPE) are much larger."
     );
 
-    let path = acs_bench::write_result(
-        "ablation_ranking",
-        &((p5, p50, p95), (w5, w50, w95)),
-    );
+    let path = acs_bench::write_result("ablation_ranking", &((p5, p50, p95), (w5, w50, w95)));
     println!("\nwrote {}", path.display());
 }

@@ -10,10 +10,8 @@ use acs_sim::Device;
 fn main() {
     let machine = acs_bench::default_machine();
     let apps = acs_kernels::app_instances();
-    let lulesh_small = apps
-        .iter()
-        .find(|a| a.label() == "LULESH Small")
-        .expect("LULESH Small in suite");
+    let lulesh_small =
+        apps.iter().find(|a| a.label() == "LULESH Small").expect("LULESH Small in suite");
     let kernel = lulesh_small
         .kernels
         .iter()
@@ -47,9 +45,8 @@ fn main() {
     let first_gpu = frontier.points().iter().position(|p| p.config.device == Device::Gpu);
     match first_gpu {
         Some(i) => {
-            let all_cpu_before = frontier.points()[..i]
-                .iter()
-                .all(|p| p.config.device == Device::Cpu);
+            let all_cpu_before =
+                frontier.points()[..i].iter().all(|p| p.config.device == Device::Cpu);
             println!(
                 "  crossover at frontier position {i}/{}; CPU-only below: {all_cpu_before}",
                 frontier.len()

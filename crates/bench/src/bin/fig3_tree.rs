@@ -19,10 +19,7 @@ fn main() {
     println!();
     println!("cluster sizes: {:?}", model.clustering.sizes());
     println!("clustering silhouette: {:.3}", model.silhouette);
-    println!(
-        "tree training accuracy: {:.1}%",
-        model.tree_training_accuracy(&profiles) * 100.0
-    );
+    println!("tree training accuracy: {:.1}%", model.tree_training_accuracy(&profiles) * 100.0);
 
     // The paper notes each cluster contains kernels from at least three of
     // the benchmark/input combinations; report the analogous spread.

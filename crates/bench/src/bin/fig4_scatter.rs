@@ -11,13 +11,22 @@ fn main() {
 
     println!("Figure 4 — % constraints met vs. % optimal performance (under-limit)");
     println!();
-    println!("{:<10} | {:>12} | {:>18} | distance to oracle corner", "Method", "% under", "% oracle perf");
+    println!(
+        "{:<10} | {:>12} | {:>18} | distance to oracle corner",
+        "Method", "% under", "% oracle perf"
+    );
     println!("{}", "-".repeat(75));
     let mut rows = Vec::new();
     for s in &table {
         let perf = s.under_perf_pct.unwrap_or(0.0);
         let dist = ((100.0 - s.pct_under).powi(2) + (100.0 - perf).powi(2)).sqrt();
-        println!("{:<10} | {:>12.0} | {:>18.0} | {:>6.1}", s.method.name(), s.pct_under, perf, dist);
+        println!(
+            "{:<10} | {:>12.0} | {:>18.0} | {:>6.1}",
+            s.method.name(),
+            s.pct_under,
+            perf,
+            dist
+        );
         rows.push((s.method.name(), s.pct_under, perf, dist));
     }
     println!("{:<10} | {:>12} | {:>18} | {:>6.1}", "Oracle", 100, 100, 0.0);
@@ -28,9 +37,9 @@ fn main() {
     for y in (40..=100).rev().step_by(10) {
         let mut line = format!("  {y:>4} |");
         for x in (50..=100).step_by(2) {
-            let hit = rows.iter().find(|(_, px, py, _)| {
-                (px - x as f64).abs() < 1.0 && (py - y as f64).abs() < 5.0
-            });
+            let hit = rows
+                .iter()
+                .find(|(_, px, py, _)| (px - x as f64).abs() < 1.0 && (py - y as f64).abs() < 5.0);
             line.push_str(match hit {
                 Some((name, ..)) => &name[..1], // M/M/G/C initial
                 None => " ",

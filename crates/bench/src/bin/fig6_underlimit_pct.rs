@@ -5,11 +5,10 @@
 
 fn main() {
     let eval = acs_bench::full_evaluation();
-    let txt = acs_bench::render_by_app(
-        &eval,
-        "Figure 6 — % of cases under-limit, by benchmark",
-        |s| Some(s.pct_under),
-    );
+    let txt =
+        acs_bench::render_by_app(&eval, "Figure 6 — % of cases under-limit, by benchmark", |s| {
+            Some(s.pct_under)
+        });
     println!("{txt}");
     println!(
         "Paper shape check: Model+FL meets constraints most often for nearly\n\

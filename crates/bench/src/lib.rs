@@ -44,12 +44,8 @@ pub fn pct(v: Option<f64>) -> String {
 /// Render summaries as a Table III-style text table.
 pub fn render_table3(rows: &[MethodSummary]) -> String {
     let mut out = String::new();
-    out.push_str(
-        "Method    | %Under  | Under %Perf | Under %Power | Over %Power | Over %Perf\n",
-    );
-    out.push_str(
-        "----------+---------+-------------+--------------+-------------+-----------\n",
-    );
+    out.push_str("Method    | %Under  | Under %Perf | Under %Power | Over %Power | Over %Perf\n");
+    out.push_str("----------+---------+-------------+--------------+-------------+-----------\n");
     for s in rows {
         out.push_str(&format!(
             "{:<9} | {:>7.0} | {:>11} | {:>12} | {:>11} | {:>10}\n",

@@ -54,9 +54,7 @@ impl Args {
         }
         let mut options = BTreeMap::new();
         while let Some(tok) = it.next() {
-            let key = tok
-                .strip_prefix("--")
-                .ok_or_else(|| ArgError::Malformed(tok.clone()))?;
+            let key = tok.strip_prefix("--").ok_or_else(|| ArgError::Malformed(tok.clone()))?;
             let value = it.next().ok_or_else(|| ArgError::Malformed(tok.clone()))?;
             options.insert(key.to_string(), value);
         }
@@ -126,17 +124,12 @@ mod tests {
             a.require_parsed::<f64>("cap"),
             Err(ArgError::Invalid { key: "cap", .. })
         ));
-        assert!(matches!(
-            a.get_or::<u64>("cap", 1),
-            Err(ArgError::Invalid { .. })
-        ));
+        assert!(matches!(a.get_or::<u64>("cap", 1), Err(ArgError::Invalid { .. })));
     }
 
     #[test]
     fn errors_display() {
         assert!(ArgError::Missing("x").to_string().contains("--x"));
-        assert!(ArgError::Invalid { key: "k", value: "v".into() }
-            .to_string()
-            .contains("'v'"));
+        assert!(ArgError::Invalid { key: "k", value: "v".into() }.to_string().contains("'v'"));
     }
 }

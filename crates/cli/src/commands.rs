@@ -62,6 +62,12 @@ COMMANDS:
   runtime --model FILE --app LABEL        run an application under a cap with
           --cap W [--iters N] [--seed N]  the capped scheduler; print the
                                           scheduling timeline and summary
+  chaos --model FILE --app LABEL --cap W  run under injected faults with the
+        [--iters N] [--seed N]            self-healing guarded scheduler and
+        [--fault-seed N] [--dropout P]    report fault statistics, retries,
+        [--freeze P] [--bias P]           and per-kernel degradation ladders
+        [--corrupt P] [--pstate-fail P]   (probabilities in [0,1]; add
+        [--run-fail P] [--unguarded true] --timeline true for the full trace)
 ";
 
 /// Dispatch a parsed command line.
@@ -74,6 +80,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "predict" => cmd_predict(args, out),
         "evaluate" => cmd_evaluate(args, out),
         "runtime" => cmd_runtime(args, out),
+        "chaos" => cmd_chaos(args, out),
         "help" => {
             write!(out, "{USAGE}").map_err(io_err)?;
             Ok(())
@@ -156,9 +163,7 @@ fn cmd_predict(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         .into_iter()
         .find(|k| k.id() == kernel_id)
         .ok_or_else(|| {
-            CliError::Domain(format!(
-                "unknown kernel '{kernel_id}' (try `acs suite` for the list)"
-            ))
+            CliError::Domain(format!("unknown kernel '{kernel_id}' (try `acs suite` for the list)"))
         })?;
 
     let machine = Machine::new(seed);
@@ -189,10 +194,7 @@ fn cmd_predict(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 
 fn cmd_evaluate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let seed: u64 = args.get_or("seed", 2014)?;
-    let params = TrainingParams {
-        n_clusters: args.get_or("clusters", 5)?,
-        ..Default::default()
-    };
+    let params = TrainingParams { n_clusters: args.get_or("clusters", 5)?, ..Default::default() };
     let machine = Machine::new(seed);
     let apps = characterize_apps(&machine, &acs_kernels::app_instances());
     let eval = evaluate(&apps, params).map_err(|e| CliError::Domain(e.to_string()))?;
@@ -224,32 +226,150 @@ fn cmd_runtime(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let model = TrainedModel::load(args.require("model")?).map_err(io_err)?;
     let label = args.require("app")?;
     let cap: f64 = args.require_parsed("cap")?;
+    if cap.is_nan() || cap <= 0.0 {
+        return Err(CliError::Domain(format!("--cap must be a positive wattage, got {cap}")));
+    }
     let iters: u64 = args.get_or("iters", 3)?;
     let seed: u64 = args.get_or("seed", 2014)?;
 
-    let app = acs_kernels::app_instances()
-        .into_iter()
-        .find(|a| a.label() == label)
-        .ok_or_else(|| {
+    let app =
+        acs_kernels::app_instances().into_iter().find(|a| a.label() == label).ok_or_else(|| {
             CliError::Domain(format!("unknown application '{label}' (try `acs suite`)"))
         })?;
 
     let mut rt = CappedRuntime::new(Machine::new(seed), model, cap);
-    let report = rt.run_app(&app, iters);
+    let report = rt.run_app(&app, iters).map_err(|e| CliError::Domain(e.to_string()))?;
 
     writeln!(out, "application:   {}", report.app).map_err(io_err)?;
     writeln!(out, "cap:           {:.1} W", report.cap_w).map_err(io_err)?;
     writeln!(out, "total time:    {:.2} ms", report.total_time_s * 1e3).map_err(io_err)?;
     writeln!(out, "avg power:     {:.1} W", report.avg_power_w).map_err(io_err)?;
     writeln!(out, "cap compliance: {:.0}%", report.cap_compliance * 100.0).map_err(io_err)?;
-    writeln!(out, "
-final configurations:").map_err(io_err)?;
+    writeln!(
+        out,
+        "
+final configurations:"
+    )
+    .map_err(io_err)?;
     for (id, cfg) in &report.final_configs {
         writeln!(out, "  {id} → {cfg}").map_err(io_err)?;
     }
     if args.get_or("timeline", false)? {
-        writeln!(out, "
-scheduling timeline:").map_err(io_err)?;
+        writeln!(
+            out,
+            "
+scheduling timeline:"
+        )
+        .map_err(io_err)?;
+        write!(out, "{}", rt.timeline().render()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn cmd_chaos(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use acs_core::GuardPolicy;
+    use acs_sim::{FaultPlan, FaultyMachine};
+
+    let model = TrainedModel::load(args.require("model")?).map_err(io_err)?;
+    let label = args.require("app")?;
+    let cap: f64 = args.require_parsed("cap")?;
+    if cap.is_nan() || cap <= 0.0 {
+        return Err(CliError::Domain(format!("--cap must be a positive wattage, got {cap}")));
+    }
+    let iters: u64 = args.get_or("iters", 10)?;
+    let seed: u64 = args.get_or("seed", 2014)?;
+
+    let plan = FaultPlan {
+        seed: args.get_or("fault-seed", 1)?,
+        sensor_dropout_p: args.get_or("dropout", 0.0)?,
+        sensor_freeze_p: args.get_or("freeze", 0.0)?,
+        sensor_bias_p: args.get_or("bias", 0.0)?,
+        counter_corrupt_p: args.get_or("corrupt", 0.0)?,
+        pstate_fail_p: args.get_or("pstate-fail", 0.0)?,
+        run_fail_p: args.get_or("run-fail", 0.0)?,
+        ..FaultPlan::default()
+    };
+    for (name, p) in [
+        ("dropout", plan.sensor_dropout_p),
+        ("freeze", plan.sensor_freeze_p),
+        ("bias", plan.sensor_bias_p),
+        ("corrupt", plan.counter_corrupt_p),
+        ("pstate-fail", plan.pstate_fail_p),
+        ("run-fail", plan.run_fail_p),
+    ] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(CliError::Domain(format!(
+                "--{name} must be a probability in [0,1], got {p}"
+            )));
+        }
+    }
+
+    let app =
+        acs_kernels::app_instances().into_iter().find(|a| a.label() == label).ok_or_else(|| {
+            CliError::Domain(format!("unknown application '{label}' (try `acs suite`)"))
+        })?;
+
+    let executor = FaultyMachine::new(Machine::new(seed), plan);
+    let mut rt = if args.get_or("unguarded", false)? {
+        CappedRuntime::with_executor(executor, model, cap)
+    } else {
+        CappedRuntime::guarded(executor, model, cap, GuardPolicy::default())
+    };
+    let guarded = rt.guard_policy().is_some();
+    let report = rt.run_app(&app, iters).map_err(|e| CliError::Domain(e.to_string()))?;
+    let stats = rt.executor().stats();
+
+    writeln!(out, "application:    {}", report.app).map_err(io_err)?;
+    writeln!(out, "cap:            {:.1} W", report.cap_w).map_err(io_err)?;
+    writeln!(out, "scheduler:      {}", if guarded { "guarded" } else { "unguarded" })
+        .map_err(io_err)?;
+    writeln!(out, "total time:     {:.2} ms", report.total_time_s * 1e3).map_err(io_err)?;
+    writeln!(out, "avg power:      {:.1} W", report.avg_power_w).map_err(io_err)?;
+    writeln!(out, "cap compliance: {:.0}%", report.cap_compliance * 100.0).map_err(io_err)?;
+    writeln!(out, "failed runs:    {}", report.failed_runs).map_err(io_err)?;
+    writeln!(
+        out,
+        "
+injected faults ({} invocations):",
+        stats.invocations
+    )
+    .map_err(io_err)?;
+    writeln!(out, "  sensor dropouts:     {}", stats.sensor_dropouts).map_err(io_err)?;
+    writeln!(out, "  frozen readings:     {}", stats.sensor_freezes).map_err(io_err)?;
+    writeln!(out, "  biased readings:     {}", stats.sensor_biases).map_err(io_err)?;
+    writeln!(out, "  counter corruptions: {}", stats.counter_corruptions).map_err(io_err)?;
+    writeln!(out, "  p-state clamps:      {}", stats.pstate_clamps).map_err(io_err)?;
+    writeln!(out, "  run failures:        {}", stats.run_failures).map_err(io_err)?;
+
+    if guarded {
+        writeln!(
+            out,
+            "
+kernel health:"
+        )
+        .map_err(io_err)?;
+        for k in &app.kernels {
+            let id = k.id();
+            if let Some(h) = rt.health(&id) {
+                writeln!(
+                    out,
+                    "  {id}: tier {} (down {}, up {}, retries {})",
+                    h.tier.label(),
+                    h.degradations,
+                    h.recoveries,
+                    h.retries
+                )
+                .map_err(io_err)?;
+            }
+        }
+    }
+    if args.get_or("timeline", false)? {
+        writeln!(
+            out,
+            "
+scheduling timeline:"
+        )
+        .map_err(io_err)?;
         write!(out, "{}", rt.timeline().render()).map_err(io_err)?;
     }
     Ok(())
@@ -303,10 +423,9 @@ mod tests {
         let out = run_str(&format!("train --profiles {profiles} --out {model}")).unwrap();
         assert!(out.contains("trained 5 clusters"));
 
-        let out = run_str(&format!(
-            "predict --model {model} --kernel LU/Small/lud --cap 20 --seed 7"
-        ))
-        .unwrap();
+        let out =
+            run_str(&format!("predict --model {model} --kernel LU/Small/lud --cap 20 --seed 7"))
+                .unwrap();
         assert!(out.contains("cluster:"));
         assert!(out.contains("selected:"));
 
@@ -355,6 +474,41 @@ mod tests {
         // Unknown app fails cleanly.
         let err = run_str(&format!("runtime --model {model} --app Nope --cap 25"));
         assert!(matches!(err, Err(CliError::Domain(_))));
+    }
+
+    #[test]
+    fn chaos_reports_faults_and_health() {
+        let profiles = tmp("p5.json");
+        let model = tmp("m5.json");
+        run_str(&format!("characterize --out {profiles} --seed 7")).unwrap();
+        run_str(&format!("train --profiles {profiles} --out {model}")).unwrap();
+        let out = run_str(&format!(
+            "chaos --model {model} --app CoMD --cap 25 --iters 5 --seed 7 \
+             --dropout 0.2 --pstate-fail 0.2 --run-fail 0.1 --fault-seed 3"
+        ))
+        .unwrap();
+        assert!(out.contains("scheduler:      guarded"));
+        assert!(out.contains("injected faults"));
+        assert!(out.contains("sensor dropouts"));
+        assert!(out.contains("kernel health:"));
+        assert!(out.contains("tier "));
+        // Bad probability fails cleanly.
+        let err = run_str(&format!("chaos --model {model} --app CoMD --cap 25 --dropout 1.5"));
+        match err {
+            Err(CliError::Domain(msg)) => assert!(msg.contains("probability")),
+            other => panic!("expected domain error, got {other:?}"),
+        }
+        // A non-positive cap fails cleanly instead of tripping the
+        // runtime's assert.
+        for cmd in [
+            format!("chaos --model {model} --app CoMD --cap -5"),
+            format!("runtime --model {model} --app CoMD --cap 0"),
+        ] {
+            match run_str(&cmd) {
+                Err(CliError::Domain(msg)) => assert!(msg.contains("positive wattage")),
+                other => panic!("expected domain error for '{cmd}', got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -164,9 +164,7 @@ mod tests {
             },
         ];
         let apps = characterize_apps(&machine, &apps);
-        evaluate(&apps, TrainingParams { n_clusters: 3, ..Default::default() })
-            .unwrap()
-            .cases
+        evaluate(&apps, TrainingParams { n_clusters: 3, ..Default::default() }).unwrap().cases
     }
 
     #[test]
@@ -206,14 +204,8 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let cases = cases();
-        assert_eq!(
-            bootstrap_table3(&cases, 50, 0.95, 11),
-            bootstrap_table3(&cases, 50, 0.95, 11)
-        );
-        assert_ne!(
-            bootstrap_table3(&cases, 50, 0.95, 11),
-            bootstrap_table3(&cases, 50, 0.95, 12)
-        );
+        assert_eq!(bootstrap_table3(&cases, 50, 0.95, 11), bootstrap_table3(&cases, 50, 0.95, 11));
+        assert_ne!(bootstrap_table3(&cases, 50, 0.95, 11), bootstrap_table3(&cases, 50, 0.95, 12));
     }
 
     #[test]

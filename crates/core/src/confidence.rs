@@ -71,10 +71,7 @@ impl BoundedProfile {
 
 /// Predict the full configuration space with uncertainty bands, from a
 /// kernel's two sample runs.
-pub fn predict_with_confidence(
-    model: &TrainedModel,
-    samples: &SamplePair,
-) -> BoundedProfile {
+pub fn predict_with_confidence(model: &TrainedModel, samples: &SamplePair) -> BoundedProfile {
     let predictor = Predictor::new(model);
     let cluster = predictor.classify(samples);
     let models = &model.clusters[cluster];
@@ -187,9 +184,7 @@ mod tests {
             // Both maximize expected perf under expected power; allow
             // equality of the achieved objective rather than identity
             // (frontier construction breaks perf ties differently).
-            let perf_of = |c: Configuration| {
-                bounded.points[c.index()].point.perf
-            };
+            let perf_of = |c: Configuration| bounded.points[c.index()].point.perf;
             assert!((perf_of(a) - perf_of(b)).abs() < 1e-12, "cap {cap}: {a} vs {b}");
         }
     }

@@ -11,7 +11,7 @@
 //! cross-validation (Section V-C).
 
 use crate::methods::{select, Method};
-use crate::offline::{train, TrainedModel, TrainError, TrainingParams};
+use crate::offline::{train, TrainError, TrainedModel, TrainingParams};
 use crate::online::Predictor;
 use crate::profile::{collect_suite, KernelProfile};
 use acs_kernels::AppInstance;
@@ -179,10 +179,7 @@ pub struct AppProfiles {
 /// Characterize every kernel of every application instance (in parallel).
 pub fn characterize_apps(machine: &Machine, apps: &[AppInstance]) -> Vec<AppProfiles> {
     apps.iter()
-        .map(|app| AppProfiles {
-            app: app.clone(),
-            profiles: collect_suite(machine, &app.kernels),
-        })
+        .map(|app| AppProfiles { app: app.clone(), profiles: collect_suite(machine, &app.kernels) })
         .collect()
 }
 
@@ -198,11 +195,8 @@ pub fn evaluate(apps: &[AppProfiles], params: TrainingParams) -> Result<Evaluati
     let mut fold_silhouettes = Vec::new();
 
     for fold in &folds {
-        let training: Vec<KernelProfile> = fold
-            .train
-            .iter()
-            .flat_map(|&ai| apps[ai].profiles.iter().cloned())
-            .collect();
+        let training: Vec<KernelProfile> =
+            fold.train.iter().flat_map(|&ai| apps[ai].profiles.iter().cloned()).collect();
         let model = train(&training, params)?;
         fold_silhouettes.push((fold.label.clone(), model.silhouette));
 
@@ -212,9 +206,9 @@ pub fn evaluate(apps: &[AppProfiles], params: TrainingParams) -> Result<Evaluati
             .par_iter()
             .flat_map_iter(|&ai| {
                 let app = &apps[ai];
-                app.profiles.iter().flat_map(|profile| {
-                    evaluate_kernel(profile, &model, &app.app.label())
-                })
+                app.profiles
+                    .iter()
+                    .flat_map(|profile| evaluate_kernel(profile, &model, &app.app.label()))
             })
             .collect();
         cases.extend(fold_cases);

@@ -162,11 +162,7 @@ mod tests {
 
     #[test]
     fn best_under_cap() {
-        let f = Frontier::from_points(vec![
-            pt(0, 10.0, 1.0),
-            pt(1, 20.0, 2.0),
-            pt(2, 30.0, 3.0),
-        ]);
+        let f = Frontier::from_points(vec![pt(0, 10.0, 1.0), pt(1, 20.0, 2.0), pt(2, 30.0, 3.0)]);
         assert_eq!(f.best_under(25.0).unwrap().perf, 2.0);
         assert_eq!(f.best_under(30.0).unwrap().perf, 3.0);
         assert_eq!(f.best_under(10.0).unwrap().perf, 1.0);

@@ -61,6 +61,7 @@ pub mod dissimilarity;
 pub mod eval;
 pub mod features;
 pub mod frontier;
+pub mod health;
 pub mod limiter;
 pub mod methods;
 pub mod objective;
@@ -74,12 +75,17 @@ pub mod runtime;
 pub use bootstrap::{bootstrap_table3, Interval, MethodIntervals};
 pub use confidence::{predict_with_confidence, BoundedPoint, BoundedProfile};
 pub use eval::{characterize_apps, evaluate, AppProfiles, CaseResult, Evaluation, MethodSummary};
-pub use objective::Objective;
 pub use features::{sample_config, SamplePair, TREE_FEATURE_NAMES};
 pub use frontier::{Frontier, PowerPerfPoint};
+pub use health::{
+    safe_min_config, DegradationTier, GuardPolicy, KernelHealth, RuntimeError, TierState,
+};
 pub use methods::Method;
+pub use objective::Objective;
 pub use offline::{train, ClusterModels, TrainedModel, TrainingParams};
 pub use online::{prediction_error, PredictedProfile, Predictor};
-pub use partition::{partition_budget, partition_budget_with, DemandCurve, Partition, PartitionObjective};
+pub use partition::{
+    partition_budget, partition_budget_with, DemandCurve, Partition, PartitionObjective,
+};
 pub use profile::{collect_suite, KernelProfile};
 pub use runtime::{AppRunReport, CappedRuntime};

@@ -18,6 +18,11 @@ pub struct LimitResult {
     pub steps: u32,
     /// Whether the final measured power met the cap.
     pub met: bool,
+    /// Measured power still above the cap at the settled configuration,
+    /// W. Zero when `met`; positive when the cap is below the minimum
+    /// achievable power (the walk terminates at the floor and reports the
+    /// shortfall instead of looping).
+    pub residual_w: f64,
 }
 
 /// Walk the *CPU* P-state of `config` down from its current state until
@@ -28,16 +33,19 @@ pub fn limit_cpu_freq(
     mut measure: impl FnMut(&Configuration) -> f64,
 ) -> LimitResult {
     let mut steps = 0;
-    while measure(&config) > cap_w {
+    loop {
+        let power = measure(&config);
+        if power <= cap_w {
+            return LimitResult { config, steps, met: true, residual_w: 0.0 };
+        }
         match config.cpu_pstate.step_down() {
             Some(lower) => {
                 config.cpu_pstate = lower;
                 steps += 1;
             }
-            None => return LimitResult { config, steps, met: false },
+            None => return LimitResult { config, steps, met: false, residual_w: power - cap_w },
         }
     }
-    LimitResult { config, steps, met: true }
 }
 
 /// Walk the *GPU* P-state down until measured power meets `cap_w` or the
@@ -49,16 +57,19 @@ pub fn limit_gpu_freq(
 ) -> LimitResult {
     debug_assert_eq!(config.device, Device::Gpu);
     let mut steps = 0;
-    while measure(&config) > cap_w {
+    loop {
+        let power = measure(&config);
+        if power <= cap_w {
+            return LimitResult { config, steps, met: true, residual_w: 0.0 };
+        }
         match config.gpu_pstate.step_down() {
             Some(lower) => {
                 config.gpu_pstate = lower;
                 steps += 1;
             }
-            None => return LimitResult { config, steps, met: false },
+            None => return LimitResult { config, steps, met: false, residual_w: power - cap_w },
         }
     }
-    LimitResult { config, steps, met: true }
 }
 
 /// Raise the CPU P-state as far as possible while measured power stays
@@ -69,7 +80,8 @@ pub fn raise_cpu_freq_within(
     mut measure: impl FnMut(&Configuration) -> f64,
 ) -> LimitResult {
     let mut steps = 0;
-    let met = measure(&config) <= cap_w;
+    let start_power = measure(&config);
+    let met = start_power <= cap_w;
     while let Some(higher) = config.cpu_pstate.step_up() {
         let candidate = Configuration { cpu_pstate: higher, ..config };
         if measure(&candidate) <= cap_w {
@@ -79,7 +91,7 @@ pub fn raise_cpu_freq_within(
             break;
         }
     }
-    LimitResult { config, steps, met }
+    LimitResult { config, steps, met, residual_w: (start_power - cap_w).max(0.0) }
 }
 
 /// Frequency-limit whichever device executes `config`: CPU-device configs
@@ -122,9 +134,7 @@ pub fn transition_cost_s(
     } else {
         (to.gpu_pstate.0, from.gpu_pstate.0)
     };
-    let gpu: f64 = (lo..hi)
-        .map(|i| model.gpu_latency_s(GpuPState(i), GpuPState(i + 1)))
-        .sum();
+    let gpu: f64 = (lo..hi).map(|i| model.gpu_latency_s(GpuPState(i), GpuPState(i + 1))).sum();
     debug_assert_eq!(gpu_steps, u32::from(hi - lo));
     cpu + gpu
 }
@@ -175,6 +185,33 @@ mod tests {
         assert!(!r.met);
         assert_eq!(r.config.cpu_pstate, CpuPState::MIN);
         assert_eq!(r.steps, (CpuPState::COUNT - 1) as u32);
+        // The shortfall at the floor is reported, not looped on.
+        let floor = Configuration::cpu(acs_sim::NUM_CPU_CORES, CpuPState::MIN);
+        assert!((r.residual_w - toy_power(&floor)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_cap_settles_on_min_power_with_residual() {
+        // Regression: a cap below the minimum achievable power must
+        // terminate at the min-power config with the residual violation
+        // reported — bounded measurements, no panic, no infinite walk.
+        let mut calls = 0u32;
+        let cap = 1.0; // toy_power floor is > 6 W
+        let r = limit_active_device(start::gpu_fl(), cap, |c| {
+            calls += 1;
+            assert!(calls < 64, "limiter must terminate");
+            toy_power(c)
+        });
+        assert!(!r.met);
+        assert_eq!(r.config.gpu_pstate, GpuPState::MIN);
+        assert_eq!(r.config.cpu_pstate, CpuPState::MIN);
+        let floor_power = toy_power(&r.config);
+        assert!((r.residual_w - (floor_power - cap)).abs() < 1e-12);
+        assert!(r.residual_w > 0.0);
+        // A met walk reports zero residual.
+        let ok = limit_cpu_freq(start::cpu_fl(), 1e9, toy_power);
+        assert!(ok.met);
+        assert_eq!(ok.residual_w, 0.0);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //!   a fixed device policy; no model at all.
 
 use crate::features::SamplePair;
-use crate::limiter::{limit_active_device, limit_cpu_freq, limit_gpu_freq, raise_cpu_freq_within, start};
+use crate::limiter::{
+    limit_active_device, limit_cpu_freq, limit_gpu_freq, raise_cpu_freq_within, start,
+};
 use crate::online::Predictor;
 use crate::profile::KernelProfile;
 use acs_sim::Configuration;
@@ -37,7 +39,8 @@ pub enum Method {
 
 impl Method {
     /// The four non-oracle methods, in the paper's Table III order.
-    pub const COMPARED: [Method; 4] = [Method::Model, Method::ModelFL, Method::GpuFL, Method::CpuFL];
+    pub const COMPARED: [Method; 4] =
+        [Method::Model, Method::ModelFL, Method::GpuFL, Method::CpuFL];
 
     /// Paper-style display name.
     pub fn name(&self) -> &'static str {
@@ -88,20 +91,14 @@ pub fn model_fl_select(
 
 /// The CPU+FL baseline: all cores enabled, GPU at minimum frequency, CPU
 /// P-state walked down to meet the cap.
-pub fn cpu_fl_select(
-    cap_w: f64,
-    measure: impl FnMut(&Configuration) -> f64,
-) -> Configuration {
+pub fn cpu_fl_select(cap_w: f64, measure: impl FnMut(&Configuration) -> f64) -> Configuration {
     limit_cpu_freq(start::cpu_fl(), cap_w, measure).config
 }
 
 /// The GPU+FL baseline: GPU frequency walked down from maximum with the
 /// host CPU at minimum; any remaining headroom is spent raising the host
 /// CPU frequency.
-pub fn gpu_fl_select(
-    cap_w: f64,
-    mut measure: impl FnMut(&Configuration) -> f64,
-) -> Configuration {
+pub fn gpu_fl_select(cap_w: f64, mut measure: impl FnMut(&Configuration) -> f64) -> Configuration {
     let limited = limit_gpu_freq(start::gpu_fl(), cap_w, &mut measure);
     if !limited.met {
         return limited.config;
@@ -238,8 +235,8 @@ mod tests {
     #[test]
     fn model_methods_respect_predicted_caps() {
         let profiles = collect_suite(&Machine::new(3), &kernels());
-        let model = train(&profiles, TrainingParams { n_clusters: 3, ..Default::default() })
-            .unwrap();
+        let model =
+            train(&profiles, TrainingParams { n_clusters: 3, ..Default::default() }).unwrap();
         let predictor = Predictor::new(&model);
         let p = &profiles[0];
         for cap in [12.0, 20.0, 30.0] {

@@ -59,9 +59,7 @@ impl Objective {
     /// minimum-power point (matching [`crate::online::PredictedProfile::select`]).
     /// Returns `None` only for an empty slice.
     pub fn select(&self, points: &[PowerPerfPoint]) -> Option<Configuration> {
-        let best = points
-            .iter()
-            .min_by(|a, b| self.cost(a).partial_cmp(&self.cost(b)).unwrap())?;
+        let best = points.iter().min_by(|a, b| self.cost(a).partial_cmp(&self.cost(b)).unwrap())?;
         if self.cost(best).is_infinite() {
             // Cap unreachable: degrade to min power.
             return points
@@ -123,11 +121,8 @@ mod tests {
         let frontier = crate::frontier::Frontier::from_points(points.clone());
         for cap in [10.0, 15.0, 22.0, 30.0, 100.0] {
             let via_objective = Objective::MaxPerfUnderCap(cap).select(&points).unwrap();
-            let via_frontier = frontier
-                .best_under(cap)
-                .or_else(|| frontier.min_power())
-                .unwrap()
-                .config;
+            let via_frontier =
+                frontier.best_under(cap).or_else(|| frontier.min_power()).unwrap().config;
             assert_eq!(via_objective, via_frontier, "cap {cap}");
         }
     }
@@ -136,10 +131,7 @@ mod tests {
     fn unreachable_cap_falls_back_to_min_power() {
         let points = pts();
         let cfg = Objective::MaxPerfUnderCap(0.1).select(&points).unwrap();
-        let min = points
-            .iter()
-            .min_by(|a, b| a.power_w.partial_cmp(&b.power_w).unwrap())
-            .unwrap();
+        let min = points.iter().min_by(|a, b| a.power_w.partial_cmp(&b.power_w).unwrap()).unwrap();
         assert_eq!(cfg, min.config);
     }
 

@@ -170,7 +170,10 @@ fn fit_cluster(
 
 /// Run the complete offline stage on a training set of characterized
 /// kernels.
-pub fn train(profiles: &[KernelProfile], params: TrainingParams) -> Result<TrainedModel, TrainError> {
+pub fn train(
+    profiles: &[KernelProfile],
+    params: TrainingParams,
+) -> Result<TrainedModel, TrainError> {
     if profiles.len() < params.n_clusters || params.n_clusters == 0 {
         return Err(TrainError::TooFewKernels {
             kernels: profiles.len(),
@@ -201,14 +204,12 @@ pub fn train(profiles: &[KernelProfile], params: TrainingParams) -> Result<Train
         let grow: Vec<usize> = (0..rows.len()).filter(|i| i % 5 != 4).collect();
         let hold: Vec<usize> = (0..rows.len()).filter(|i| i % 5 == 4).collect();
         let grow_rows: Vec<Vec<f64>> = grow.iter().map(|&i| rows[i].clone()).collect();
-        let grow_labels: Vec<usize> =
-            grow.iter().map(|&i| clustering.assignment[i]).collect();
+        let grow_labels: Vec<usize> = grow.iter().map(|&i| clustering.assignment[i]).collect();
         let mut t =
             ClassificationTree::fit(&grow_rows, &grow_labels, params.n_clusters, params.tree)
                 .map_err(TrainError::Tree)?;
         let hold_rows: Vec<Vec<f64>> = hold.iter().map(|&i| rows[i].clone()).collect();
-        let hold_labels: Vec<usize> =
-            hold.iter().map(|&i| clustering.assignment[i]).collect();
+        let hold_labels: Vec<usize> = hold.iter().map(|&i| clustering.assignment[i]).collect();
         t.prune(&hold_rows, &hold_labels);
         t
     } else {
@@ -300,8 +301,7 @@ mod tests {
         assert_ne!(cluster_of("gpu-friendly-0"), cluster_of("divergent-0"));
         // The CPU-leaning archetypes are closer to each other than to the
         // GPU cluster; require majority cohesion rather than purity.
-        let membound: Vec<usize> =
-            (0..4).map(|i| cluster_of(&format!("membound-{i}"))).collect();
+        let membound: Vec<usize> = (0..4).map(|i| cluster_of(&format!("membound-{i}"))).collect();
         let modal = *membound
             .iter()
             .max_by_key(|&&c| membound.iter().filter(|&&x| x == c).count())
@@ -317,9 +317,17 @@ mod tests {
             train(&profiles, TrainingParams { n_clusters: 3, ..Default::default() }).unwrap();
         for (i, c) in model.clusters.iter().enumerate() {
             assert!(c.perf_cpu.r_squared > 0.7, "cluster {i} perf_cpu r² {}", c.perf_cpu.r_squared);
-            assert!(c.power_cpu.r_squared > 0.7, "cluster {i} power_cpu r² {}", c.power_cpu.r_squared);
+            assert!(
+                c.power_cpu.r_squared > 0.7,
+                "cluster {i} power_cpu r² {}",
+                c.power_cpu.r_squared
+            );
             assert!(c.perf_gpu.r_squared > 0.5, "cluster {i} perf_gpu r² {}", c.perf_gpu.r_squared);
-            assert!(c.power_gpu.r_squared > 0.5, "cluster {i} power_gpu r² {}", c.power_gpu.r_squared);
+            assert!(
+                c.power_gpu.r_squared > 0.5,
+                "cluster {i} power_gpu r² {}",
+                c.power_gpu.r_squared
+            );
         }
     }
 
@@ -360,8 +368,7 @@ mod tests {
     #[test]
     fn pruned_tree_training_still_classifies() {
         let profiles = training_profiles();
-        let params =
-            TrainingParams { n_clusters: 3, prune_tree: true, ..Default::default() };
+        let params = TrainingParams { n_clusters: 3, prune_tree: true, ..Default::default() };
         let model = train(&profiles, params).unwrap();
         // The pruned tree is at most as large as the unpruned one and
         // still routes training kernels decently.

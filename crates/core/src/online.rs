@@ -207,8 +207,7 @@ mod tests {
         let profiles = collect_suite(&machine(), &archetypes());
         let held = profiles[0].clone();
         let rest: Vec<KernelProfile> = profiles[1..].to_vec();
-        let model =
-            train(&rest, TrainingParams { n_clusters: 3, ..Default::default() }).unwrap();
+        let model = train(&rest, TrainingParams { n_clusters: 3, ..Default::default() }).unwrap();
         let predicted = Predictor::new(&model).predict(&held.sample_pair());
         let err = prediction_error(&predicted, &held.measured_points());
         assert!(err.power_mape < 0.35, "power MAPE {}", err.power_mape);
@@ -231,8 +230,7 @@ mod tests {
     #[test]
     fn gpu_friendly_kernel_gets_gpu_at_high_cap() {
         let (model, profiles) = trained();
-        let friendly =
-            profiles.iter().find(|p| p.kernel.name == "gpu-friendly-0").unwrap();
+        let friendly = profiles.iter().find(|p| p.kernel.name == "gpu-friendly-0").unwrap();
         let p = Predictor::new(&model).predict(&friendly.sample_pair());
         let cfg = p.select(100.0);
         assert_eq!(cfg.device, acs_sim::Device::Gpu, "selected {cfg}");

@@ -36,10 +36,8 @@ impl DemandCurve {
     pub fn from_frontiers(app: &str, frontiers: &[(f64, Frontier)]) -> Self {
         assert!(!frontiers.is_empty(), "an app needs at least one kernel");
         // Candidate budgets: every distinct per-kernel frontier power.
-        let mut budgets: Vec<f64> = frontiers
-            .iter()
-            .flat_map(|(_, f)| f.points().iter().map(|p| p.power_w))
-            .collect();
+        let mut budgets: Vec<f64> =
+            frontiers.iter().flat_map(|(_, f)| f.points().iter().map(|p| p.power_w)).collect();
         budgets.sort_by(|a, b| a.partial_cmp(b).unwrap());
         budgets.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
 
@@ -168,8 +166,7 @@ pub fn partition_budget_with(
         budgets[i] = give as f64 * resolution_w;
         q -= give;
     }
-    let perfs: Vec<f64> =
-        curves.iter().zip(&budgets).map(|(c, &b)| c.perf_at(b)).collect();
+    let perfs: Vec<f64> = curves.iter().zip(&budgets).map(|(c, &b)| c.perf_at(b)).collect();
     let objective_value = match objective {
         PartitionObjective::SumPerf => perfs.iter().sum(),
         PartitionObjective::MaxMin => perfs.iter().cloned().fold(f64::INFINITY, f64::min),
@@ -287,10 +284,7 @@ mod tests {
 
     #[test]
     fn finer_resolution_never_hurts() {
-        let a = DemandCurve::from_frontiers(
-            "a",
-            &[(1.0, frontier(&[(9.5, 1.0), (19.5, 2.5)]))],
-        );
+        let a = DemandCurve::from_frontiers("a", &[(1.0, frontier(&[(9.5, 1.0), (19.5, 2.5)]))]);
         let b = linear_curve("b");
         let coarse = partition_budget(&[a.clone(), b.clone()], 29.5, 2.0);
         let fine = partition_budget(&[a, b], 29.5, 0.25);
@@ -326,7 +320,8 @@ mod tests {
             &[(1.0, frontier(&[(10.0, 1.0), (20.0, 4.0), (30.0, 9.0)]))],
         );
         let b = linear_curve("b");
-        let sum = partition_budget_with(&[a.clone(), b.clone()], 40.0, 1.0, PartitionObjective::SumPerf);
+        let sum =
+            partition_budget_with(&[a.clone(), b.clone()], 40.0, 1.0, PartitionObjective::SumPerf);
         let fair = partition_budget_with(&[a, b], 40.0, 1.0, PartitionObjective::MaxMin);
         let total = |p: &Partition| p.perfs.iter().sum::<f64>();
         assert!(total(&sum) >= total(&fair) - 1e-9);

@@ -15,6 +15,14 @@ pub enum PersistError {
     Io(std::io::Error),
     /// Serialization/deserialization failure.
     Format(serde_json::Error),
+    /// A model file exists but its contents are not a valid trained
+    /// model (corrupt, truncated, or not a model document at all).
+    Corrupt {
+        /// The offending file.
+        path: String,
+        /// What the parser rejected (with line/column when available).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -22,6 +30,11 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "io: {e}"),
             PersistError::Format(e) => write!(f, "format: {e}"),
+            PersistError::Corrupt { path, detail } => write!(
+                f,
+                "model file '{path}' is corrupt or truncated: {detail} \
+                 (re-run the offline training stage to regenerate it)"
+            ),
         }
     }
 }
@@ -57,9 +70,18 @@ impl TrainedModel {
         Ok(())
     }
 
-    /// Load a model from a file.
+    /// Load a model from a file. A missing file is an [`PersistError::Io`]
+    /// error; an unreadable document is reported as
+    /// [`PersistError::Corrupt`] with the path and the parser's position.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
-        Self::from_json(&std::fs::read_to_string(path)?)
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text).map_err(|e| match e {
+            PersistError::Format(err) => {
+                PersistError::Corrupt { path: path.display().to_string(), detail: err.to_string() }
+            }
+            other => other,
+        })
     }
 }
 
@@ -122,10 +144,7 @@ mod tests {
 
     #[test]
     fn malformed_json_is_an_error() {
-        assert!(matches!(
-            TrainedModel::from_json("{not json"),
-            Err(PersistError::Format(_))
-        ));
+        assert!(matches!(TrainedModel::from_json("{not json"), Err(PersistError::Format(_))));
     }
 
     #[test]
@@ -134,5 +153,34 @@ mod tests {
             TrainedModel::load("/nonexistent/acs/model.json"),
             Err(PersistError::Io(_))
         ));
+    }
+
+    #[test]
+    fn truncated_model_file_names_the_file_and_position() {
+        let (m, _) = model();
+        let dir = std::env::temp_dir().join("acs-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.json");
+        let json = m.to_json().unwrap();
+        std::fs::write(&path, &json[..json.len() / 2]).unwrap();
+
+        let err = TrainedModel::load(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt { .. }), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("truncated.json"), "{msg}");
+        assert!(msg.contains("line"), "parser position missing: {msg}");
+        assert!(msg.contains("re-run the offline training"), "{msg}");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn garbage_model_file_is_reported_corrupt() {
+        let dir = std::env::temp_dir().join("acs-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "{\"clusters\": \"not an array\"}").unwrap();
+        let err = TrainedModel::load(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt { .. }), "{err:?}");
+        std::fs::remove_file(path).unwrap();
     }
 }

@@ -9,13 +9,23 @@
 //! unless the node's power budget changes, in which case the cached
 //! predicted frontier is re-consulted without any re-profiling
 //! (Section III-C).
+//!
+//! The runtime is generic over an [`Executor`], so the same scheduler
+//! drives a trustworthy [`Machine`] or a chaos-injecting
+//! [`FaultyMachine`](acs_sim::FaultyMachine). Constructed via
+//! [`CappedRuntime::guarded`], it additionally runs a self-healing guard:
+//! a post-run watchdog checks measured power against the cap and the
+//! sensor's vital signs, retries failed executions with exponential
+//! backoff, and steps misbehaving kernels down (and later back up) the
+//! [`health`](crate::health) degradation ladder.
 
 use crate::features::{sample_config, SamplePair};
+use crate::health::{GuardPolicy, KernelHealth, RuntimeError, TierState};
 use crate::offline::TrainedModel;
 use crate::online::{PredictedProfile, Predictor};
 use acs_kernels::AppInstance;
 use acs_profiling::{Event, History, ProfileSample, Timeline};
-use acs_sim::{Configuration, Device, KernelCharacteristics, KernelRun, Machine};
+use acs_sim::{Configuration, Device, Executor, KernelCharacteristics, KernelRun, Machine};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -53,41 +63,87 @@ pub struct AppRunReport {
     pub total_time_s: f64,
     /// Time-weighted average package power, W.
     pub avg_power_w: f64,
-    /// Fraction of iterations whose true power met the cap.
+    /// Fraction of completed iterations whose true power met the cap.
     pub cap_compliance: f64,
+    /// Iterations lost to execution faults after retries (guarded runs
+    /// skip and continue; unguarded runs abort instead).
+    pub failed_runs: u64,
     /// Final configuration per kernel id.
     pub final_configs: Vec<(String, Configuration)>,
 }
 
+/// Self-healing guard state: the policy plus per-kernel health.
+#[derive(Debug, Clone)]
+struct Guard {
+    policy: GuardPolicy,
+    kernels: HashMap<String, KernelHealth>,
+}
+
 /// The power-capped runtime scheduler.
 #[derive(Debug, Clone)]
-pub struct CappedRuntime {
-    machine: Machine,
+pub struct CappedRuntime<E: Executor = Machine> {
+    executor: E,
     model: Arc<TrainedModel>,
     history: Arc<History>,
     timeline: Arc<Timeline>,
     cap_w: f64,
     kernels: HashMap<String, KernelState>,
+    guard: Option<Guard>,
 }
 
-impl CappedRuntime {
+impl CappedRuntime<Machine> {
     /// A runtime on `machine` using a trained model, starting with the
     /// given node power cap.
     pub fn new(machine: Machine, model: TrainedModel, cap_w: f64) -> Self {
+        Self::with_executor(machine, model, cap_w)
+    }
+}
+
+impl<E: Executor> CappedRuntime<E> {
+    /// A runtime on any [`Executor`] (a [`Machine`], a
+    /// [`FaultyMachine`](acs_sim::FaultyMachine), ...) without the guard:
+    /// execution faults surface as errors, nothing retries or degrades.
+    pub fn with_executor(executor: E, model: TrainedModel, cap_w: f64) -> Self {
         assert!(cap_w > 0.0, "power cap must be positive");
         Self {
-            machine,
+            executor,
             model: Arc::new(model),
             history: Arc::new(History::new()),
             timeline: Arc::new(Timeline::new()),
             cap_w,
             kernels: HashMap::new(),
+            guard: None,
         }
+    }
+
+    /// A self-healing runtime: bounded retries with exponential backoff,
+    /// a post-run cap/sensor watchdog, and the degradation ladder of
+    /// [`health`](crate::health), tuned by `policy`.
+    pub fn guarded(executor: E, model: TrainedModel, cap_w: f64, policy: GuardPolicy) -> Self {
+        let mut rt = Self::with_executor(executor, model, cap_w);
+        rt.guard = Some(Guard { policy, kernels: HashMap::new() });
+        rt
     }
 
     /// The current power cap, W.
     pub fn cap_w(&self) -> f64 {
         self.cap_w
+    }
+
+    /// The executor this runtime schedules onto.
+    pub fn executor(&self) -> &E {
+        &self.executor
+    }
+
+    /// The guard policy, if this runtime is guarded.
+    pub fn guard_policy(&self) -> Option<&GuardPolicy> {
+        self.guard.as_ref().map(|g| &g.policy)
+    }
+
+    /// A kernel's health record, if this runtime is guarded and the
+    /// kernel has run at least once.
+    pub fn health(&self, kernel_id: &str) -> Option<&KernelHealth> {
+        self.guard.as_ref()?.kernels.get(kernel_id)
     }
 
     /// The shared run history.
@@ -103,6 +159,9 @@ impl CappedRuntime {
     /// Change the node power budget. Already-classified kernels re-select
     /// from their cached predicted frontiers — no re-profiling, no
     /// re-classification (the Section III-C dynamic-constraint property).
+    ///
+    /// Panics on a non-positive cap; [`try_set_cap`](Self::try_set_cap)
+    /// reports it as an error instead.
     pub fn set_cap(&mut self, cap_w: f64) {
         assert!(cap_w > 0.0, "power cap must be positive");
         self.cap_w = cap_w;
@@ -122,19 +181,44 @@ impl CappedRuntime {
         }
     }
 
-    /// The configuration a kernel will run at on its *next* iteration.
+    /// Fallible [`set_cap`](Self::set_cap) for callers fed untrusted caps.
+    pub fn try_set_cap(&mut self, cap_w: f64) -> Result<(), RuntimeError> {
+        if cap_w.is_nan() || cap_w <= 0.0 {
+            return Err(RuntimeError::NonPositiveCap { cap_w });
+        }
+        self.set_cap(cap_w);
+        Ok(())
+    }
+
+    /// The configuration a kernel will run at on its *next* iteration
+    /// (with the guard's tier override applied, when guarded).
     pub fn planned_config(&self, kernel_id: &str) -> Option<Configuration> {
         let state = self.kernels.get(kernel_id)?;
         match state.iterations {
             0 => Some(sample_config(Device::Cpu)),
             1 => Some(sample_config(Device::Gpu)),
-            _ => state.fixed_config,
+            _ => {
+                let base = state.fixed_config?;
+                Some(self.tier_for(kernel_id).apply(base))
+            }
         }
+    }
+
+    /// The guard tier for a kernel (Model when unguarded or unseen).
+    fn tier_for(&self, kernel_id: &str) -> TierState {
+        self.guard
+            .as_ref()
+            .and_then(|g| g.kernels.get(kernel_id))
+            .map(|h| h.tier)
+            .unwrap_or_else(TierState::model)
     }
 
     /// Execute one iteration of `kernel`, choosing the configuration per
     /// the paper's protocol, and record it in the history.
-    pub fn run_kernel(&mut self, kernel: &KernelCharacteristics) -> KernelRun {
+    pub fn run_kernel(
+        &mut self,
+        kernel: &KernelCharacteristics,
+    ) -> Result<KernelRun, RuntimeError> {
         let id = kernel.id();
         self.run_keyed(kernel, id)
     }
@@ -148,41 +232,225 @@ impl CappedRuntime {
         &mut self,
         kernel: &KernelCharacteristics,
         context: &acs_profiling::ContextKey,
-    ) -> KernelRun {
+    ) -> Result<KernelRun, RuntimeError> {
         self.run_keyed(kernel, context.history_id())
     }
 
-    fn run_keyed(&mut self, kernel: &KernelCharacteristics, id: String) -> KernelRun {
+    /// Execute with bounded retries: transient faults and (on sample
+    /// iterations) silently clamped transitions are retried up to the
+    /// policy's budget, each wait doubling and advancing the virtual
+    /// clock. Returns the accepted run, or the final error.
+    fn execute_with_retries(
+        &mut self,
+        kernel: &KernelCharacteristics,
+        id: &str,
+        target: Configuration,
+        iteration: u64,
+    ) -> Result<KernelRun, RuntimeError> {
+        let (max_retries, backoff_base) = self
+            .guard
+            .as_ref()
+            .map(|g| (g.policy.max_retries, g.policy.backoff_base_s))
+            .unwrap_or((0, 0.0));
+        let mut attempt: u32 = 0;
+        let outcome = loop {
+            let retry = |timeline: &Timeline, attempt: u32, fault: String| {
+                timeline.record(Event::RetryBackoff {
+                    kernel_id: id.to_string(),
+                    attempt,
+                    wait_s: backoff_base * f64::from(1u32 << (attempt - 1).min(16)),
+                    fault,
+                });
+            };
+            match self.executor.execute(kernel, &target, iteration) {
+                Ok(run) => {
+                    if run.config == target {
+                        break Ok(run);
+                    }
+                    // The hardware silently refused the transition.
+                    self.timeline.record(Event::TransitionClamped {
+                        kernel_id: id.to_string(),
+                        requested: target,
+                        actual: run.config,
+                    });
+                    if attempt < max_retries {
+                        attempt += 1;
+                        retry(&self.timeline, attempt, "transition clamped".into());
+                        continue;
+                    }
+                    // Retries exhausted. Sampling *must* run the Table II
+                    // configuration (the model's features depend on it);
+                    // a configured iteration tolerates the clamp — the
+                    // run is recorded at its actual configuration and the
+                    // watchdog sees its true effect.
+                    if iteration < 2 {
+                        break Err(RuntimeError::ExecutionFailed {
+                            kernel_id: id.to_string(),
+                            iteration,
+                            attempts: attempt + 1,
+                            fault: format!(
+                                "transition to sample configuration {target} clamped to {}",
+                                run.config
+                            ),
+                        });
+                    }
+                    break Ok(run);
+                }
+                Err(fault) => {
+                    if attempt < max_retries {
+                        attempt += 1;
+                        retry(&self.timeline, attempt, fault.to_string());
+                        continue;
+                    }
+                    break Err(RuntimeError::ExecutionFailed {
+                        kernel_id: id.to_string(),
+                        iteration,
+                        attempts: attempt + 1,
+                        fault: fault.to_string(),
+                    });
+                }
+            }
+        };
+        if attempt > 0 {
+            if let Some(guard) = self.guard.as_mut() {
+                guard.kernels.entry(id.to_string()).or_default().retries += attempt;
+            }
+        }
+        outcome
+    }
+
+    /// Post-run watchdog: validate the sensor reading, track over-cap and
+    /// clean streaks, and move the kernel along the degradation ladder.
+    fn watchdog(&mut self, id: &str, base: Configuration, iteration: u64, run: &KernelRun) {
+        let cap_w = self.cap_w;
+        let timeline = Arc::clone(&self.timeline);
+        let Some(guard) = self.guard.as_mut() else { return };
+        let policy = guard.policy;
+        let health = guard.kernels.entry(id.to_string()).or_default();
+
+        let power_w = run.power_w();
+        let dropout = !power_w.is_finite() || power_w <= 0.0;
+        let frozen = !dropout && health.last_power_w == Some(power_w);
+        health.last_power_w = Some(power_w);
+
+        let mut degrade_reason: Option<&str> = None;
+        if dropout || frozen {
+            health.stale_streak += 1;
+            timeline.record(Event::SensorAnomaly {
+                kernel_id: id.to_string(),
+                kind: (if dropout { "dropout" } else { "frozen" }).into(),
+            });
+            if policy.stale_sensor_window > 0 && health.stale_streak >= policy.stale_sensor_window {
+                // Flying blind: the cap cannot be verified, so assume the
+                // worst and step down.
+                degrade_reason = Some("stale sensor");
+                health.stale_streak = 0;
+                health.overcap_streak = 0;
+                health.clean_streak = 0;
+            }
+        } else {
+            health.stale_streak = 0;
+            // Sample iterations deliberately ignore the cap (they probe
+            // the Table II configurations); the watchdog only judges
+            // configured iterations.
+            if iteration >= 2 {
+                if power_w > cap_w * (1.0 + 1e-9) {
+                    health.overcap_streak += 1;
+                    health.clean_streak = 0;
+                    timeline.record(Event::CapViolation {
+                        kernel_id: id.to_string(),
+                        power_w,
+                        cap_w,
+                        streak: health.overcap_streak,
+                    });
+                    if health.overcap_streak >= policy.max_overcap_streak {
+                        degrade_reason = Some("cap violations");
+                        health.overcap_streak = 0;
+                        health.clean_streak = 0;
+                    }
+                } else {
+                    health.overcap_streak = 0;
+                    health.clean_streak += 1;
+                    if health.clean_streak >= policy.recovery_clean_iters
+                        && health.tier != TierState::model()
+                    {
+                        let from = health.tier;
+                        health.tier = health.tier.recovered();
+                        health.recoveries += 1;
+                        health.clean_streak = 0;
+                        timeline.record(Event::TierChanged {
+                            kernel_id: id.to_string(),
+                            from: from.label(),
+                            to: health.tier.label(),
+                            reason: "recovered".into(),
+                        });
+                    }
+                }
+            }
+        }
+
+        if let Some(reason) = degrade_reason {
+            let from = health.tier;
+            let to = health.tier.degraded(base);
+            if to != from {
+                health.tier = to;
+                health.degradations += 1;
+                timeline.record(Event::TierChanged {
+                    kernel_id: id.to_string(),
+                    from: from.label(),
+                    to: to.label(),
+                    reason: reason.into(),
+                });
+            }
+        }
+    }
+
+    fn run_keyed(
+        &mut self,
+        kernel: &KernelCharacteristics,
+        id: String,
+    ) -> Result<KernelRun, RuntimeError> {
         let state = self.kernels.entry(id.clone()).or_insert_with(KernelState::new);
         let iteration = state.iterations;
 
-        let config = match iteration {
+        let base = match iteration {
             0 => sample_config(Device::Cpu),
             1 => sample_config(Device::Gpu),
-            _ => state.fixed_config.expect("config fixed after two sample iterations"),
+            _ => state
+                .fixed_config
+                .ok_or_else(|| RuntimeError::UnconfiguredKernel { kernel_id: id.clone() })?,
         };
+        // The guard's tier override applies only once sampling is done:
+        // the two probes are the protocol's measurement instrument.
+        let target = if iteration >= 2 { self.tier_for(&id).apply(base) } else { base };
 
-        let run = self.machine.run_iter(kernel, &config, iteration);
+        let run = self.execute_with_retries(kernel, &id, target, iteration)?;
+
         self.history.record(ProfileSample::from_run(&id, iteration, &run));
         self.timeline.record(Event::KernelRun {
             kernel_id: id.clone(),
             iteration,
-            config,
+            config: run.config,
             time_s: run.time_s,
             power_w: run.power_w(),
         });
 
-        let state = self.kernels.get_mut(&id).expect("state just inserted");
+        let state = self.kernels.get_mut(&id).ok_or_else(|| RuntimeError::ProtocolViolation {
+            kernel_id: id.clone(),
+            detail: "kernel state vanished mid-iteration".into(),
+        })?;
         state.iterations += 1;
         match iteration {
             0 => state.cpu_sample = Some(run.clone()),
             1 => {
                 state.gpu_sample = Some(run.clone());
                 // Both samples in hand: classify, predict, fix the config.
-                let samples = SamplePair::new(
-                    state.cpu_sample.clone().expect("cpu sample first"),
-                    run.clone(),
-                );
+                let cpu_sample =
+                    state.cpu_sample.clone().ok_or_else(|| RuntimeError::ProtocolViolation {
+                        kernel_id: id.clone(),
+                        detail: "CPU sample missing at classification time".into(),
+                    })?;
+                let samples = SamplePair::new(cpu_sample, run.clone());
                 let predicted = Predictor::new(&self.model).predict(&samples);
                 let config = predicted.select(self.cap_w);
                 self.timeline.record(Event::ConfigSelected {
@@ -195,21 +463,37 @@ impl CappedRuntime {
             }
             _ => {}
         }
-        run
+
+        self.watchdog(&id, base, iteration, &run);
+        Ok(run)
     }
 
     /// Execute `iterations` iterations of every kernel of an application
     /// (kernels run sequentially within each iteration, per Section
-    /// III-A) and summarize.
-    pub fn run_app(&mut self, app: &AppInstance, iterations: u64) -> AppRunReport {
+    /// III-A) and summarize. A guarded runtime absorbs execution
+    /// failures — the iteration is counted in `failed_runs` and the app
+    /// continues; an unguarded runtime aborts on the first failure.
+    pub fn run_app(
+        &mut self,
+        app: &AppInstance,
+        iterations: u64,
+    ) -> Result<AppRunReport, RuntimeError> {
         let mut total_time = 0.0;
         let mut energy = 0.0;
         let mut met = 0u64;
         let mut total = 0u64;
+        let mut failed = 0u64;
 
         for _ in 0..iterations {
             for kernel in &app.kernels {
-                let run = self.run_kernel(kernel);
+                let run = match self.run_kernel(kernel) {
+                    Ok(run) => run,
+                    Err(RuntimeError::ExecutionFailed { .. }) if self.guard.is_some() => {
+                        failed += 1;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                };
                 total_time += run.time_s;
                 energy += run.true_power_w() * run.time_s;
                 total += 1;
@@ -222,59 +506,75 @@ impl CappedRuntime {
         let final_configs = app
             .kernels
             .iter()
-            .map(|k| {
+            .filter_map(|k| {
                 let id = k.id();
-                let cfg = self
-                    .planned_config(&id)
-                    .expect("kernel has run at least once");
-                (id, cfg)
+                self.planned_config(&id).map(|cfg| (id, cfg))
             })
             .collect();
 
-        AppRunReport {
+        Ok(AppRunReport {
             app: app.label(),
             cap_w: self.cap_w,
             total_time_s: total_time,
             avg_power_w: if total_time > 0.0 { energy / total_time } else { 0.0 },
             cap_compliance: if total > 0 { met as f64 / total as f64 } else { 0.0 },
+            failed_runs: failed,
             final_configs,
-        }
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::health::{safe_min_config, DegradationTier};
     use crate::offline::{train, TrainingParams};
     use crate::profile::collect_suite;
     use acs_kernels::InputSize;
+    use acs_sim::{FaultPlan, FaultyMachine};
+
+    fn trained_model(machine: &Machine) -> TrainedModel {
+        // Train on CoMD + SMC, schedule LULESH Small.
+        let training_kernels: Vec<KernelCharacteristics> =
+            acs_kernels::comd::kernels(InputSize::Default)
+                .into_iter()
+                .chain(acs_kernels::smc::kernels(InputSize::Small))
+                .collect();
+        let profiles = collect_suite(machine, &training_kernels);
+        train(&profiles, TrainingParams::default()).unwrap()
+    }
+
+    fn lulesh() -> AppInstance {
+        acs_kernels::app_instances().into_iter().find(|a| a.label() == "LULESH Small").unwrap()
+    }
 
     fn runtime(cap: f64) -> (CappedRuntime, AppInstance) {
         let machine = Machine::new(2014);
-        // Train on CoMD + SMC, schedule LULESH Small.
-        let training_kernels: Vec<KernelCharacteristics> = acs_kernels::comd::kernels(InputSize::Default)
-            .into_iter()
-            .chain(acs_kernels::smc::kernels(InputSize::Small))
-            .collect();
-        let profiles = collect_suite(&machine, &training_kernels);
-        let model = train(&profiles, TrainingParams::default()).unwrap();
-        let app = acs_kernels::app_instances()
-            .into_iter()
-            .find(|a| a.label() == "LULESH Small")
-            .unwrap();
-        (CappedRuntime::new(machine, model, cap), app)
+        let model = trained_model(&machine);
+        (CappedRuntime::new(machine, model, cap), lulesh())
+    }
+
+    fn guarded_runtime(
+        cap: f64,
+        plan: FaultPlan,
+        policy: GuardPolicy,
+    ) -> (CappedRuntime<FaultyMachine>, AppInstance) {
+        let machine = Machine::new(2014);
+        let model = trained_model(&machine);
+        let executor = FaultyMachine::new(machine, plan);
+        (CappedRuntime::guarded(executor, model, cap, policy), lulesh())
     }
 
     #[test]
     fn first_two_iterations_are_samples() {
         let (mut rt, app) = runtime(25.0);
         let k = &app.kernels[0];
-        let r0 = rt.run_kernel(k);
+        let r0 = rt.run_kernel(k).unwrap();
         assert_eq!(r0.config, sample_config(Device::Cpu));
-        let r1 = rt.run_kernel(k);
+        let r1 = rt.run_kernel(k).unwrap();
         assert_eq!(r1.config, sample_config(Device::Gpu));
         // Third iteration: fixed model selection.
-        let r2 = rt.run_kernel(k);
+        let r2 = rt.run_kernel(k).unwrap();
         assert_eq!(Some(r2.config), rt.planned_config(&k.id()));
     }
 
@@ -282,11 +582,11 @@ mod tests {
     fn config_is_fixed_after_second_iteration() {
         let (mut rt, app) = runtime(25.0);
         let k = &app.kernels[0];
-        rt.run_kernel(k);
-        rt.run_kernel(k);
-        let fixed = rt.run_kernel(k).config;
+        rt.run_kernel(k).unwrap();
+        rt.run_kernel(k).unwrap();
+        let fixed = rt.run_kernel(k).unwrap().config;
         for _ in 0..5 {
-            assert_eq!(rt.run_kernel(k).config, fixed);
+            assert_eq!(rt.run_kernel(k).unwrap().config, fixed);
         }
     }
 
@@ -294,13 +594,13 @@ mod tests {
     fn cap_change_reselects_without_new_samples() {
         let (mut rt, app) = runtime(40.0);
         let k = &app.kernels[0]; // GPU-friendly hourglass kernel
-        rt.run_kernel(k);
-        rt.run_kernel(k);
-        let generous = rt.run_kernel(k).config;
+        rt.run_kernel(k).unwrap();
+        rt.run_kernel(k).unwrap();
+        let generous = rt.run_kernel(k).unwrap().config;
         let samples_before = rt.history().sample_count(&k.id());
 
         rt.set_cap(11.0); // tight: should force a cheaper configuration
-        let tight = rt.run_kernel(k).config;
+        let tight = rt.run_kernel(k).unwrap().config;
         assert_ne!(generous, tight, "an 11 W cap must change the selection");
 
         // No additional sampling iterations happened: only iterations 0
@@ -319,11 +619,12 @@ mod tests {
     #[test]
     fn run_app_reports_consistent_summary() {
         let (mut rt, app) = runtime(25.0);
-        let report = rt.run_app(&app, 3);
+        let report = rt.run_app(&app, 3).unwrap();
         assert_eq!(report.app, "LULESH Small");
         assert!(report.total_time_s > 0.0);
         assert!(report.avg_power_w > 5.0 && report.avg_power_w < 60.0);
         assert!((0.0..=1.0).contains(&report.cap_compliance));
+        assert_eq!(report.failed_runs, 0);
         assert_eq!(report.final_configs.len(), app.kernels.len());
         // After 3 app iterations every kernel is past its sampling phase.
         for (id, _) in &report.final_configs {
@@ -334,9 +635,9 @@ mod tests {
     #[test]
     fn tighter_cap_yields_slower_lower_power_app() {
         let (mut rt_hi, app) = runtime(40.0);
-        let hi = rt_hi.run_app(&app, 4);
+        let hi = rt_hi.run_app(&app, 4).unwrap();
         let (mut rt_lo, _) = runtime(12.0);
-        let lo = rt_lo.run_app(&app, 4);
+        let lo = rt_lo.run_app(&app, 4).unwrap();
         assert!(lo.avg_power_w < hi.avg_power_w, "lower cap must lower power");
         assert!(lo.total_time_s > hi.total_time_s, "lower cap must cost time");
     }
@@ -347,7 +648,7 @@ mod tests {
         // many iterations: compliance should be dominated by configured
         // runs and stay high at a moderate cap.
         let (mut rt, app) = runtime(30.0);
-        let report = rt.run_app(&app, 10);
+        let report = rt.run_app(&app, 10).unwrap();
         assert!(
             report.cap_compliance > 0.7,
             "compliance {} too low at a moderate cap",
@@ -371,9 +672,9 @@ mod tests {
 
         // Each context pays its own two sample iterations.
         for ctx in [&ctx_a, &ctx_b] {
-            let r0 = rt.run_kernel_in_context(k, ctx);
+            let r0 = rt.run_kernel_in_context(k, ctx).unwrap();
             assert_eq!(r0.config, sample_config(Device::Cpu), "{ctx}");
-            let r1 = rt.run_kernel_in_context(k, ctx);
+            let r1 = rt.run_kernel_in_context(k, ctx).unwrap();
             assert_eq!(r1.config, sample_config(Device::Gpu), "{ctx}");
         }
         // Histories are separate.
@@ -389,11 +690,11 @@ mod tests {
     fn timeline_records_the_decision_trail() {
         let (mut rt, app) = runtime(30.0);
         let k = &app.kernels[0];
-        rt.run_kernel(k);
-        rt.run_kernel(k);
-        rt.run_kernel(k);
+        rt.run_kernel(k).unwrap();
+        rt.run_kernel(k).unwrap();
+        rt.run_kernel(k).unwrap();
         rt.set_cap(12.0);
-        rt.run_kernel(k);
+        rt.run_kernel(k).unwrap();
 
         let events = rt.timeline().entries();
         let runs = events
@@ -423,5 +724,147 @@ mod tests {
         let (rt, _) = runtime(25.0);
         let mut rt = rt;
         rt.set_cap(0.0);
+    }
+
+    #[test]
+    fn try_set_cap_reports_instead_of_panicking() {
+        let (mut rt, _) = runtime(25.0);
+        assert_eq!(rt.try_set_cap(-3.0), Err(RuntimeError::NonPositiveCap { cap_w: -3.0 }));
+        assert!(matches!(
+            rt.try_set_cap(f64::NAN),
+            Err(RuntimeError::NonPositiveCap { cap_w }) if cap_w.is_nan()
+        ));
+        assert!(rt.try_set_cap(20.0).is_ok());
+        assert_eq!(rt.cap_w(), 20.0);
+    }
+
+    #[test]
+    fn unguarded_faulty_machine_surfaces_typed_errors() {
+        let plan = FaultPlan { run_fail_p: 1.0, ..FaultPlan::none(9) };
+        let machine = Machine::new(2014);
+        let model = trained_model(&machine);
+        let mut rt = CappedRuntime::with_executor(FaultyMachine::new(machine, plan), model, 25.0);
+        let app = lulesh();
+        let err = rt.run_kernel(&app.kernels[0]).unwrap_err();
+        assert!(matches!(err, RuntimeError::ExecutionFailed { attempts: 1, .. }), "{err}");
+        // run_app propagates the failure when unguarded.
+        assert!(rt.run_app(&app, 1).is_err());
+    }
+
+    #[test]
+    fn guarded_runtime_retries_transient_failures() {
+        // ~30% run failures: with 3 retries the app should almost always
+        // complete every iteration, charging backoff time to the clock.
+        let plan = FaultPlan { run_fail_p: 0.3, ..FaultPlan::none(11) };
+        let (mut rt, app) = guarded_runtime(25.0, plan, GuardPolicy::default());
+        let report = rt.run_app(&app, 3).unwrap();
+        assert!(report.total_time_s > 0.0);
+        let retries = rt
+            .timeline()
+            .entries()
+            .iter()
+            .filter(|e| matches!(e.event, Event::RetryBackoff { .. }))
+            .count();
+        assert!(retries > 0, "a 30% failure rate must trigger retries");
+        assert!(report.failed_runs <= 2, "retries should absorb most failures");
+    }
+
+    #[test]
+    fn guard_degrades_on_persistent_cap_violations() {
+        // An unreachably tight cap guarantees persistent measured
+        // violations. The guard must walk the ladder down to safe-min
+        // rather than loop or panic.
+        let (mut rt, app) = guarded_runtime(
+            6.0, // below the minimum achievable package power
+            FaultPlan::none(1),
+            GuardPolicy { recovery_clean_iters: 1000, ..GuardPolicy::default() },
+        );
+        let k = &app.kernels[0];
+        for _ in 0..60 {
+            let _ = rt.run_kernel(k).unwrap();
+        }
+        let health = rt.health(&k.id()).expect("guarded kernels have health");
+        assert_eq!(health.tier.tier, DegradationTier::SafeMin);
+        assert!(health.degradations >= 3);
+        assert_eq!(rt.planned_config(&k.id()), Some(safe_min_config()));
+        // The trail explains each step down.
+        let tiers = rt
+            .timeline()
+            .entries()
+            .iter()
+            .filter(|e| matches!(e.event, Event::TierChanged { .. }))
+            .count();
+        assert_eq!(tiers as u32, health.degradations);
+    }
+
+    #[test]
+    fn guard_recovers_after_clean_iterations() {
+        let (mut rt, app) = guarded_runtime(
+            30.0,
+            FaultPlan::none(1),
+            GuardPolicy { recovery_clean_iters: 4, ..GuardPolicy::default() },
+        );
+        let k = &app.kernels[0];
+        rt.run_kernel(k).unwrap();
+        rt.run_kernel(k).unwrap();
+        // Manufacture a degradation, then run clean iterations.
+        rt.guard.as_mut().unwrap().kernels.get_mut(&k.id()).unwrap().tier =
+            TierState { tier: DegradationTier::CpuFl, fl_steps: 1 };
+        for _ in 0..30 {
+            rt.run_kernel(k).unwrap();
+        }
+        let health = rt.health(&k.id()).unwrap();
+        assert_eq!(health.tier, TierState::model(), "clean runs must climb back to model");
+        assert!(health.recoveries >= 2);
+    }
+
+    #[test]
+    fn guard_degrades_on_frozen_sensor() {
+        let plan =
+            FaultPlan { sensor_freeze_p: 0.8, sensor_freeze_window: 8, ..FaultPlan::none(3) };
+        let (mut rt, app) = guarded_runtime(
+            30.0,
+            plan,
+            GuardPolicy { stale_sensor_window: 3, ..GuardPolicy::default() },
+        );
+        let k = &app.kernels[0];
+        for _ in 0..20 {
+            let _ = rt.run_kernel(k);
+        }
+        let health = rt.health(&k.id()).unwrap();
+        assert!(health.degradations > 0, "a latched sensor must trigger degradation");
+        let anomalies = rt
+            .timeline()
+            .entries()
+            .iter()
+            .filter(|e| matches!(&e.event, Event::SensorAnomaly { kind, .. } if kind == "frozen"))
+            .count();
+        assert!(anomalies > 0);
+    }
+
+    #[test]
+    fn guarded_zero_fault_run_matches_protocol() {
+        // With a no-op plan and a sane cap the guard must stay out of the
+        // way: no failures, no retries, compliance as good as unguarded.
+        let (mut rt, app) = guarded_runtime(30.0, FaultPlan::none(5), GuardPolicy::default());
+        let report = rt.run_app(&app, 10).unwrap();
+        assert_eq!(report.failed_runs, 0);
+        let retries = rt
+            .timeline()
+            .entries()
+            .iter()
+            .filter(|e| matches!(e.event, Event::RetryBackoff { .. }))
+            .count();
+        assert_eq!(retries, 0, "nothing to retry without faults");
+        assert!(report.cap_compliance > 0.7);
+        // Kernels whose model pick is genuinely clean never leave Model;
+        // the guard may legitimately step down a kernel the model
+        // mispredicts, but most of the app must stay on the top rung.
+        let on_model = app
+            .kernels
+            .iter()
+            .filter(|k| rt.health(&k.id()).is_some_and(|h| h.tier == TierState::model()))
+            .count();
+        assert!(on_model * 2 > app.kernels.len(), "{on_model}/{}", app.kernels.len());
     }
 }

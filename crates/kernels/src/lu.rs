@@ -16,11 +16,21 @@ pub const NAME: &str = "LU";
 /// The single `lud` kernel specification at the Small input.
 pub const SPECS: [KernelSpec; 1] = [KernelSpec {
     name: "lud",
-    compute_ms: 16.0, memory_ms: 1.2, parallel_fraction: 0.995,
-    bw_saturation_threads: 2.5, module_sharing_penalty: 0.20, sync_overhead: 0.03,
-    gpu_speedup: 90.0, branch_divergence: 0.06, gpu_bw_advantage: 1.5,
-    launch_ms: 0.25, vector_fraction: 0.50, working_set_mb: 18.0,
-    cpu_activity: 0.45, gpu_activity: 0.72, weight: 1.0,
+    compute_ms: 16.0,
+    memory_ms: 1.2,
+    parallel_fraction: 0.995,
+    bw_saturation_threads: 2.5,
+    module_sharing_penalty: 0.20,
+    sync_overhead: 0.03,
+    gpu_speedup: 90.0,
+    branch_divergence: 0.06,
+    gpu_bw_advantage: 1.5,
+    launch_ms: 0.25,
+    vector_fraction: 0.50,
+    working_set_mb: 18.0,
+    cpu_activity: 0.45,
+    gpu_activity: 0.72,
+    weight: 1.0,
 }];
 
 /// Instantiate the LU kernel for an input size.

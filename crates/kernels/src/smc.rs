@@ -17,67 +17,147 @@ pub const NAME: &str = "SMC";
 pub const SPECS: [KernelSpec; 8] = [
     KernelSpec {
         name: "ChemRates",
-        compute_ms: 40.0, memory_ms: 2.0, parallel_fraction: 0.99,
-        bw_saturation_threads: 4.0, module_sharing_penalty: 0.30, sync_overhead: 0.015,
-        gpu_speedup: 9.0, branch_divergence: 0.08, gpu_bw_advantage: 1.5,
-        launch_ms: 0.50, vector_fraction: 0.65, working_set_mb: 16.0,
-        cpu_activity: 0.55, gpu_activity: 0.80, weight: 0.35,
+        compute_ms: 40.0,
+        memory_ms: 2.0,
+        parallel_fraction: 0.99,
+        bw_saturation_threads: 4.0,
+        module_sharing_penalty: 0.30,
+        sync_overhead: 0.015,
+        gpu_speedup: 9.0,
+        branch_divergence: 0.08,
+        gpu_bw_advantage: 1.5,
+        launch_ms: 0.50,
+        vector_fraction: 0.65,
+        working_set_mb: 16.0,
+        cpu_activity: 0.55,
+        gpu_activity: 0.80,
+        weight: 0.35,
     },
     KernelSpec {
         name: "DiffTerm",
-        compute_ms: 14.0, memory_ms: 5.0, parallel_fraction: 0.97,
-        bw_saturation_threads: 2.5, module_sharing_penalty: 0.15, sync_overhead: 0.03,
-        gpu_speedup: 4.5, branch_divergence: 0.10, gpu_bw_advantage: 1.4,
-        launch_ms: 0.45, vector_fraction: 0.45, working_set_mb: 40.0,
-        cpu_activity: 0.42, gpu_activity: 0.60, weight: 0.18,
+        compute_ms: 14.0,
+        memory_ms: 5.0,
+        parallel_fraction: 0.97,
+        bw_saturation_threads: 2.5,
+        module_sharing_penalty: 0.15,
+        sync_overhead: 0.03,
+        gpu_speedup: 4.5,
+        branch_divergence: 0.10,
+        gpu_bw_advantage: 1.4,
+        launch_ms: 0.45,
+        vector_fraction: 0.45,
+        working_set_mb: 40.0,
+        cpu_activity: 0.42,
+        gpu_activity: 0.60,
+        weight: 0.18,
     },
     KernelSpec {
         name: "HypTerm",
-        compute_ms: 12.0, memory_ms: 4.5, parallel_fraction: 0.97,
-        bw_saturation_threads: 2.5, module_sharing_penalty: 0.15, sync_overhead: 0.03,
-        gpu_speedup: 5.0, branch_divergence: 0.12, gpu_bw_advantage: 1.4,
-        launch_ms: 0.45, vector_fraction: 0.45, working_set_mb: 36.0,
-        cpu_activity: 0.42, gpu_activity: 0.60, weight: 0.15,
+        compute_ms: 12.0,
+        memory_ms: 4.5,
+        parallel_fraction: 0.97,
+        bw_saturation_threads: 2.5,
+        module_sharing_penalty: 0.15,
+        sync_overhead: 0.03,
+        gpu_speedup: 5.0,
+        branch_divergence: 0.12,
+        gpu_bw_advantage: 1.4,
+        launch_ms: 0.45,
+        vector_fraction: 0.45,
+        working_set_mb: 36.0,
+        cpu_activity: 0.42,
+        gpu_activity: 0.60,
+        weight: 0.15,
     },
     KernelSpec {
         name: "CalcDiffusionCoeffs",
-        compute_ms: 8.0, memory_ms: 1.5, parallel_fraction: 0.98,
-        bw_saturation_threads: 3.0, module_sharing_penalty: 0.22, sync_overhead: 0.02,
-        gpu_speedup: 5.5, branch_divergence: 0.10, gpu_bw_advantage: 1.3,
-        launch_ms: 0.35, vector_fraction: 0.50, working_set_mb: 14.0,
-        cpu_activity: 0.46, gpu_activity: 0.65, weight: 0.08,
+        compute_ms: 8.0,
+        memory_ms: 1.5,
+        parallel_fraction: 0.98,
+        bw_saturation_threads: 3.0,
+        module_sharing_penalty: 0.22,
+        sync_overhead: 0.02,
+        gpu_speedup: 5.5,
+        branch_divergence: 0.10,
+        gpu_bw_advantage: 1.3,
+        launch_ms: 0.35,
+        vector_fraction: 0.50,
+        working_set_mb: 14.0,
+        cpu_activity: 0.46,
+        gpu_activity: 0.65,
+        weight: 0.08,
     },
     KernelSpec {
         name: "CalcPrimitives",
-        compute_ms: 3.0, memory_ms: 1.8, parallel_fraction: 0.96,
-        bw_saturation_threads: 2.0, module_sharing_penalty: 0.08, sync_overhead: 0.03,
-        gpu_speedup: 4.5, branch_divergence: 0.08, gpu_bw_advantage: 1.3,
-        launch_ms: 0.30, vector_fraction: 0.35, working_set_mb: 22.0,
-        cpu_activity: 0.36, gpu_activity: 0.50, weight: 0.05,
+        compute_ms: 3.0,
+        memory_ms: 1.8,
+        parallel_fraction: 0.96,
+        bw_saturation_threads: 2.0,
+        module_sharing_penalty: 0.08,
+        sync_overhead: 0.03,
+        gpu_speedup: 4.5,
+        branch_divergence: 0.08,
+        gpu_bw_advantage: 1.3,
+        launch_ms: 0.30,
+        vector_fraction: 0.35,
+        working_set_mb: 22.0,
+        cpu_activity: 0.36,
+        gpu_activity: 0.50,
+        weight: 0.05,
     },
     KernelSpec {
         name: "FillBoundary",
-        compute_ms: 0.6, memory_ms: 0.9, parallel_fraction: 0.70,
-        bw_saturation_threads: 1.5, module_sharing_penalty: 0.05, sync_overhead: 0.06,
-        gpu_speedup: 0.9, branch_divergence: 0.50, gpu_bw_advantage: 1.0,
-        launch_ms: 0.30, vector_fraction: 0.10, working_set_mb: 6.0,
-        cpu_activity: 0.30, gpu_activity: 0.33, weight: 0.03,
+        compute_ms: 0.6,
+        memory_ms: 0.9,
+        parallel_fraction: 0.70,
+        bw_saturation_threads: 1.5,
+        module_sharing_penalty: 0.05,
+        sync_overhead: 0.06,
+        gpu_speedup: 0.9,
+        branch_divergence: 0.50,
+        gpu_bw_advantage: 1.0,
+        launch_ms: 0.30,
+        vector_fraction: 0.10,
+        working_set_mb: 6.0,
+        cpu_activity: 0.30,
+        gpu_activity: 0.33,
+        weight: 0.03,
     },
     KernelSpec {
         name: "UpdateRK3",
-        compute_ms: 1.2, memory_ms: 2.4, parallel_fraction: 0.98,
-        bw_saturation_threads: 2.0, module_sharing_penalty: 0.03, sync_overhead: 0.02,
-        gpu_speedup: 4.8, branch_divergence: 0.04, gpu_bw_advantage: 1.35,
-        launch_ms: 0.25, vector_fraction: 0.40, working_set_mb: 28.0,
-        cpu_activity: 0.30, gpu_activity: 0.42, weight: 0.06,
+        compute_ms: 1.2,
+        memory_ms: 2.4,
+        parallel_fraction: 0.98,
+        bw_saturation_threads: 2.0,
+        module_sharing_penalty: 0.03,
+        sync_overhead: 0.02,
+        gpu_speedup: 4.8,
+        branch_divergence: 0.04,
+        gpu_bw_advantage: 1.35,
+        launch_ms: 0.25,
+        vector_fraction: 0.40,
+        working_set_mb: 28.0,
+        cpu_activity: 0.30,
+        gpu_activity: 0.42,
+        weight: 0.06,
     },
     KernelSpec {
         name: "CalcSpeciesEnergy",
-        compute_ms: 5.0, memory_ms: 1.2, parallel_fraction: 0.97,
-        bw_saturation_threads: 3.0, module_sharing_penalty: 0.20, sync_overhead: 0.025,
-        gpu_speedup: 5.5, branch_divergence: 0.10, gpu_bw_advantage: 1.3,
-        launch_ms: 0.30, vector_fraction: 0.50, working_set_mb: 12.0,
-        cpu_activity: 0.44, gpu_activity: 0.62, weight: 0.05,
+        compute_ms: 5.0,
+        memory_ms: 1.2,
+        parallel_fraction: 0.97,
+        bw_saturation_threads: 3.0,
+        module_sharing_penalty: 0.20,
+        sync_overhead: 0.025,
+        gpu_speedup: 5.5,
+        branch_divergence: 0.10,
+        gpu_bw_advantage: 1.3,
+        launch_ms: 0.30,
+        vector_fraction: 0.50,
+        working_set_mb: 12.0,
+        cpu_activity: 0.44,
+        gpu_activity: 0.62,
+        weight: 0.05,
     },
 ];
 

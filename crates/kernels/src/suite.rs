@@ -67,10 +67,8 @@ pub fn all_kernel_instances() -> Vec<KernelCharacteristics> {
 
 /// Number of distinct kernels (ignoring input size).
 pub fn distinct_kernel_count() -> usize {
-    let mut names: Vec<String> = all_kernel_instances()
-        .iter()
-        .map(|k| format!("{}/{}", k.benchmark, k.name))
-        .collect();
+    let mut names: Vec<String> =
+        all_kernel_instances().iter().map(|k| format!("{}/{}", k.benchmark, k.name)).collect();
     names.sort();
     names.dedup();
     names.len()

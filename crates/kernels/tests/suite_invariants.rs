@@ -34,10 +34,7 @@ fn suite_contains_both_gpu_winners_and_cpu_winners() {
     let mut cpu_best = 0usize;
     for kernel in all_kernel_instances() {
         let runs = machine.sweep(&kernel);
-        let best = runs
-            .iter()
-            .min_by(|a, b| a.time_s.partial_cmp(&b.time_s).unwrap())
-            .unwrap();
+        let best = runs.iter().min_by(|a, b| a.time_s.partial_cmp(&b.time_s).unwrap()).unwrap();
         match best.config.device {
             Device::Gpu => gpu_best += 1,
             Device::Cpu => cpu_best += 1,
@@ -56,8 +53,7 @@ fn large_inputs_run_longer_than_small() {
         if app.input != "Small" {
             continue;
         }
-        let large =
-            apps.iter().find(|a| a.benchmark == app.benchmark && a.input == "Large");
+        let large = apps.iter().find(|a| a.benchmark == app.benchmark && a.input == "Large");
         let Some(large) = large else { continue };
         for (s, l) in app.kernels.iter().zip(&large.kernels) {
             assert_eq!(s.name, l.name);
@@ -82,10 +78,8 @@ fn launch_overhead_matters_more_at_small_inputs() {
     let mut improved = 0usize;
     let mut total = 0usize;
     for (s, l) in small.kernels.iter().zip(&large.kernels) {
-        let ratio_small =
-            machine.run(s, &gpu).time_s / machine.run(s, &cpu).time_s;
-        let ratio_large =
-            machine.run(l, &gpu).time_s / machine.run(l, &cpu).time_s;
+        let ratio_small = machine.run(s, &gpu).time_s / machine.run(s, &cpu).time_s;
+        let ratio_large = machine.run(l, &gpu).time_s / machine.run(l, &cpu).time_s;
         total += 1;
         if ratio_large < ratio_small {
             improved += 1;

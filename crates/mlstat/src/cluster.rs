@@ -85,11 +85,7 @@ impl Clustering {
 
     /// Item indices belonging to cluster `c`.
     pub fn members(&self, c: usize) -> Vec<usize> {
-        self.assignment
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &a)| (a == c).then_some(i))
-            .collect()
+        self.assignment.iter().enumerate().filter_map(|(i, &a)| (a == c).then_some(i)).collect()
     }
 
     /// Sizes of every cluster.
@@ -155,9 +151,8 @@ pub fn pam(d: &Dissimilarity, k: usize) -> Clustering {
         let candidate = (0..n)
             .filter(|i| !medoids.contains(i))
             .max_by(|&a, &b| {
-                let gain = |c: usize| -> f64 {
-                    (0..n).map(|i| (near[i] - d.get(i, c)).max(0.0)).sum()
-                };
+                let gain =
+                    |c: usize| -> f64 { (0..n).map(|i| (near[i] - d.get(i, c)).max(0.0)).sum() };
                 gain(a)
                     .partial_cmp(&gain(b))
                     .unwrap()

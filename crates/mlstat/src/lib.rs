@@ -51,4 +51,6 @@ pub use kendall::{tau_a, tau_b};
 pub use matrix::{Matrix, MatrixError};
 pub use regression::{interaction_len, with_interactions, FitError, LinearModel};
 pub use tree::{ClassificationTree, TreeError, TreeParams};
-pub use validate::{leave_one_group_out, leave_one_out, mean, median, std_dev, weighted_mean, Fold};
+pub use validate::{
+    leave_one_group_out, leave_one_out, mean, median, std_dev, weighted_mean, Fold,
+};

@@ -125,9 +125,7 @@ impl Matrix {
                 v.len()
             )));
         }
-        Ok((0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect())
+        Ok((0..self.rows).map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum()).collect())
     }
 
     /// Gram matrix `Aᵀ A` (symmetric positive semi-definite).
@@ -238,9 +236,7 @@ impl Matrix {
         for col in 0..n {
             // Partial pivot.
             let pivot = (col..n)
-                .max_by(|&i, &j| {
-                    a[i * n + col].abs().partial_cmp(&a[j * n + col].abs()).unwrap()
-                })
+                .max_by(|&i, &j| a[i * n + col].abs().partial_cmp(&a[j * n + col].abs()).unwrap())
                 .unwrap();
             if a[pivot * n + col].abs() < 1e-12 {
                 return Err(MatrixError::Singular);
@@ -393,8 +389,7 @@ mod tests {
             4,
             4,
             vec![
-                0.5, -1.2, 2.0, 0.3, 1.1, 0.7, -0.4, 0.9, -2.0, 0.1, 0.8, 1.5, 0.2, -0.6, 1.0,
-                -1.1,
+                0.5, -1.2, 2.0, 0.3, 1.1, 0.7, -0.4, 0.9, -2.0, 0.1, 0.8, 1.5, 0.2, -0.6, 1.0, -1.1,
             ],
         )
         .unwrap();

@@ -169,8 +169,7 @@ impl LinearModel {
     /// Predict the response for one (already expanded) feature row.
     pub fn predict(&self, x: &[f64]) -> f64 {
         if self.intercept {
-            self.coeffs[0]
-                + self.coeffs[1..].iter().zip(x).map(|(c, v)| c * v).sum::<f64>()
+            self.coeffs[0] + self.coeffs[1..].iter().zip(x).map(|(c, v)| c * v).sum::<f64>()
         } else {
             self.coeffs.iter().zip(x).map(|(c, v)| c * v).sum()
         }
@@ -205,9 +204,7 @@ mod tests {
     #[test]
     fn recovers_planted_model_with_intercept() {
         // y = 3 + 2 x1 - x2
-        let rows: Vec<Vec<f64>> = (0..20)
-            .map(|i| vec![i as f64, (i * i % 7) as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (i * i % 7) as f64]).collect();
         let y: Vec<f64> = rows.iter().map(|r| 3.0 + 2.0 * r[0] - r[1]).collect();
         let m = LinearModel::fit(&rows, &y, true).unwrap();
         assert!((m.coeffs[0] - 3.0).abs() < 1e-9);

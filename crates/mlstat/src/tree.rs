@@ -130,9 +130,8 @@ impl ClassificationTree {
         let node_gini = gini(&counts, idx.len());
         let (class, count) = majority(&counts);
 
-        let make_leaf = depth >= params.max_depth
-            || idx.len() < params.min_split
-            || node_gini == 0.0;
+        let make_leaf =
+            depth >= params.max_depth || idx.len() < params.min_split || node_gini == 0.0;
         if !make_leaf {
             if let Some((feature, threshold, left_idx, right_idx)) =
                 self.best_split(rows, labels, idx, params)
@@ -233,11 +232,7 @@ impl ClassificationTree {
         if rows.is_empty() {
             return 0.0;
         }
-        let hits = rows
-            .iter()
-            .zip(labels)
-            .filter(|(r, &l)| self.predict(r) == l)
-            .count();
+        let hits = rows.iter().zip(labels).filter(|(r, &l)| self.predict(r) == l).count();
         hits as f64 / rows.len() as f64
     }
 
@@ -311,8 +306,7 @@ impl ClassificationTree {
                 let leaf_err = idx.iter().filter(|&&i| labels[i] != class).count();
                 if leaf_err <= subtree_err {
                     let total: usize = counts.iter().sum();
-                    let purity =
-                        if total > 0 { count as f64 / total as f64 } else { 0.0 };
+                    let purity = if total > 0 { count as f64 / total as f64 } else { 0.0 };
                     self.nodes[at] = Node::Leaf { class, purity, count: total };
                     (counts, leaf_err)
                 } else {
@@ -335,12 +329,8 @@ impl ClassificationTree {
                     out.push(Node::Leaf { class: 0, purity: 0.0, count: 0 }); // placeholder
                     let l = copy(old, *left, out);
                     let r = copy(old, *right, out);
-                    out[slot] = Node::Split {
-                        feature: *feature,
-                        threshold: *threshold,
-                        left: l,
-                        right: r,
-                    };
+                    out[slot] =
+                        Node::Split { feature: *feature, threshold: *threshold, left: l, right: r };
                     slot
                 }
             }
@@ -372,10 +362,8 @@ impl ClassificationTree {
                 self.render_node(*right, indent + 1, names, out);
             }
             Node::Leaf { class, purity, count } => {
-                let _ = writeln!(
-                    out,
-                    "{pad}→ cluster {class}  ({count} kernels, purity {purity:.2})"
-                );
+                let _ =
+                    writeln!(out, "{pad}→ cluster {class}  ({count} kernels, purity {purity:.2})");
             }
         }
     }
@@ -463,9 +451,7 @@ mod tests {
     #[test]
     fn bad_inputs_rejected() {
         assert!(ClassificationTree::fit(&[], &[], 2, TreeParams::default()).is_err());
-        assert!(
-            ClassificationTree::fit(&[vec![1.0]], &[0, 1], 2, TreeParams::default()).is_err()
-        );
+        assert!(ClassificationTree::fit(&[vec![1.0]], &[0, 1], 2, TreeParams::default()).is_err());
         assert!(ClassificationTree::fit(
             &[vec![1.0], vec![1.0, 2.0]],
             &[0, 1],
@@ -518,8 +504,7 @@ mod tests {
 
         // Clean validation set on the same boundary.
         let val_rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 6.7]).collect();
-        let val_labels: Vec<usize> =
-            val_rows.iter().map(|r| usize::from(r[0] >= 3.0)).collect();
+        let val_labels: Vec<usize> = val_rows.iter().map(|r| usize::from(r[0] >= 3.0)).collect();
 
         let acc_before = tree.accuracy(&val_rows, &val_labels);
         let nodes_before = tree.node_count();

@@ -48,11 +48,7 @@ pub fn leave_one_group_out(groups: &[&str]) -> Vec<Fold> {
                 .enumerate()
                 .filter_map(|(i, &gi)| (gi != g).then_some(i))
                 .collect(),
-            test: groups
-                .iter()
-                .enumerate()
-                .filter_map(|(i, &gi)| (gi == g).then_some(i))
-                .collect(),
+            test: groups.iter().enumerate().filter_map(|(i, &gi)| (gi == g).then_some(i)).collect(),
         })
         .collect()
 }

@@ -7,10 +7,7 @@ use proptest::prelude::*;
 
 fn vec_pair(len: std::ops::RangeInclusive<usize>) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
     len.prop_flat_map(|n| {
-        (
-            prop::collection::vec(-100.0..100.0f64, n),
-            prop::collection::vec(-100.0..100.0f64, n),
-        )
+        (prop::collection::vec(-100.0..100.0f64, n), prop::collection::vec(-100.0..100.0f64, n))
     })
 }
 

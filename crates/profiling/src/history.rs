@@ -46,13 +46,7 @@ impl History {
 
     /// The most recent sample of a kernel at a specific configuration.
     pub fn latest_at(&self, kernel_id: &str, config: &Configuration) -> Option<ProfileSample> {
-        self.inner
-            .read()
-            .get(kernel_id)?
-            .iter()
-            .rev()
-            .find(|s| &s.config == config)
-            .cloned()
+        self.inner.read().get(kernel_id)?.iter().rev().find(|s| &s.config == config).cloned()
     }
 
     /// The best-performing sample observed so far for a kernel, optionally

@@ -86,19 +86,13 @@ impl Profiler {
     /// Profile a kernel across the entire configuration space (the offline
     /// characterization sweep), recording every sample.
     pub fn sweep(&self, kernel: &KernelCharacteristics) -> Vec<ProfileSample> {
-        Configuration::enumerate()
-            .iter()
-            .map(|c| self.profile(kernel, c, 0))
-            .collect()
+        Configuration::enumerate().iter().map(|c| self.profile(kernel, c, 0)).collect()
     }
 
     /// Profile many kernels across the full configuration space in
     /// parallel. Deterministic: simulator noise is addressed by
     /// `(seed, kernel, config, iteration)`, not by execution order.
-    pub fn sweep_suite(
-        &self,
-        kernels: &[KernelCharacteristics],
-    ) -> Vec<Vec<ProfileSample>> {
+    pub fn sweep_suite(&self, kernels: &[KernelCharacteristics]) -> Vec<Vec<ProfileSample>> {
         kernels.par_iter().map(|k| self.sweep(k)).collect()
     }
 
@@ -163,8 +157,8 @@ mod tests {
         let k = kernel();
         let cfg = Configuration::cpu(4, CpuPState::MAX);
         let clean = Profiler::new(Machine::noiseless(0)).profile(&k, &cfg, 0);
-        let dirty = Profiler::with_overheads(Machine::noiseless(0), 50e-6, 0.05)
-            .profile(&k, &cfg, 0);
+        let dirty =
+            Profiler::with_overheads(Machine::noiseless(0), 50e-6, 0.05).profile(&k, &cfg, 0);
         let expected = clean.time_s * 1.05 + 50e-6;
         assert!((dirty.time_s - expected).abs() < 1e-12);
     }
@@ -176,8 +170,8 @@ mod tests {
         let k = kernel();
         let cfg = Configuration::cpu(4, CpuPState::MAX);
         let clean = Profiler::new(Machine::noiseless(0)).profile(&k, &cfg, 0);
-        let dirty = Profiler::with_overheads(Machine::noiseless(0), 50e-6, 0.10)
-            .profile(&k, &cfg, 0);
+        let dirty =
+            Profiler::with_overheads(Machine::noiseless(0), 50e-6, 0.10).profile(&k, &cfg, 0);
         assert!(dirty.time_s / clean.time_s < 1.15);
     }
 

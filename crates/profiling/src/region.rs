@@ -65,11 +65,7 @@ impl RegionStack {
 
     /// Qualify a kernel identity with the current context.
     pub fn context_key(&self, kernel_id: &str, input_bytes: Option<u64>) -> ContextKey {
-        ContextKey {
-            kernel_id: kernel_id.to_string(),
-            call_path: self.path(),
-            input_bytes,
-        }
+        ContextKey { kernel_id: kernel_id.to_string(), call_path: self.path(), input_bytes }
     }
 }
 

@@ -48,6 +48,57 @@ pub enum Event {
         /// Configuration after the step.
         config: Configuration,
     },
+    /// Measured power exceeded the cap on a configured iteration.
+    CapViolation {
+        /// Kernel identifier.
+        kernel_id: String,
+        /// Measured package power, W.
+        power_w: f64,
+        /// Cap in force, W.
+        cap_w: f64,
+        /// Consecutive violations so far (this one included).
+        streak: u32,
+    },
+    /// The guard moved a kernel along its degradation ladder.
+    TierChanged {
+        /// Kernel identifier.
+        kernel_id: String,
+        /// Tier before the move (rendered label).
+        from: String,
+        /// Tier after the move (rendered label).
+        to: String,
+        /// Why (e.g. "cap violations", "stale sensor", "recovered").
+        reason: String,
+    },
+    /// The power sensor misbehaved (dropout or frozen reading).
+    SensorAnomaly {
+        /// Kernel identifier.
+        kernel_id: String,
+        /// Anomaly kind ("dropout" or "frozen").
+        kind: String,
+    },
+    /// A failed execution or clamped transition is being retried after a
+    /// backoff wait. Advances the virtual clock by `wait_s`.
+    RetryBackoff {
+        /// Kernel identifier.
+        kernel_id: String,
+        /// Retry attempt number (1-based).
+        attempt: u32,
+        /// Backoff wait before the retry, seconds.
+        wait_s: f64,
+        /// What went wrong (free-form).
+        fault: String,
+    },
+    /// A requested configuration transition was silently clamped by the
+    /// hardware: the kernel ran at `actual`, not `requested`.
+    TransitionClamped {
+        /// Kernel identifier.
+        kernel_id: String,
+        /// Configuration the scheduler asked for.
+        requested: Configuration,
+        /// Configuration the hardware actually ran.
+        actual: Configuration,
+    },
 }
 
 /// A timestamped event.
@@ -79,12 +130,15 @@ impl Timeline {
     }
 
     /// Record an event at the current virtual time. `KernelRun` events
-    /// advance the clock by their duration.
+    /// advance the clock by their duration; `RetryBackoff` events by their
+    /// wait.
     pub fn record(&self, event: Event) {
         let mut inner = self.inner.lock();
         let at_s = inner.now_s;
-        if let Event::KernelRun { time_s, .. } = &event {
-            inner.now_s += time_s;
+        match &event {
+            Event::KernelRun { time_s, .. } => inner.now_s += time_s,
+            Event::RetryBackoff { wait_s, .. } => inner.now_s += wait_s,
+            _ => {}
         }
         inner.entries.push(Entry { at_s, event });
     }
@@ -116,7 +170,12 @@ impl Timeline {
             .filter(|e| match &e.event {
                 Event::KernelRun { kernel_id: k, .. }
                 | Event::ConfigSelected { kernel_id: k, .. }
-                | Event::LimiterStep { kernel_id: k, .. } => k == kernel_id,
+                | Event::LimiterStep { kernel_id: k, .. }
+                | Event::CapViolation { kernel_id: k, .. }
+                | Event::TierChanged { kernel_id: k, .. }
+                | Event::SensorAnomaly { kernel_id: k, .. }
+                | Event::RetryBackoff { kernel_id: k, .. }
+                | Event::TransitionClamped { kernel_id: k, .. } => k == kernel_id,
                 Event::CapChanged { .. } => false,
             })
             .collect()
@@ -155,6 +214,28 @@ impl Timeline {
                 }
                 Event::LimiterStep { kernel_id, config } => {
                     let _ = writeln!(out, "limit {kernel_id} ↓ {config}");
+                }
+                Event::CapViolation { kernel_id, power_w, cap_w, streak } => {
+                    let _ = writeln!(
+                        out,
+                        "over  {kernel_id}  {power_w:.1} W > {cap_w:.1} W  (streak {streak})"
+                    );
+                }
+                Event::TierChanged { kernel_id, from, to, reason } => {
+                    let _ = writeln!(out, "tier  {kernel_id} {from} → {to}  [{reason}]");
+                }
+                Event::SensorAnomaly { kernel_id, kind } => {
+                    let _ = writeln!(out, "sense {kernel_id}: {kind}");
+                }
+                Event::RetryBackoff { kernel_id, attempt, wait_s, fault } => {
+                    let _ = writeln!(
+                        out,
+                        "retry {kernel_id} #{attempt} after {:.3} ms  [{fault}]",
+                        wait_s * 1e3
+                    );
+                }
+                Event::TransitionClamped { kernel_id, requested, actual } => {
+                    let _ = writeln!(out, "clamp {kernel_id} wanted {requested}, ran {actual}");
                 }
             }
         }
@@ -236,6 +317,45 @@ mod tests {
         assert!(txt.contains("cap   → 25.0 W"));
         assert!(txt.contains("run   LULESH/Small/K #0"));
         assert!(txt.starts_with("[     0.000 ms]"));
+    }
+
+    #[test]
+    fn retry_backoff_advances_clock_and_health_events_render() {
+        let t = Timeline::new();
+        t.record(Event::RetryBackoff {
+            kernel_id: "k".into(),
+            attempt: 1,
+            wait_s: 0.004,
+            fault: "kernel run failure".into(),
+        });
+        assert!((t.now_s() - 0.004).abs() < 1e-15);
+        t.record(Event::CapViolation {
+            kernel_id: "k".into(),
+            power_w: 31.0,
+            cap_w: 25.0,
+            streak: 2,
+        });
+        t.record(Event::TierChanged {
+            kernel_id: "k".into(),
+            from: "model".into(),
+            to: "model+fl(1)".into(),
+            reason: "cap violations".into(),
+        });
+        t.record(Event::SensorAnomaly { kernel_id: "k".into(), kind: "dropout".into() });
+        t.record(Event::TransitionClamped {
+            kernel_id: "k".into(),
+            requested: cfg(),
+            actual: Configuration::cpu(4, CpuPState::MIN),
+        });
+        // Only the backoff advanced the clock.
+        assert!((t.now_s() - 0.004).abs() < 1e-15);
+        assert_eq!(t.for_kernel("k").len(), 5);
+        let txt = t.render();
+        assert!(txt.contains("retry k #1"));
+        assert!(txt.contains("over  k  31.0 W > 25.0 W  (streak 2)"));
+        assert!(txt.contains("tier  k model → model+fl(1)"));
+        assert!(txt.contains("sense k: dropout"));
+        assert!(txt.contains("clamp k wanted"));
     }
 
     #[test]

@@ -40,10 +40,8 @@ impl AsymmetricCpuConfig {
     /// active cores.
     pub fn plane_voltage(&self) -> f64 {
         let cores = self.cores_per_module();
-        let active: Vec<CpuPState> = (0..2)
-            .filter(|&m| cores[m] > 0)
-            .map(|m| self.module_pstates[m])
-            .collect();
+        let active: Vec<CpuPState> =
+            (0..2).filter(|&m| cores[m] > 0).map(|m| self.module_pstates[m]).collect();
         shared_plane_voltage(&active)
     }
 
@@ -55,8 +53,7 @@ impl AsymmetricCpuConfig {
 
     /// The symmetric configuration this collapses to when it is symmetric.
     pub fn as_symmetric(&self) -> Option<Configuration> {
-        self.is_symmetric()
-            .then(|| Configuration::cpu(self.threads, self.module_pstates[0]))
+        self.is_symmetric().then(|| Configuration::cpu(self.threads, self.module_pstates[0]))
     }
 
     /// All asymmetric-capable configurations: threads × P-state pairs.
@@ -96,9 +93,8 @@ pub fn asymmetric_cpu_time(
     // Aggregate compute throughput in reference-core units.
     let sharing_loss = kernel.module_sharing_penalty * shared_core_fraction(config.threads);
     let sync = 1.0 + kernel.sync_overhead * (f64::from(config.threads) - 1.0);
-    let raw: f64 = (0..2)
-        .map(|m| f64::from(cores[m]) * config.module_pstates[m].freq_ghz() / f_ref)
-        .sum();
+    let raw: f64 =
+        (0..2).map(|m| f64::from(cores[m]) * config.module_pstates[m].freq_ghz() / f_ref).sum();
     let throughput = raw * (1.0 - sharing_loss) / sync;
 
     // Equivalent single frequency that yields the same throughput with
@@ -137,8 +133,7 @@ pub fn asymmetric_cpu_power(
     let v = config.plane_voltage();
     let cores = config.cores_per_module();
     let busy_frac = if timing.total_s > 0.0 { timing.busy_s / timing.total_s } else { 0.0 };
-    let activity =
-        kernel.cpu_activity * (busy_frac + cal.mem_stall_activity * (1.0 - busy_frac));
+    let activity = kernel.cpu_activity * (busy_frac + cal.mem_stall_activity * (1.0 - busy_frac));
 
     let mut dyn_w = 0.0;
     let mut leak_w = 0.0;
@@ -237,10 +232,18 @@ mod tests {
 
         // Perf-weighted blend of symmetric powers at the same V²f budget.
         let p_hi = cal()
-            .cpu_run_power(&k, &Configuration::cpu(4, hi), &crate::cpu::cpu_time(&k, &Configuration::cpu(4, hi)))
+            .cpu_run_power(
+                &k,
+                &Configuration::cpu(4, hi),
+                &crate::cpu::cpu_time(&k, &Configuration::cpu(4, hi)),
+            )
             .total_w();
         let p_lo = cal()
-            .cpu_run_power(&k, &Configuration::cpu(4, lo), &crate::cpu::cpu_time(&k, &Configuration::cpu(4, lo)))
+            .cpu_run_power(
+                &k,
+                &Configuration::cpu(4, lo),
+                &crate::cpu::cpu_time(&k, &Configuration::cpu(4, lo)),
+            )
             .total_w();
         // Same compute throughput: α·4f_hi + (1−α)·4f_lo = 2(f_hi+f_lo)
         // ⇒ α = 1/2 regardless of the frequencies.

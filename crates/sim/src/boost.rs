@@ -19,10 +19,8 @@ use crate::pstate::{CpuPState, OperatingPoint};
 use serde::{Deserialize, Serialize};
 
 /// Boost operating points above the software-visible P-state ceiling.
-pub const BOOST_STATES: [OperatingPoint; 2] = [
-    OperatingPoint::new(4.0, 1.3250),
-    OperatingPoint::new(4.2, 1.4000),
-];
+pub const BOOST_STATES: [OperatingPoint; 2] =
+    [OperatingPoint::new(4.0, 1.3250), OperatingPoint::new(4.2, 1.4000)];
 
 /// Steady-state thermal model of the package.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -96,18 +96,17 @@ pub fn generate(
     let l1d = inst / 1000.0 * l1_mpki;
     let l2d = l1d * l2_share * noise.jitter(Stream::L2Miss, COUNT_SIGMA);
 
-    let branches = inst * (0.05 + 0.25 * kernel.branch_divergence)
-        * noise.jitter(Stream::Branch, COUNT_SIGMA);
+    let branches =
+        inst * (0.05 + 0.25 * kernel.branch_divergence) * noise.jitter(Stream::Branch, COUNT_SIGMA);
     let vector = inst * kernel.vector_fraction * 0.4 * noise.jitter(Stream::Vector, COUNT_SIGMA);
 
-    let stall_frac = if inputs.total_s > 0.0 {
-        (inputs.memory_s / inputs.total_s).clamp(0.0, 1.0)
-    } else {
-        0.0
-    };
+    let stall_frac =
+        if inputs.total_s > 0.0 { (inputs.memory_s / inputs.total_s).clamp(0.0, 1.0) } else { 0.0 };
     let stalled =
         core_cycles * (0.08 + 0.85 * stall_frac) * noise.jitter(Stream::Stall, COUNT_SIGMA);
-    let fpu_idle = core_cycles * (1.0 - 0.8 * kernel.vector_fraction) * 0.6
+    let fpu_idle = core_cycles
+        * (1.0 - 0.8 * kernel.vector_fraction)
+        * 0.6
         * noise.jitter(Stream::FpuIdle, COUNT_SIGMA);
 
     let interrupts =
@@ -120,8 +119,8 @@ pub fn generate(
         Device::Cpu => threads.min(kernel.bw_saturation_threads),
         Device::Gpu => kernel.gpu_bw_advantage * kernel.bw_saturation_threads,
     };
-    let dram = (kernel.memory_time_s * agents * 2.5e8).max(0.0)
-        * noise.jitter(Stream::Dram, COUNT_SIGMA);
+    let dram =
+        (kernel.memory_time_s * agents * 2.5e8).max(0.0) * noise.jitter(Stream::Dram, COUNT_SIGMA);
 
     CounterSet {
         instructions: inst,
@@ -254,12 +253,8 @@ mod tests {
     fn gpu_run_retires_fewer_host_instructions() {
         let k = KernelCharacteristics::default();
         let cpu = generate(&k, &inputs(), &noise());
-        let gpu_inputs = CounterInputs {
-            device: Device::Gpu,
-            host_busy_s: 0.001,
-            threads: 1,
-            ..inputs()
-        };
+        let gpu_inputs =
+            CounterInputs { device: Device::Gpu, host_busy_s: 0.001, threads: 1, ..inputs() };
         let gpu = generate(&k, &gpu_inputs, &noise());
         assert!(gpu.instructions < cpu.instructions / 4.0);
     }

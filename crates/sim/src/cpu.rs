@@ -113,11 +113,7 @@ mod tests {
 
     #[test]
     fn serial_kernel_does_not_benefit_from_threads() {
-        let k = KernelCharacteristics {
-            parallel_fraction: 0.0,
-            memory_time_s: 0.0,
-            ..kernel()
-        };
+        let k = KernelCharacteristics { parallel_fraction: 0.0, memory_time_s: 0.0, ..kernel() };
         let t1 = cpu_time(&k, &Configuration::cpu(1, CpuPState::MAX)).total_s;
         let t4 = cpu_time(&k, &Configuration::cpu(4, CpuPState::MAX)).total_s;
         assert!((t1 - t4).abs() < 1e-12);
@@ -125,11 +121,7 @@ mod tests {
 
     #[test]
     fn memory_bound_kernel_is_dvfs_insensitive() {
-        let k = KernelCharacteristics {
-            compute_time_s: 1e-6,
-            memory_time_s: 0.010,
-            ..kernel()
-        };
+        let k = KernelCharacteristics { compute_time_s: 1e-6, memory_time_s: 0.010, ..kernel() };
         let slow = cpu_time(&k, &Configuration::cpu(4, CpuPState::MIN)).total_s;
         let fast = cpu_time(&k, &Configuration::cpu(4, CpuPState::MAX)).total_s;
         // Less than 1% improvement from a 2.6x frequency increase.

@@ -53,9 +53,7 @@ impl TransitionModel {
     /// (how a stepping limiter actually moves), seconds.
     pub fn cpu_walk_latency_s(&self, from: CpuPState, to: CpuPState) -> f64 {
         let (lo, hi) = if from.0 <= to.0 { (from.0, to.0) } else { (to.0, from.0) };
-        (lo..hi)
-            .map(|i| self.cpu_latency_s(CpuPState(i), CpuPState(i + 1)))
-            .sum()
+        (lo..hi).map(|i| self.cpu_latency_s(CpuPState(i), CpuPState(i + 1))).sum()
     }
 }
 
@@ -100,9 +98,7 @@ impl OndemandGovernor {
         // Demand in units of max-frequency capacity.
         let demand = util * current.freq_ghz() / CpuPState::MAX.freq_ghz();
         let target = CpuPState::all()
-            .find(|p| {
-                demand <= self.target_util * p.freq_ghz() / CpuPState::MAX.freq_ghz()
-            })
+            .find(|p| demand <= self.target_util * p.freq_ghz() / CpuPState::MAX.freq_ghz())
             .unwrap_or(CpuPState::MAX);
         if target == current {
             GovernorAction::Hold
@@ -162,9 +158,7 @@ mod tests {
     #[test]
     fn walk_latency_sums_steps() {
         let t = TransitionModel::default();
-        let direct: f64 = (0..5)
-            .map(|i| t.cpu_latency_s(CpuPState(i), CpuPState(i + 1)))
-            .sum();
+        let direct: f64 = (0..5).map(|i| t.cpu_latency_s(CpuPState(i), CpuPState(i + 1))).sum();
         assert!((t.cpu_walk_latency_s(CpuPState::MIN, CpuPState::MAX) - direct).abs() < 1e-15);
         assert_eq!(t.cpu_walk_latency_s(CpuPState(3), CpuPState(3)), 0.0);
         // Direction-independent.

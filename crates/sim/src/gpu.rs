@@ -94,11 +94,7 @@ mod tests {
 
     #[test]
     fn memory_bound_kernel_plateaus_with_gpu_frequency() {
-        let k = KernelCharacteristics {
-            compute_time_s: 0.001,
-            memory_time_s: 0.020,
-            ..kernel()
-        };
+        let k = KernelCharacteristics { compute_time_s: 0.001, memory_time_s: 0.020, ..kernel() };
         let mid = gpu_time(&k, &Configuration::gpu(GpuPState(1), CpuPState::MAX)).total_s;
         let max = gpu_time(&k, &Configuration::gpu(GpuPState(2), CpuPState::MAX)).total_s;
         // Nearly no benefit from the top P-state once memory-bound.

@@ -99,10 +99,7 @@ impl KernelCharacteristics {
         };
         check(self.compute_time_s > 0.0, "compute_time_s must be positive");
         check(self.memory_time_s >= 0.0, "memory_time_s must be non-negative");
-        check(
-            (0.0..=1.0).contains(&self.parallel_fraction),
-            "parallel_fraction must be in [0,1]",
-        );
+        check((0.0..=1.0).contains(&self.parallel_fraction), "parallel_fraction must be in [0,1]");
         check(self.bw_saturation_threads >= 1.0, "bw_saturation_threads must be >= 1");
         check(
             (0.0..=1.0).contains(&self.module_sharing_penalty),
@@ -110,25 +107,13 @@ impl KernelCharacteristics {
         );
         check(self.sync_overhead >= 0.0, "sync_overhead must be non-negative");
         check(self.gpu_speedup > 0.0, "gpu_speedup must be positive");
-        check(
-            (0.0..=1.0).contains(&self.branch_divergence),
-            "branch_divergence must be in [0,1]",
-        );
+        check((0.0..=1.0).contains(&self.branch_divergence), "branch_divergence must be in [0,1]");
         check(self.gpu_bw_advantage > 0.0, "gpu_bw_advantage must be positive");
         check(self.launch_overhead_s >= 0.0, "launch_overhead_s must be non-negative");
-        check(
-            (0.0..=1.0).contains(&self.vector_fraction),
-            "vector_fraction must be in [0,1]",
-        );
+        check((0.0..=1.0).contains(&self.vector_fraction), "vector_fraction must be in [0,1]");
         check(self.working_set_mb > 0.0, "working_set_mb must be positive");
-        check(
-            (0.05..=1.0).contains(&self.cpu_activity),
-            "cpu_activity must be in [0.05,1]",
-        );
-        check(
-            (0.05..=1.0).contains(&self.gpu_activity),
-            "gpu_activity must be in [0.05,1]",
-        );
+        check((0.05..=1.0).contains(&self.cpu_activity), "cpu_activity must be in [0.05,1]");
+        check((0.05..=1.0).contains(&self.gpu_activity), "gpu_activity must be in [0.05,1]");
         check(self.weight > 0.0, "weight must be positive");
         errs
     }

@@ -28,6 +28,7 @@ pub mod boost;
 pub mod config;
 pub mod counters;
 pub mod cpu;
+pub mod faults;
 pub mod governor;
 pub mod gpu;
 pub mod kernel;
@@ -42,6 +43,7 @@ pub use asymmetric::{asymmetric_cpu_power, asymmetric_cpu_time, AsymmetricCpuCon
 pub use boost::{boosted_cpu_run, BoostedRun, ThermalModel, BOOST_STATES};
 pub use config::{Configuration, Device, NUM_CPU_CORES, NUM_CPU_MODULES};
 pub use counters::{CounterSet, FEATURE_NAMES};
+pub use faults::{ExecutionFault, Executor, FaultKind, FaultPlan, FaultStats, FaultyMachine};
 pub use governor::{GovernorAction, OndemandGovernor, TransitionModel};
 pub use kernel::KernelCharacteristics;
 pub use machine::{KernelRun, Machine};

@@ -151,9 +151,7 @@ impl Machine {
         let plane_noise = NoiseSource::new(self.seed ^ 0xA5A5, &kernel.id(), config.index(), run);
         let power = PowerBreakdown {
             cpu_plane_w: self.sensor.estimate_trace(&trace, |p| p.cpu_plane_w, &noise),
-            gpu_nb_plane_w: self
-                .sensor
-                .estimate_trace(&trace, |p| p.gpu_nb_plane_w, &plane_noise),
+            gpu_nb_plane_w: self.sensor.estimate_trace(&trace, |p| p.gpu_nb_plane_w, &plane_noise),
         };
 
         let counters = counters::generate(kernel, &counter_inputs, &noise);
@@ -230,11 +228,7 @@ mod tests {
     fn sensor_estimate_tracks_true_power() {
         let m = Machine::new(3);
         // A long-running kernel: the 1 kHz sensor collects many samples.
-        let k = KernelCharacteristics {
-            compute_time_s: 1.0,
-            memory_time_s: 0.3,
-            ..kernel()
-        };
+        let k = KernelCharacteristics { compute_time_s: 1.0, memory_time_s: 0.3, ..kernel() };
         let r = m.run(&k, &Configuration::cpu(4, CpuPState::MAX));
         let rel = (r.power_w() - r.true_power_w()).abs() / r.true_power_w();
         assert!(rel < 0.02, "sensor error {rel}");

@@ -184,12 +184,7 @@ impl PowerCalibration {
             0.0
         };
         let device = PowerBreakdown {
-            cpu_plane_w: self.cpu_plane(
-                1,
-                cp.voltage_v,
-                cp.freq_ghz,
-                self.gpu_host_poll_activity,
-            ),
+            cpu_plane_w: self.cpu_plane(1, cp.voltage_v, cp.freq_ghz, self.gpu_host_poll_activity),
             gpu_nb_plane_w: self.gpu_component(gp.voltage_v, gp.freq_ghz, gpu_activity, 1.0)
                 + self.nb_component(device_dram),
         };
@@ -250,8 +245,8 @@ impl PowerCalibration {
         } else {
             0.0
         };
-        let gpu_activity = kernel.gpu_activity
-            * ((1.0 - mem_share) + self.mem_stall_activity * mem_share);
+        let gpu_activity =
+            kernel.gpu_activity * ((1.0 - mem_share) + self.mem_stall_activity * mem_share);
         let gpu_w = self.gpu_component(gp.voltage_v, gp.freq_ghz, gpu_activity, util);
 
         // The GPU saturates DRAM more readily than CPU threads. The
@@ -365,11 +360,8 @@ mod tests {
     fn memory_bound_kernel_raises_nb_power() {
         let cal = PowerCalibration::default();
         let compute = KernelCharacteristics { memory_time_s: 0.0, ..kernel() };
-        let membound = KernelCharacteristics {
-            compute_time_s: 0.001,
-            memory_time_s: 0.02,
-            ..kernel()
-        };
+        let membound =
+            KernelCharacteristics { compute_time_s: 0.001, memory_time_s: 0.02, ..kernel() };
         let cfg = Configuration::cpu(4, CpuPState::MAX);
         let p_c = cal.cpu_run_power(&compute, &cfg, &cpu_time(&compute, &cfg));
         let p_m = cal.cpu_run_power(&membound, &cfg, &cpu_time(&membound, &cfg));

@@ -152,10 +152,7 @@ pub const GPU_REF_FREQ_GHZ: f64 = 0.819;
 /// that demanded by the faster module even if the other idles at a lower
 /// P-state. The paper relies on this coupling (Section IV-A).
 pub fn shared_plane_voltage(module_states: &[CpuPState]) -> f64 {
-    module_states
-        .iter()
-        .map(|p| p.voltage_v())
-        .fold(CPU_PSTATES[0].voltage_v, f64::max)
+    module_states.iter().map(|p| p.voltage_v()).fold(CPU_PSTATES[0].voltage_v, f64::max)
 }
 
 #[cfg(test)]

@@ -70,10 +70,7 @@ impl PowerTrace {
 
     /// A single-phase (constant) trace.
     pub fn constant(duration_s: f64, power: PowerBreakdown) -> Self {
-        Self {
-            segments: vec![TraceSegment { duration_s, power }],
-            total_s: duration_s,
-        }
+        Self { segments: vec![TraceSegment { duration_s, power }], total_s: duration_s }
     }
 
     /// The trace's segments.
@@ -301,11 +298,7 @@ mod tests {
 
     #[test]
     fn sensor_on_trace_converges_for_long_kernels() {
-        let k = KernelCharacteristics {
-            compute_time_s: 1.0,
-            memory_time_s: 0.4,
-            ..kernel()
-        };
+        let k = KernelCharacteristics { compute_time_s: 1.0, memory_time_s: 0.4, ..kernel() };
         let cfg = Configuration::cpu(4, CpuPState::MAX);
         let trace = trace_for(&k, &cfg, &cal());
         let sensor = PowerSensor::default();
@@ -321,11 +314,7 @@ mod tests {
         // averages the whole execution: the noiseless estimate is the
         // quantized trace average (the accumulator architecture is what
         // keeps short-kernel measurements sane).
-        let k = KernelCharacteristics {
-            compute_time_s: 0.0004,
-            memory_time_s: 0.0004,
-            ..kernel()
-        };
+        let k = KernelCharacteristics { compute_time_s: 0.0004, memory_time_s: 0.0004, ..kernel() };
         let cfg = Configuration::cpu(4, CpuPState::MAX);
         let trace = trace_for(&k, &cfg, &cal());
         let sensor = PowerSensor { noise_sigma: 0.0, ..PowerSensor::default() };

@@ -9,40 +9,38 @@ use proptest::prelude::*;
 /// Strategy producing arbitrary valid kernels across the latent space.
 fn kernel_strategy() -> impl Strategy<Value = KernelCharacteristics> {
     (
-        0.0005..0.2f64,   // compute_time_s
-        0.0..0.05f64,     // memory_time_s
-        0.3..1.0f64,      // parallel_fraction
-        1.0..4.0f64,      // bw_saturation_threads
-        0.0..0.5f64,      // module_sharing_penalty
-        0.0..0.1f64,      // sync_overhead
-        0.1..50.0f64,     // gpu_speedup
-        0.0..1.0f64,      // branch_divergence
+        0.0005..0.2f64, // compute_time_s
+        0.0..0.05f64,   // memory_time_s
+        0.3..1.0f64,    // parallel_fraction
+        1.0..4.0f64,    // bw_saturation_threads
+        0.0..0.5f64,    // module_sharing_penalty
+        0.0..0.1f64,    // sync_overhead
+        0.1..50.0f64,   // gpu_speedup
+        0.0..1.0f64,    // branch_divergence
         (0.5..3.0f64, 0.0..0.002f64, 0.0..1.0f64, 1.0..100.0f64, 0.1..0.6f64, 0.1..0.9f64),
     )
-        .prop_map(
-            |(ct, mt, pf, bw, msp, sync, gs, bd, (gbw, lo, vf, ws, ca, ga))| {
-                KernelCharacteristics {
-                    name: "prop".into(),
-                    benchmark: "Prop".into(),
-                    input: "P".into(),
-                    compute_time_s: ct,
-                    memory_time_s: mt,
-                    parallel_fraction: pf,
-                    bw_saturation_threads: bw,
-                    module_sharing_penalty: msp,
-                    sync_overhead: sync,
-                    gpu_speedup: gs,
-                    branch_divergence: bd,
-                    gpu_bw_advantage: gbw,
-                    launch_overhead_s: lo,
-                    vector_fraction: vf,
-                    working_set_mb: ws,
-                    cpu_activity: ca,
-                    gpu_activity: ga,
-                    weight: 1.0,
-                }
-            },
-        )
+        .prop_map(|(ct, mt, pf, bw, msp, sync, gs, bd, (gbw, lo, vf, ws, ca, ga))| {
+            KernelCharacteristics {
+                name: "prop".into(),
+                benchmark: "Prop".into(),
+                input: "P".into(),
+                compute_time_s: ct,
+                memory_time_s: mt,
+                parallel_fraction: pf,
+                bw_saturation_threads: bw,
+                module_sharing_penalty: msp,
+                sync_overhead: sync,
+                gpu_speedup: gs,
+                branch_divergence: bd,
+                gpu_bw_advantage: gbw,
+                launch_overhead_s: lo,
+                vector_fraction: vf,
+                working_set_mb: ws,
+                cpu_activity: ca,
+                gpu_activity: ga,
+                weight: 1.0,
+            }
+        })
 }
 
 proptest! {

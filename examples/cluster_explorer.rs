@@ -13,10 +13,8 @@ fn main() {
     let kernels = acs::kernels::all_kernel_instances();
 
     println!("characterizing {} kernel/input combinations ...", kernels.len());
-    let profiles: Vec<KernelProfile> = kernels
-        .par_iter()
-        .map(|k| KernelProfile::collect(&machine, k))
-        .collect();
+    let profiles: Vec<KernelProfile> =
+        kernels.par_iter().map(|k| KernelProfile::collect(&machine, k)).collect();
 
     let model = train(&profiles, TrainingParams::default()).expect("training");
 
@@ -29,11 +27,7 @@ fn main() {
     for c in 0..model.clustering.k() {
         let members = model.clustering.members(c);
         let medoid = model.clustering.medoids[c];
-        println!(
-            "cluster {c} — {} kernels, medoid: {}",
-            members.len(),
-            model.kernel_ids[medoid]
-        );
+        println!("cluster {c} — {} kernels, medoid: {}", members.len(), model.kernel_ids[medoid]);
 
         // Describe the archetype by the medoid's best device and
         // memory-boundedness (reading the simulator's ground truth, which
@@ -62,7 +56,10 @@ fn main() {
         let r2 = &model.clusters[c];
         println!(
             "    regression r²: perf cpu {:.2} / gpu {:.2}, power cpu {:.2} / gpu {:.2}",
-            r2.perf_cpu.r_squared, r2.perf_gpu.r_squared, r2.power_cpu.r_squared, r2.power_gpu.r_squared
+            r2.perf_cpu.r_squared,
+            r2.perf_gpu.r_squared,
+            r2.power_cpu.r_squared,
+            r2.power_gpu.r_squared
         );
     }
 

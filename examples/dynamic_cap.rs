@@ -48,7 +48,10 @@ fn main() {
     let schedule: [(u64, f64); 6] =
         [(0, 35.0), (100, 22.0), (200, 15.0), (300, 28.0), (400, 11.0), (500, 35.0)];
 
-    println!("{:>5} | {:>6} | {:<42} | {:>9} | {:>8}", "iter", "cap", "selected configuration", "power", "ms/iter");
+    println!(
+        "{:>5} | {:>6} | {:<42} | {:>9} | {:>8}",
+        "iter", "cap", "selected configuration", "power", "ms/iter"
+    );
     println!("{}", "-".repeat(85));
 
     let mut reselect_total = std::time::Duration::ZERO;

@@ -25,8 +25,8 @@ fn main() {
 
     let lulesh = apps.iter().find(|a| a.label() == "LULESH Small").unwrap();
     let picks = [
-        "CalcFBHourglassForce",              // compute-dense, GPU-friendly
-        "CalcPositionForNodes",              // bandwidth-bound streaming
+        "CalcFBHourglassForce",                // compute-dense, GPU-friendly
+        "CalcPositionForNodes",                // bandwidth-bound streaming
         "ApplyAccelerationBoundaryConditions", // tiny, launch-dominated
     ];
 

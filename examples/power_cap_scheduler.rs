@@ -30,7 +30,10 @@ fn main() {
 
     println!("LULESH Small under shrinking node power caps");
     println!();
-    println!("{:>6} | {:>12} | {:>10} | {:>9} | {:>11}", "cap", "app time", "avg power", "caps met", "GPU kernels");
+    println!(
+        "{:>6} | {:>12} | {:>10} | {:>9} | {:>11}",
+        "cap", "app time", "avg power", "caps met", "GPU kernels"
+    );
     println!("{}", "-".repeat(62));
 
     for cap_w in [40.0, 30.0, 25.0, 20.0, 16.0, 12.0] {

@@ -26,15 +26,14 @@ fn plot(label: &str, kernel: &KernelCharacteristics, config: &Configuration) {
     let horizon = trace.total_s().min(0.002);
     let cols = 72usize;
     let dt = horizon / cols as f64;
-    let samples: Vec<f64> =
-        (0..cols).map(|i| trace.window_average(|p| p.total_w(), i as f64 * dt, (i + 1) as f64 * dt)).collect();
+    let samples: Vec<f64> = (0..cols)
+        .map(|i| trace.window_average(|p| p.total_w(), i as f64 * dt, (i + 1) as f64 * dt))
+        .collect();
     let max = samples.iter().cloned().fold(1.0f64, f64::max);
     for level in (1..=6).rev() {
         let threshold = max * level as f64 / 6.0;
-        let row: String = samples
-            .iter()
-            .map(|&w| if w >= threshold - 1e-9 { '█' } else { ' ' })
-            .collect();
+        let row: String =
+            samples.iter().map(|&w| if w >= threshold - 1e-9 { '█' } else { ' ' }).collect();
         print!("  {:>5.1} W |{row}|", threshold);
         println!();
     }

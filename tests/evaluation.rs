@@ -41,12 +41,8 @@ fn caps_are_oracle_frontier_powers() {
     let e = evaluate(&apps, TrainingParams::default()).unwrap();
     for app in &apps {
         for profile in &app.profiles {
-            let expected: Vec<f64> = profile
-                .oracle_frontier()
-                .points()
-                .iter()
-                .map(|p| p.power_w)
-                .collect();
+            let expected: Vec<f64> =
+                profile.oracle_frontier().points().iter().map(|p| p.power_w).collect();
             let mut seen: Vec<f64> = e
                 .cases
                 .iter()
@@ -95,13 +91,7 @@ fn oracle_perf_bounds_under_limit_methods() {
 #[test]
 fn frequency_limiting_never_hurts_cap_compliance() {
     let e = run_eval();
-    let pct = |m: Method| {
-        e.table3()
-            .iter()
-            .find(|s| s.method == m)
-            .unwrap()
-            .pct_under
-    };
+    let pct = |m: Method| e.table3().iter().find(|s| s.method == m).unwrap().pct_under;
     assert!(pct(Method::ModelFL) >= pct(Method::Model) - 1e-9);
 }
 
@@ -152,10 +142,8 @@ fn different_seeds_preserve_table3_shape() {
     // The qualitative result must not be an artifact of one noise seed.
     for seed in [1, 99] {
         let machine = Machine::new(seed);
-        let apps: Vec<AppInstance> = acs::kernels::app_instances()
-            .into_iter()
-            .filter(|a| a.input != "Large")
-            .collect();
+        let apps: Vec<AppInstance> =
+            acs::kernels::app_instances().into_iter().filter(|a| a.input != "Large").collect();
         let apps = characterize_apps(&machine, &apps);
         let e = evaluate(&apps, TrainingParams::default()).unwrap();
         let get = |m: Method| e.table3().iter().find(|s| s.method == m).copied().unwrap();

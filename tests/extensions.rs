@@ -3,7 +3,9 @@
 //! across crates.
 
 use acs::core::confidence::predict_with_confidence;
-use acs::core::partition::{partition_budget, partition_budget_with, DemandCurve, PartitionObjective};
+use acs::core::partition::{
+    partition_budget, partition_budget_with, DemandCurve, PartitionObjective,
+};
 use acs::core::{CappedRuntime, Objective};
 use acs::prelude::*;
 
@@ -121,15 +123,13 @@ fn runtime_with_persisted_model_matches_in_memory_model() {
     model.save(&path).unwrap();
     let reloaded = TrainedModel::load(&path).unwrap();
 
-    let app = acs::kernels::app_instances()
-        .into_iter()
-        .find(|a| a.label() == "LULESH Small")
-        .unwrap();
+    let app =
+        acs::kernels::app_instances().into_iter().find(|a| a.label() == "LULESH Small").unwrap();
 
     let mut rt_a = CappedRuntime::new(machine(), model, 22.0);
     let mut rt_b = CappedRuntime::new(machine(), reloaded, 22.0);
-    let a = rt_a.run_app(&app, 3);
-    let b = rt_b.run_app(&app, 3);
+    let a = rt_a.run_app(&app, 3).unwrap();
+    let b = rt_b.run_app(&app, 3).unwrap();
     assert_eq!(a, b, "persisted model must schedule identically");
     std::fs::remove_file(path).unwrap();
 }

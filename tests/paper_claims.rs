@@ -34,12 +34,14 @@ fn table3_shape_reproduces() {
     // Claim 1: Model+FL meets power constraints most often (paper: 88%),
     // GPU+FL least often (paper: 60%).
     let methods = Method::COMPARED;
-    let best_under = methods.iter().copied().max_by(|a, b| {
-        pct_under(&e, *a).partial_cmp(&pct_under(&e, *b)).unwrap()
-    });
-    let worst_under = methods.iter().copied().min_by(|a, b| {
-        pct_under(&e, *a).partial_cmp(&pct_under(&e, *b)).unwrap()
-    });
+    let best_under = methods
+        .iter()
+        .copied()
+        .max_by(|a, b| pct_under(&e, *a).partial_cmp(&pct_under(&e, *b)).unwrap());
+    let worst_under = methods
+        .iter()
+        .copied()
+        .min_by(|a, b| pct_under(&e, *a).partial_cmp(&pct_under(&e, *b)).unwrap());
     assert_eq!(best_under, Some(Method::ModelFL), "Model+FL must meet caps most often");
     assert_eq!(worst_under, Some(Method::GpuFL), "GPU+FL must meet caps least often");
 
@@ -154,11 +156,7 @@ fn perf_range_varies_by_orders_of_magnitude() {
         .map(|k| {
             let p = KernelProfile::collect(&machine, k);
             let best = p.best_run().time_s;
-            let worst = p
-                .runs
-                .iter()
-                .map(|r| r.time_s)
-                .fold(0.0f64, f64::max);
+            let worst = p.runs.iter().map(|r| r.time_s).fold(0.0f64, f64::max);
             worst / best
         })
         .collect();

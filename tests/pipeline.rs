@@ -1,8 +1,8 @@
 //! End-to-end integration tests: the full offline → online pipeline wired
 //! across all five crates, on real suite kernels.
 
-use acs::prelude::*;
 use acs::core::prediction_error;
+use acs::prelude::*;
 
 fn machine() -> Machine {
     Machine::new(2014)
@@ -58,16 +58,8 @@ fn held_out_predictions_have_bounded_error() {
             perf_errs.push(err.perf_mape);
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-        assert!(
-            mean(&power_errs) < 0.30,
-            "{benchmark}: mean power MAPE {:.3}",
-            mean(&power_errs)
-        );
-        assert!(
-            mean(&perf_errs) < 0.80,
-            "{benchmark}: mean perf MAPE {:.3}",
-            mean(&perf_errs)
-        );
+        assert!(mean(&power_errs) < 0.30, "{benchmark}: mean power MAPE {:.3}", mean(&power_errs));
+        assert!(mean(&perf_errs) < 0.80, "{benchmark}: mean perf MAPE {:.3}", mean(&perf_errs));
     }
 }
 
@@ -99,21 +91,13 @@ fn model_beats_naive_baselines_under_tight_caps() {
     // configuration that both meets the cap and outperforms GPU+FL's
     // (which is stuck on the GPU and blows the cap).
     let (model, _, held_out) = train_without("SMC");
-    let fill_boundary = held_out
-        .iter()
-        .find(|p| p.kernel.name == "FillBoundary")
-        .expect("FillBoundary in SMC");
+    let fill_boundary =
+        held_out.iter().find(|p| p.kernel.name == "FillBoundary").expect("FillBoundary in SMC");
     let predictor = Predictor::new(&model);
 
     let cap = fill_boundary.oracle_frontier().min_power().unwrap().power_w * 1.3;
-    let model_cfg = acs::core::methods::select(
-        Method::Model,
-        fill_boundary,
-        Some(&predictor),
-        cap,
-    );
-    let gpu_cfg =
-        acs::core::methods::select(Method::GpuFL, fill_boundary, Some(&predictor), cap);
+    let model_cfg = acs::core::methods::select(Method::Model, fill_boundary, Some(&predictor), cap);
+    let gpu_cfg = acs::core::methods::select(Method::GpuFL, fill_boundary, Some(&predictor), cap);
 
     let model_power = fill_boundary.run_at(&model_cfg).true_power_w();
     let gpu_power = fill_boundary.run_at(&gpu_cfg).true_power_w();

@@ -1,0 +1,128 @@
+//! Offline-compatible `criterion` shim.
+//!
+//! Keeps the call-site API (`criterion_group!`/`criterion_main!`,
+//! `Criterion::bench_function`, `Bencher::iter`/`iter_batched`,
+//! `BatchSize`) and reports a coarse mean wall-clock per iteration.
+//! There is no warm-up, outlier analysis, or HTML report — this is just
+//! enough to keep bench targets compiling and runnable offline.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; accepted and ignored (every batch is
+/// a single input here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    /// Minimum measurement time per benchmark.
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { measure_for: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher =
+            Bencher { total: Duration::ZERO, iterations: 0, budget: self.measure_for };
+        routine(&mut bencher);
+        let per_iter = if bencher.iterations == 0 {
+            Duration::ZERO
+        } else {
+            bencher.total / u32::try_from(bencher.iterations.min(u64::from(u32::MAX))).unwrap_or(1)
+        };
+        println!("bench {name:<40} {per_iter:>12.2?}/iter ({} iters)", bencher.iterations);
+        self
+    }
+}
+
+pub struct Bencher {
+    total: Duration,
+    iterations: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.total += t0.elapsed();
+            self.iterations += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut f: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let start = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(f(input));
+            self.total += t0.elapsed();
+            self.iterations += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Group benchmark functions under one runner entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion { measure_for: Duration::from_millis(1) };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup() {
+        let mut c = Criterion { measure_for: Duration::from_millis(1) };
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,6 @@
+//! Offline-compatible `rand` placeholder.
+//!
+//! The workspace declares `rand` but all randomness actually flows
+//! through the simulator's own seeded `NoiseSource` and the proptest
+//! shim's `TestRng`, so no API surface is required here. The crate
+//! exists only to satisfy the dependency graph offline.

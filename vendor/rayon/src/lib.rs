@@ -1,0 +1,89 @@
+//! Offline-compatible `rayon` shim.
+//!
+//! Provides `par_iter()` / `into_par_iter()` entry points that return the
+//! corresponding *sequential* std iterators, so call sites keep rayon's
+//! spelling (`xs.par_iter().map(..).collect()`) and gain parallelism for
+//! free if the real crate is ever restored. Correctness is identical;
+//! only wall-clock differs.
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParallelIteratorExt};
+}
+
+/// Rayon methods that have no sequential std spelling; delegate to the
+/// equivalent `Iterator` adapters.
+pub trait ParallelIteratorExt: Iterator + Sized {
+    fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+    where
+        U: IntoIterator,
+        F: FnMut(Self::Item) -> U,
+    {
+        self.flat_map(f)
+    }
+}
+
+impl<I: Iterator> ParallelIteratorExt for I {}
+
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = std::ops::Range<usize>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_sequential() {
+        let xs = vec![1, 2, 3];
+        let doubled: Vec<i32> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let sum: usize = (0..5usize).into_par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+}
