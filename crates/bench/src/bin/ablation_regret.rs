@@ -1,0 +1,99 @@
+//! Experiment A11 — differential regret vs. the exhaustive oracle.
+//!
+//! Replays the full `crates/verify` scenario grid (3 machine seeds × every
+//! training/evaluation kernel × probe caps spanning each oracle frontier)
+//! through the four compared methods and reports per-method regret against
+//! the exhaustive-sweep oracle: under-limit rate, mean/max performance
+//! regret, feasible-cap violation rate, and overshoot. This is the
+//! Figure 4–6 story told against ground truth rather than the Table III
+//! leave-one-benchmark-out evaluation, plus the per-benchmark under-limit
+//! breakdown of Figure 6.
+//!
+//! Run with: `cargo run --release -p acs-bench --bin ablation_regret`
+
+use acs_core::{Method, TrainingParams};
+use acs_verify::{run_differential, GridParams, ScenarioGrid, Thresholds};
+use serde::Serialize;
+
+/// One per-benchmark row of the Figure 6 view.
+#[derive(Debug, Serialize)]
+struct BenchmarkRow {
+    benchmark: String,
+    model_under_pct: Option<f64>,
+    model_fl_under_pct: Option<f64>,
+    cpu_fl_under_pct: Option<f64>,
+    gpu_fl_under_pct: Option<f64>,
+}
+
+/// The serialized experiment result.
+#[derive(Debug, Serialize)]
+struct RegretResult {
+    machine_seed: u64,
+    total_scenarios: usize,
+    per_method: Vec<acs_verify::MethodRegret>,
+    per_benchmark: Vec<BenchmarkRow>,
+    threshold_failures: Vec<String>,
+}
+
+fn main() {
+    let grid = ScenarioGrid::generate(GridParams::default());
+    println!(
+        "Ablation A11 — per-method regret vs. exhaustive oracle ({} scenarios, {} machines)",
+        grid.len(),
+        grid.machines.len()
+    );
+    println!();
+
+    let report = run_differential(&grid, TrainingParams::default()).expect("training succeeds");
+    println!("{}", report.render());
+
+    // The per-benchmark under-limit breakdown (Figure 6 against the oracle
+    // grid; EXPERIMENTS.md compares these to the paper's percentages).
+    let prefixes = ["LULESH/", "CoMD/", "SMC/", "LU/"];
+    println!(
+        "{:<10} | {:>7} | {:>9} | {:>7} | {:>7}   (% under limit)",
+        "Benchmark", "Model", "Model+FL", "CPU+FL", "GPU+FL"
+    );
+    println!("-----------+---------+-----------+---------+--------");
+    let mut per_benchmark = Vec::new();
+    for prefix in prefixes {
+        let cell = |m: Method| report.under_pct_for(m, prefix);
+        let fmt = |v: Option<f64>| v.map_or("—".to_string(), |p| format!("{p:.1}"));
+        println!(
+            "{:<10} | {:>7} | {:>9} | {:>7} | {:>7}",
+            prefix.trim_end_matches('/'),
+            fmt(cell(Method::Model)),
+            fmt(cell(Method::ModelFL)),
+            fmt(cell(Method::CpuFL)),
+            fmt(cell(Method::GpuFL)),
+        );
+        per_benchmark.push(BenchmarkRow {
+            benchmark: prefix.trim_end_matches('/').to_string(),
+            model_under_pct: cell(Method::Model),
+            model_fl_under_pct: cell(Method::ModelFL),
+            cpu_fl_under_pct: cell(Method::CpuFL),
+            gpu_fl_under_pct: cell(Method::GpuFL),
+        });
+    }
+
+    let failures = report.check(&Thresholds::default());
+    println!();
+    if failures.is_empty() {
+        println!("All paper-derived regret gates pass.");
+    } else {
+        println!("Regret gates FAILED:");
+        for f in &failures {
+            println!("  {f}");
+        }
+    }
+
+    let result = RegretResult {
+        machine_seed: acs_bench::EXPERIMENT_SEED,
+        total_scenarios: report.total_scenarios,
+        per_method: report.per_method.clone(),
+        per_benchmark,
+        threshold_failures: failures,
+    };
+    let path = acs_bench::write_result("ablation_regret", &result);
+    println!("\nwrote {}", path.display());
+}

@@ -68,6 +68,12 @@ COMMANDS:
         [--freeze P] [--bias P]           and per-kernel degradation ladders
         [--corrupt P] [--pstate-fail P]   (probabilities in [0,1]; add
         [--run-fail P] [--unguarded true] --timeline true for the full trace)
+  verify [--quick true] [--bless true]    differential-test every method
+         [--golden-dir DIR]               against the exhaustive oracle, check
+         [--cache-dir DIR]                metamorphic invariants, and diff (or,
+                                          with --bless, regenerate) the golden
+                                          traces; --cache-dir caches oracle
+                                          frontiers between runs
 ";
 
 /// Dispatch a parsed command line.
@@ -81,6 +87,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "evaluate" => cmd_evaluate(args, out),
         "runtime" => cmd_runtime(args, out),
         "chaos" => cmd_chaos(args, out),
+        "verify" => cmd_verify(args, out),
         "help" => {
             write!(out, "{USAGE}").map_err(io_err)?;
             Ok(())
@@ -375,6 +382,89 @@ scheduling timeline:"
     Ok(())
 }
 
+fn cmd_verify(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use acs_verify::{golden, metamorphic, run_differential, GridParams, ScenarioGrid, Thresholds};
+
+    let golden_dir = args
+        .get("golden-dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(golden::default_golden_dir);
+
+    // Blessing regenerates the reference traces and stops — no gates run
+    // against files that were just rewritten.
+    if args.get_or("bless", false)? {
+        let written = acs_verify::bless(&golden_dir).map_err(io_err)?;
+        for p in &written {
+            writeln!(out, "blessed {}", p.display()).map_err(io_err)?;
+        }
+        writeln!(out, "{} golden trace(s) regenerated", written.len()).map_err(io_err)?;
+        return Ok(());
+    }
+
+    let params =
+        if args.get_or("quick", false)? { GridParams::quick() } else { GridParams::default() };
+    let grid = ScenarioGrid::generate(params);
+    writeln!(out, "scenario grid: {} (machine, kernel, cap) scenarios", grid.len())
+        .map_err(io_err)?;
+
+    // Optionally persist oracle frontiers so repeat runs skip the sweeps.
+    if let Some(dir) = args.get("cache-dir") {
+        let engine = acs_verify::OracleEngine::with_cache(dir);
+        let mut cached = 0usize;
+        for m in &grid.machines {
+            for (profile, _) in &m.evaluated {
+                engine.frontier(&m.machine, &profile.kernel);
+                cached += 1;
+            }
+        }
+        writeln!(out, "oracle cache: {cached} frontiers under {dir}").map_err(io_err)?;
+    }
+
+    let report = run_differential(&grid, TrainingParams::default())
+        .map_err(|e| CliError::Domain(e.to_string()))?;
+    write!(out, "{}", report.render()).map_err(io_err)?;
+    let mut failures = report.check(&Thresholds::default());
+
+    for m in &grid.machines {
+        let evaluated: Vec<acs_core::KernelProfile> =
+            m.evaluated.iter().map(|(p, _)| p.clone()).collect();
+        let model = train(&m.training, TrainingParams::default())
+            .map_err(|e| CliError::Domain(e.to_string()))?;
+        let app = acs_kernels::app_instances()
+            .into_iter()
+            .find(|a| a.label() == "LULESH Small")
+            .expect("LULESH Small exists");
+        for v in metamorphic::check_all(m.machine.seed, &m.training, &evaluated, &model, &app) {
+            failures.push(format!("invariant (machine {}): {v}", m.machine.seed));
+        }
+    }
+    writeln!(out, "metamorphic invariants: checked on {} machine(s)", grid.machines.len())
+        .map_err(io_err)?;
+
+    let diffs = acs_verify::compare(&golden_dir);
+    for d in &diffs {
+        writeln!(out, "golden {}", acs_verify::render_diff(d)).map_err(io_err)?;
+        if !d.passed() {
+            failures.push(format!("golden trace {}: see target/golden-diffs/", d.name));
+        }
+    }
+    if diffs.iter().any(|d| !d.passed()) {
+        let artifacts =
+            acs_verify::write_failure_artifacts(&golden::default_artifact_dir(), &diffs)
+                .map_err(io_err)?;
+        for p in artifacts {
+            writeln!(out, "wrote failure artifact {}", p.display()).map_err(io_err)?;
+        }
+    }
+
+    if failures.is_empty() {
+        writeln!(out, "verify: PASS").map_err(io_err)?;
+        Ok(())
+    } else {
+        Err(CliError::Domain(format!("verify: FAIL\n  {}", failures.join("\n  "))))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -509,6 +599,47 @@ mod tests {
                 other => panic!("expected domain error for '{cmd}', got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn verify_bless_then_pass_quick() {
+        let dir = tmp("golden-dir");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run_str(&format!("verify --bless true --golden-dir {dir}")).unwrap();
+        assert!(out.contains("3 golden trace(s) regenerated"), "{out}");
+
+        let out = run_str(&format!("verify --quick true --golden-dir {dir}")).unwrap();
+        assert!(out.contains("scenario grid:"), "{out}");
+        assert!(out.contains("Model+FL"), "{out}");
+        assert!(out.contains("metamorphic invariants"), "{out}");
+        assert!(out.contains("verify: PASS"), "{out}");
+    }
+
+    #[test]
+    fn verify_missing_goldens_fails_with_bless_hint() {
+        let dir = tmp("golden-missing");
+        let _ = std::fs::remove_dir_all(&dir);
+        match run_str(&format!("verify --quick true --golden-dir {dir}")) {
+            Err(CliError::Domain(msg)) => {
+                assert!(msg.contains("verify: FAIL"), "{msg}");
+                assert!(msg.contains("golden trace"), "{msg}");
+            }
+            other => panic!("expected failure without blessed goldens, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_cache_dir_populates_oracle_cache() {
+        let golden = tmp("golden-cache");
+        let cache = tmp("oracle-cache");
+        let _ = std::fs::remove_dir_all(&cache);
+        run_str(&format!("verify --bless true --golden-dir {golden}")).unwrap();
+        let out =
+            run_str(&format!("verify --quick true --golden-dir {golden} --cache-dir {cache}"))
+                .unwrap();
+        assert!(out.contains("oracle cache: 22 frontiers"), "{out}");
+        let files = std::fs::read_dir(&cache).unwrap().count();
+        assert_eq!(files, 22);
     }
 
     #[test]

@@ -5,12 +5,20 @@
 //! kernels' Pareto frontiers: +1 for identical orderings, −1 for exactly
 //! reversed orderings. τ-b additionally corrects for ties.
 
+/// True when rank correlation over `(x, y)` is well-defined: equal
+/// lengths, at least one pair, and no NaN/infinite values (a NaN compares
+/// false to everything, which would silently count pairs as discordant).
+fn defined(x: &[f64], y: &[f64]) -> bool {
+    x.len() == y.len() && x.len() >= 2 && x.iter().chain(y).all(|v| v.is_finite())
+}
+
 /// Kendall τ-a: `(concordant − discordant) / (n(n−1)/2)`.
 ///
-/// Returns `None` when the sequences differ in length or have fewer than
-/// two elements (rank correlation is undefined).
+/// Returns `None` when the sequences differ in length, have fewer than
+/// two elements, or contain non-finite values (rank correlation is
+/// undefined in every case).
 pub fn tau_a(x: &[f64], y: &[f64]) -> Option<f64> {
-    if x.len() != y.len() || x.len() < 2 {
+    if !defined(x, y) {
         return None;
     }
     let (mut concordant, mut discordant) = (0i64, 0i64);
@@ -35,10 +43,19 @@ pub fn tau_a(x: &[f64], y: &[f64]) -> Option<f64> {
 /// `(C − D) / sqrt((C + D + Tx)(C + D + Ty))` where `Tx`/`Ty` count pairs
 /// tied only in `x`/`y`.
 ///
-/// Returns `None` for mismatched/short input or when either sequence is
-/// entirely tied (denominator zero).
+/// Returns `None` for mismatched/short/non-finite input or when either
+/// sequence is entirely tied: a degenerate sequence has no ordering to
+/// correlate, so the result is "undefined", never NaN.
 pub fn tau_b(x: &[f64], y: &[f64]) -> Option<f64> {
-    if x.len() != y.len() || x.len() < 2 {
+    if !defined(x, y) {
+        return None;
+    }
+    // All-tied detection up front: with every pair tied in `x` (or `y`),
+    // C = D = T_other = 0 makes the denominator zero below, but spelling
+    // the degenerate case out keeps it a contract, not an arithmetic
+    // accident.
+    let all_tied = |s: &[f64]| s.windows(2).all(|w| w[0] == w[1]);
+    if all_tied(x) || all_tied(y) {
         return None;
     }
     let (mut concordant, mut discordant) = (0i64, 0i64);
@@ -132,6 +149,28 @@ mod tests {
         assert_eq!(tau_b(&[], &[]), None);
         // All tied in x: denominator zero.
         assert_eq!(tau_b(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+    }
+
+    #[test]
+    fn all_tied_inputs_are_none_never_nan() {
+        // Tied in y, in both, and a two-element tie.
+        assert_eq!(tau_b(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]), None);
+        assert_eq!(tau_b(&[2.0, 2.0], &[2.0, 2.0]), None);
+        assert_eq!(tau_b(&[0.0, 0.0], &[0.0, 0.0]), None);
+        // τ-a stays defined (it divides by the pair count, not the tie
+        // correction) and reports zero correlation.
+        assert_eq!(tau_a(&[1.0, 1.0], &[1.0, 1.0]), Some(0.0));
+    }
+
+    #[test]
+    fn non_finite_inputs_are_none() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(tau_a(&[1.0, bad, 3.0], &[1.0, 2.0, 3.0]), None);
+            assert_eq!(tau_b(&[1.0, bad, 3.0], &[1.0, 2.0, 3.0]), None);
+            assert_eq!(tau_b(&[1.0, 2.0, 3.0], &[bad, 2.0, 3.0]), None);
+        }
+        // A NaN must not masquerade as an all-tied or discordant pair.
+        assert_eq!(tau_b(&[f64::NAN, f64::NAN], &[1.0, 2.0]), None);
     }
 
     #[test]

@@ -44,6 +44,44 @@ proptest! {
     }
 
     #[test]
+    fn tau_b_is_symmetric_defined_and_in_range((x, y) in vec_pair(2..=20)) {
+        // τ is symmetric in its arguments: swapping the sequences swaps
+        // the roles of Tx and Ty but leaves C, D, and the product in the
+        // denominator unchanged — so tau(x,y) == tau(y,x) exactly,
+        // including which inputs are defined at all.
+        let xy = tau_b(&x, &y);
+        let yx = tau_b(&y, &x);
+        prop_assert_eq!(xy, yx);
+        // Never NaN; when defined, strictly within [-1, 1].
+        if let Some(t) = xy {
+            prop_assert!(t.is_finite(), "tau_b produced {t}");
+            prop_assert!((-1.0..=1.0).contains(&t), "tau_b out of range: {t}");
+        }
+    }
+
+    #[test]
+    fn tau_b_all_tied_is_none(c in -100.0..100.0f64, n in 2usize..20, y in prop::collection::vec(-100.0..100.0f64, 20)) {
+        // A constant sequence carries no ordering: τ-b must decline
+        // (return None), never divide 0/0 into NaN.
+        let x = vec![c; n];
+        prop_assert_eq!(tau_b(&x, &y[..n]), None);
+        prop_assert_eq!(tau_b(&y[..n], &x), None);
+        prop_assert_eq!(tau_b(&x, &x), None);
+    }
+
+    #[test]
+    fn tau_negates_when_one_sequence_is_negated((x, y) in vec_pair(2..=20)) {
+        // Antisymmetry under order reversal: negating one sequence
+        // reverses its ordering, so every concordant pair becomes
+        // discordant and vice versa while ties stay ties.
+        let neg_y: Vec<f64> = y.iter().map(|v| -v).collect();
+        match (tau_b(&x, &y), tau_b(&x, &neg_y)) {
+            (Some(t), Some(nt)) => prop_assert!((t + nt).abs() < 1e-12, "{t} vs {nt}"),
+            (a, b) => prop_assert_eq!(a.is_none(), b.is_none()),
+        }
+    }
+
+    #[test]
     fn regression_recovers_planted_coefficients(
         a in -5.0..5.0f64,
         b in -5.0..5.0f64,

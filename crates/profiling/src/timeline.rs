@@ -163,6 +163,15 @@ impl Timeline {
         self.inner.lock().entries.clone()
     }
 
+    /// Canonical JSON serialization of the whole trace. The vendored
+    /// `serde_json` emits shortest-roundtrip floats and preserves field
+    /// order, so two timelines produced by identical schedules serialize
+    /// to byte-identical strings — the representation the determinism
+    /// tests and golden-trace gates diff.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.entries()).expect("timeline entries always serialize")
+    }
+
     /// Events concerning one kernel.
     pub fn for_kernel(&self, kernel_id: &str) -> Vec<Entry> {
         self.entries()

@@ -1,0 +1,37 @@
+//! acs-verify — oracle differential testing, metamorphic invariants, and
+//! golden-trace regression gates.
+//!
+//! The paper's central claim (Figures 4–6) is that model-based
+//! configuration selection lands within a few percent of an exhaustive
+//! oracle while respecting power caps. This crate turns that claim into
+//! permanent machinery, in four layers:
+//!
+//! * [`scenario`] — a deterministic grid of `(machine seed, kernel, cap)`
+//!   scenarios with leave-one-benchmark-out training discipline.
+//! * [`oracle`] — the exhaustive ground truth: full 42-configuration
+//!   sweeps with disk-cached Pareto frontiers.
+//! * [`differential`] — every method replayed against the oracle, scored
+//!   as per-method regret with pass/fail thresholds from the paper.
+//! * [`metamorphic`] + [`golden`] — first-principles invariants and
+//!   byte-exact blessed traces guarding against silent behavior drift.
+//!
+//! `tests/conformance.rs` at the workspace root wires all four into
+//! `cargo test`; the `acs verify` CLI subcommand runs them on demand and
+//! re-blesses goldens after intentional behavior changes.
+
+#![warn(missing_docs)]
+
+pub mod differential;
+pub mod golden;
+pub mod metamorphic;
+pub mod oracle;
+pub mod scenario;
+
+pub use differential::{run_differential, MethodRegret, RegretReport, ScenarioCase, Thresholds};
+pub use golden::{bless, compare, render_diff, write_failure_artifacts, GoldenDiff, GoldenStatus};
+pub use metamorphic::{
+    check_all, check_cap_monotonicity, check_cluster_permutation_invariance,
+    check_frontier_non_domination, check_seed_determinism, InvariantViolation,
+};
+pub use oracle::{FrontierRecord, OracleChoice, OracleEngine};
+pub use scenario::{GridParams, MachineScenarios, Scenario, ScenarioGrid};

@@ -1,0 +1,197 @@
+//! The exhaustive oracle engine.
+//!
+//! Ground truth for every differential check: sweep a kernel over the full
+//! 42-configuration space on a seeded [`Machine`], extract the true-power
+//! Pareto frontier, and answer "what would a perfect-knowledge scheduler
+//! have picked at this cap?". Frontier extraction is cheap but the sweep is
+//! not free at grid scale, so frontiers cache to disk as self-describing
+//! JSON records keyed by `(machine seed, kernel id)` — a warm cache makes a
+//! conformance run mostly I/O.
+
+use acs_core::{Frontier, KernelProfile, PowerPerfPoint};
+use acs_sim::{Configuration, KernelCharacteristics, Machine};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// One cached oracle frontier, self-describing so a stale or foreign file
+/// is detected instead of silently trusted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontierRecord {
+    /// Seed of the machine the frontier was swept on.
+    pub machine_seed: u64,
+    /// Kernel identifier.
+    pub kernel_id: String,
+    /// The true-power Pareto frontier.
+    pub frontier: Frontier,
+}
+
+/// The oracle engine: exhaustive sweeps with an optional disk cache.
+#[derive(Debug, Clone, Default)]
+pub struct OracleEngine {
+    cache_dir: Option<PathBuf>,
+}
+
+/// The oracle's answer at one cap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OracleChoice {
+    /// The selected configuration.
+    pub config: Configuration,
+    /// Its true power, W.
+    pub power_w: f64,
+    /// Its performance (inverse time).
+    pub perf: f64,
+    /// Whether the selection meets the cap (false only when no
+    /// configuration can: the oracle fell back to minimum power).
+    pub feasible: bool,
+}
+
+impl OracleEngine {
+    /// An engine that always sweeps (no cache).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An engine caching frontiers under `dir` (created on demand).
+    pub fn with_cache(dir: impl Into<PathBuf>) -> Self {
+        Self { cache_dir: Some(dir.into()) }
+    }
+
+    fn cache_path(&self, machine_seed: u64, kernel_id: &str) -> Option<PathBuf> {
+        let dir = self.cache_dir.as_ref()?;
+        let safe: String = kernel_id
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '.' { c } else { '_' })
+            .collect();
+        Some(dir.join(format!("oracle-{machine_seed}-{safe}.json")))
+    }
+
+    fn load_cached(path: &Path, machine_seed: u64, kernel_id: &str) -> Option<Frontier> {
+        let json = std::fs::read_to_string(path).ok()?;
+        let record: FrontierRecord = serde_json::from_str(&json).ok()?;
+        // A hash-collision or hand-edited file must not masquerade as the
+        // requested frontier.
+        (record.machine_seed == machine_seed && record.kernel_id == kernel_id)
+            .then_some(record.frontier)
+    }
+
+    /// The oracle frontier for `kernel` on `machine`, from cache when
+    /// possible. Corrupt or mismatched cache entries are recomputed and
+    /// overwritten.
+    pub fn frontier(&self, machine: &Machine, kernel: &KernelCharacteristics) -> Frontier {
+        let id = kernel.id();
+        let path = self.cache_path(machine.seed, &id);
+        if let Some(p) = &path {
+            if let Some(frontier) = Self::load_cached(p, machine.seed, &id) {
+                return frontier;
+            }
+        }
+        let frontier = KernelProfile::collect(machine, kernel).oracle_frontier();
+        if let Some(p) = &path {
+            let record = FrontierRecord {
+                machine_seed: machine.seed,
+                kernel_id: id,
+                frontier: frontier.clone(),
+            };
+            // Cache writes are best-effort: a read-only filesystem costs
+            // re-sweeps, never correctness.
+            if let Some(parent) = p.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            if let Ok(json) = serde_json::to_string(&record) {
+                let _ = std::fs::write(p, json);
+            }
+        }
+        frontier
+    }
+
+    /// The oracle's selection from a frontier at `cap_w`: the
+    /// best-performing point meeting the cap, else the minimum-power
+    /// fallback.
+    pub fn choose(frontier: &Frontier, cap_w: f64) -> OracleChoice {
+        let (point, feasible): (&PowerPerfPoint, bool) = match frontier.best_under(cap_w) {
+            Some(p) => (p, true),
+            None => (frontier.min_power().expect("non-empty frontier"), false),
+        };
+        OracleChoice { config: point.config, power_w: point.power_w, perf: point.perf, feasible }
+    }
+
+    /// Sweep-and-choose in one call (used by the differential runner when
+    /// it already has the profile in hand).
+    pub fn choose_for(
+        &self,
+        machine: &Machine,
+        kernel: &KernelCharacteristics,
+        cap_w: f64,
+    ) -> OracleChoice {
+        Self::choose(&self.frontier(machine, kernel), cap_w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> KernelCharacteristics {
+        KernelCharacteristics::default()
+    }
+
+    #[test]
+    fn uncached_engine_matches_profile_frontier() {
+        let machine = Machine::new(3);
+        let engine = OracleEngine::new();
+        let f = engine.frontier(&machine, &kernel());
+        assert_eq!(f, KernelProfile::collect(&machine, &kernel()).oracle_frontier());
+    }
+
+    #[test]
+    fn cache_roundtrips_and_is_reused() {
+        let dir = std::env::temp_dir().join("acs-verify-test-oracle-cache");
+        let _ = std::fs::remove_dir_all(&dir);
+        let machine = Machine::new(5);
+        let engine = OracleEngine::with_cache(&dir);
+        let first = engine.frontier(&machine, &kernel());
+        let path = engine.cache_path(5, &kernel().id()).unwrap();
+        assert!(path.exists(), "sweep must populate the cache");
+        let second = engine.frontier(&machine, &kernel());
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn corrupt_cache_entry_is_recomputed() {
+        let dir = std::env::temp_dir().join("acs-verify-test-oracle-corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let machine = Machine::new(5);
+        let engine = OracleEngine::with_cache(&dir);
+        let good = engine.frontier(&machine, &kernel());
+        let path = engine.cache_path(5, &kernel().id()).unwrap();
+        std::fs::write(&path, "{ not json").unwrap();
+        assert_eq!(engine.frontier(&machine, &kernel()), good);
+        // The corrupt file was overwritten with a valid record.
+        assert!(OracleEngine::load_cached(&path, 5, &kernel().id()).is_some());
+    }
+
+    #[test]
+    fn mismatched_seed_in_cache_is_ignored() {
+        let dir = std::env::temp_dir().join("acs-verify-test-oracle-mismatch");
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = OracleEngine::with_cache(&dir);
+        let f7 = engine.frontier(&Machine::new(7), &kernel());
+        // Forge seed 8's slot with seed 7's record.
+        let forged = engine.cache_path(8, &kernel().id()).unwrap();
+        std::fs::copy(engine.cache_path(7, &kernel().id()).unwrap(), &forged).unwrap();
+        let f8 = engine.frontier(&Machine::new(8), &kernel());
+        assert_ne!(f7, f8, "different machines must not share frontiers via the cache");
+    }
+
+    #[test]
+    fn choose_is_optimal_and_flags_feasibility() {
+        let machine = Machine::new(3);
+        let f = OracleEngine::new().frontier(&machine, &kernel());
+        let generous = OracleEngine::choose(&f, 1e9);
+        assert!(generous.feasible);
+        assert_eq!(generous.perf, f.max_perf().unwrap().perf);
+        let impossible = OracleEngine::choose(&f, 0.1);
+        assert!(!impossible.feasible);
+        assert_eq!(impossible.power_w, f.min_power().unwrap().power_w);
+    }
+}

@@ -23,7 +23,9 @@
 //! * [`core`] — the paper's contribution: Pareto frontiers, offline
 //!   cluster-and-regress training, online classify-and-predict selection,
 //!   simulated RAPL frequency limiting, and the full Table III / Figures
-//!   4–9 evaluation protocol.
+//!   4–9 evaluation protocol,
+//! * [`verify`] — the correctness tooling: exhaustive-oracle differential
+//!   testing, metamorphic invariants, and golden-trace regression gates.
 //!
 //! ## Quickstart
 //!
@@ -58,6 +60,7 @@ pub use acs_kernels as kernels;
 pub use acs_mlstat as mlstat;
 pub use acs_profiling as profiling;
 pub use acs_sim as sim;
+pub use acs_verify as verify;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {

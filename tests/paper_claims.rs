@@ -78,6 +78,71 @@ fn table3_shape_reproduces() {
 }
 
 #[test]
+fn fig6_under_limit_percentages_per_method() {
+    // Figure 6: percentage of cases each method stays under the power
+    // limit, per benchmark. Asserted from the differential regret report
+    // (crates/verify) over the default 264-scenario oracle grid rather
+    // than the Table III evaluation, so the claim is checked against
+    // exhaustive ground truth.
+    //
+    // Tolerances: the paper's absolute numbers (Model+FL 88%, Model 73%,
+    // GPU+FL 60% aggregate; Model+FL ≥ 57.1% per benchmark, Fig. 6) came
+    // from the Trinity testbed. Our simulator is cleaner than real
+    // hardware, so methods land *above* the paper's floors; each
+    // assertion keeps the paper number visible as `paper:` and allows
+    // simulator optimism upward while gating collapse downward.
+    use acs::verify::{run_differential, GridParams, ScenarioGrid};
+
+    let grid = ScenarioGrid::generate(GridParams::default());
+    let report = run_differential(&grid, TrainingParams::default()).expect("training succeeds");
+    let under = |m: Method| report.for_method(m).unwrap().under_rate * 100.0;
+
+    // Aggregate bands: paper value − tolerance ≤ ours ≤ 100.
+    for (method, paper_pct, tolerance) in [
+        (Method::ModelFL, 88.0, 8.0), // paper: 88% — the headline claim
+        (Method::Model, 73.0, 8.0),   // paper: 73%
+        (Method::CpuFL, 88.0, 20.0),  // paper: 88% (fixed CPU rarely overshoots)
+        (Method::GpuFL, 60.0, 10.0),  // paper: 60% — the floor of Fig. 6
+    ] {
+        let ours = under(method);
+        assert!(
+            ours >= paper_pct - tolerance,
+            "{method}: {ours:.1}% under-limit vs paper {paper_pct:.0}% (tolerance −{tolerance:.0})"
+        );
+        assert!(ours <= 100.0 + 1e-9, "{method}: {ours:.1}% is not a percentage");
+    }
+
+    // Ordering claims (robust to simulator offsets): the model methods
+    // beat both fixed-device baselines, and Model+FL never trails Model.
+    assert!(under(Method::ModelFL) >= under(Method::Model), "FL correction must not hurt");
+    for fixed in [Method::CpuFL, Method::GpuFL] {
+        assert!(
+            under(Method::ModelFL) > under(fixed),
+            "Model+FL ({:.1}%) must beat {fixed} ({:.1}%)",
+            under(Method::ModelFL),
+            under(fixed)
+        );
+    }
+
+    // Per-benchmark floors (Fig. 6's weakest column is LU Small at
+    // 57.1%): Model+FL must stay above that floor on every evaluated
+    // benchmark prefix, and GPU+FL must be the weak method on LU — the
+    // benchmark whose CPU-friendly kernels punish a fixed-GPU policy.
+    for prefix in ["LULESH/", "LU/"] {
+        let mfl = report
+            .under_pct_for(Method::ModelFL, prefix)
+            .expect("evaluated scenarios include the prefix");
+        assert!(mfl >= 57.1 - 5.0, "Model+FL on {prefix}: {mfl:.1}% vs paper floor 57.1%");
+    }
+    let lu_gpu = report.under_pct_for(Method::GpuFL, "LU/").unwrap();
+    let lu_mfl = report.under_pct_for(Method::ModelFL, "LU/").unwrap();
+    assert!(
+        lu_gpu < lu_mfl,
+        "GPU+FL on LU ({lu_gpu:.1}%) must trail Model+FL ({lu_mfl:.1}%), per Fig. 6"
+    );
+}
+
+#[test]
 fn lu_small_cliff_reproduces() {
     // Figure 7: a sharp performance cliff at the CPU→GPU device switch.
     let machine = Machine::new(2014);

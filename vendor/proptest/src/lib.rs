@@ -39,7 +39,17 @@ impl ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        Self { cases: 256, max_global_rejects: 65536 }
+        // Mirror upstream proptest: `PROPTEST_CASES` overrides the
+        // default case budget, so CI can pin a fixed (reproducible)
+        // number of cases without touching test sources. Explicit
+        // `with_cases` calls still win — the variable only feeds the
+        // default.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(256);
+        Self { cases, max_global_rejects: 65536 }
     }
 }
 
@@ -448,6 +458,24 @@ macro_rules! prop_assume {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn proptest_cases_env_overrides_default() {
+        // Single test owning the env var (parallel test threads share the
+        // process environment, so all mutation stays inside this one).
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(ProptestConfig::default().cases, 256);
+        std::env::set_var("PROPTEST_CASES", "17");
+        assert_eq!(ProptestConfig::default().cases, 17);
+        // Explicit counts win over the environment.
+        assert_eq!(ProptestConfig::with_cases(9).cases, 9);
+        // Garbage and zero fall back to the built-in default.
+        std::env::set_var("PROPTEST_CASES", "zero");
+        assert_eq!(ProptestConfig::default().cases, 256);
+        std::env::set_var("PROPTEST_CASES", "0");
+        assert_eq!(ProptestConfig::default().cases, 256);
+        std::env::remove_var("PROPTEST_CASES");
+    }
 
     #[test]
     fn ranges_respect_bounds() {

@@ -135,6 +135,18 @@ pub fn field<T: Deserialize>(map: &[(String, Value)], name: &str) -> Result<T, D
 // Scalar impls
 // ---------------------------------------------------------------------------
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
