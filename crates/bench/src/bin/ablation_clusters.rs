@@ -8,6 +8,7 @@
 
 use acs_core::eval::evaluate;
 use acs_core::{Method, TrainingParams};
+use rayon::prelude::*;
 
 fn main() {
     let apps = acs_bench::characterized_suite();
@@ -20,14 +21,19 @@ fn main() {
     );
     println!("{}", "-".repeat(72));
 
-    let mut results = Vec::new();
-    for k in 2..=10 {
-        let params = TrainingParams { n_clusters: k, ..Default::default() };
-        let eval = evaluate(&apps, params).expect("training succeeds");
-        let table = eval.table3();
-        let get = |m: Method| *table.iter().find(|s| s.method == m).expect("method present");
-        let model = get(Method::Model);
-        let fl = get(Method::ModelFL);
+    // Every k re-trains and re-evaluates the full suite independently —
+    // the sweep fans out across the rayon pool, then prints in k order.
+    let results: Vec<(usize, acs_core::MethodSummary, acs_core::MethodSummary)> = (2..11usize)
+        .into_par_iter()
+        .map(|k| {
+            let params = TrainingParams { n_clusters: k, ..Default::default() };
+            let eval = evaluate(&apps, params).expect("training succeeds");
+            let table = eval.table3();
+            let get = |m: Method| *table.iter().find(|s| s.method == m).expect("method present");
+            (k, get(Method::Model), get(Method::ModelFL))
+        })
+        .collect();
+    for (k, model, fl) in &results {
         println!(
             "{:>2} | {:>14.1} | {:>15.1} | {:>14.1} | {:>15.1}",
             k,
@@ -36,7 +42,6 @@ fn main() {
             fl.pct_under,
             fl.under_perf_pct.unwrap_or(0.0),
         );
-        results.push((k, model, fl));
     }
 
     println!();

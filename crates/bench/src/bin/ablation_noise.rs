@@ -11,9 +11,10 @@
 use acs_core::eval::{characterize_apps, evaluate};
 use acs_core::TrainingParams;
 use acs_sim::{Machine, PowerSensor};
+use rayon::prelude::*;
 
 fn main() {
-    let sensors: [(&str, PowerSensor); 3] = [
+    let sensors: Vec<(&str, PowerSensor)> = vec![
         ("ideal accumulator", PowerSensor::ideal()),
         ("1 kHz estimator (paper)", PowerSensor::default()),
         (
@@ -25,17 +26,22 @@ fn main() {
     println!("Ablation A6 — power-sensor quality vs. end-to-end results (LOBO-CV)");
     println!();
 
-    let mut results = Vec::new();
-    for (label, sensor) in sensors {
-        let machine = Machine { sensor, ..Machine::new(acs_bench::EXPERIMENT_SEED) };
-        let apps = characterize_apps(&machine, &acs_kernels::app_instances());
-        let eval = evaluate(&apps, TrainingParams::default()).expect("training succeeds");
-        let table = eval.table3();
-
+    // Each sensor variant re-characterizes and re-evaluates the entire
+    // suite — independent end-to-end pipelines, fanned out across the
+    // rayon pool and printed in declaration order.
+    let results: Vec<(String, Vec<acs_core::MethodSummary>)> = sensors
+        .into_par_iter()
+        .map(|(label, sensor)| {
+            let machine = Machine { sensor, ..Machine::new(acs_bench::EXPERIMENT_SEED) };
+            let apps = characterize_apps(&machine, &acs_kernels::app_instances());
+            let eval = evaluate(&apps, TrainingParams::default()).expect("training succeeds");
+            (label.to_string(), eval.table3())
+        })
+        .collect();
+    for (label, table) in &results {
         println!("sensor: {label}");
-        print!("{}", acs_bench::render_table3(&table));
+        print!("{}", acs_bench::render_table3(table));
         println!();
-        results.push((label.to_string(), table));
     }
 
     println!(

@@ -407,15 +407,15 @@ fn cmd_verify(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "scenario grid: {} (machine, kernel, cap) scenarios", grid.len())
         .map_err(io_err)?;
 
-    // Optionally persist oracle frontiers so repeat runs skip the sweeps.
+    // Optionally persist oracle frontiers so repeat runs skip the sweeps;
+    // each machine's kernel sweeps fan out across the rayon pool.
     if let Some(dir) = args.get("cache-dir") {
         let engine = acs_verify::OracleEngine::with_cache(dir);
         let mut cached = 0usize;
         for m in &grid.machines {
-            for (profile, _) in &m.evaluated {
-                engine.frontier(&m.machine, &profile.kernel);
-                cached += 1;
-            }
+            let kernels: Vec<acs_sim::KernelCharacteristics> =
+                m.evaluated.iter().map(|(p, _)| p.kernel.clone()).collect();
+            cached += engine.frontiers(&m.machine, &kernels).len();
         }
         writeln!(out, "oracle cache: {cached} frontiers under {dir}").map_err(io_err)?;
     }

@@ -77,7 +77,7 @@ pub fn predict_with_confidence(model: &TrainedModel, samples: &SamplePair) -> Bo
     let models = &model.clusters[cluster];
     let stab = model.params.stabilize_variance;
 
-    let points = Configuration::enumerate()
+    let points = Configuration::all()
         .iter()
         .map(|config| {
             let x = config_features(config);

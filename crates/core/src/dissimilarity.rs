@@ -53,13 +53,21 @@ pub fn frontier_dissimilarity(a: &Frontier, b: &Frontier) -> f64 {
 }
 
 /// Build the full pairwise dissimilarity matrix for a set of frontiers.
+///
+/// The O(K²) pairwise comparisons are independent, so they run on the
+/// rayon pool; values land at `(i, j)` positions fixed by the flattened
+/// pair list, making the matrix bit-identical at any thread count.
 pub fn dissimilarity_matrix(frontiers: &[Frontier]) -> Dissimilarity {
+    use rayon::prelude::*;
     let n = frontiers.len();
+    let pairs: Vec<(usize, usize)> = (0..n).flat_map(|i| (0..i).map(move |j| (i, j))).collect();
+    let values: Vec<f64> = pairs
+        .par_iter()
+        .map(|&(i, j)| frontier_dissimilarity(&frontiers[i], &frontiers[j]))
+        .collect();
     let mut d = Dissimilarity::zeros(n);
-    for i in 0..n {
-        for j in 0..i {
-            d.set(i, j, frontier_dissimilarity(&frontiers[i], &frontiers[j]));
-        }
+    for (&(i, j), v) in pairs.iter().zip(values) {
+        d.set(i, j, v);
     }
     d
 }

@@ -176,9 +176,11 @@ pub struct AppProfiles {
     pub profiles: Vec<KernelProfile>,
 }
 
-/// Characterize every kernel of every application instance (in parallel).
+/// Characterize every kernel of every application instance (in parallel:
+/// app instances fan out across the rayon pool, and each instance's suite
+/// sweep fans out further inside [`collect_suite`]).
 pub fn characterize_apps(machine: &Machine, apps: &[AppInstance]) -> Vec<AppProfiles> {
-    apps.iter()
+    apps.par_iter()
         .map(|app| AppProfiles { app: app.clone(), profiles: collect_suite(machine, &app.kernels) })
         .collect()
 }

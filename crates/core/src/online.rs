@@ -75,7 +75,7 @@ impl<'m> Predictor<'m> {
         let models = &self.model.clusters[cluster];
         let stab = self.model.params.stabilize_variance;
 
-        let points: Vec<PowerPerfPoint> = Configuration::enumerate()
+        let points: Vec<PowerPerfPoint> = Configuration::all()
             .iter()
             .map(|config| {
                 let x = config_features(config);

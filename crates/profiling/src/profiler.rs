@@ -86,7 +86,7 @@ impl Profiler {
     /// Profile a kernel across the entire configuration space (the offline
     /// characterization sweep), recording every sample.
     pub fn sweep(&self, kernel: &KernelCharacteristics) -> Vec<ProfileSample> {
-        Configuration::enumerate().iter().map(|c| self.profile(kernel, c, 0)).collect()
+        Configuration::all().iter().map(|c| self.profile(kernel, c, 0)).collect()
     }
 
     /// Profile many kernels across the full configuration space in

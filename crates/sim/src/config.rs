@@ -82,21 +82,35 @@ impl Configuration {
     /// The full configuration space of the simulated machine:
     /// 6 CPU P-states × 4 thread counts (CPU device) plus
     /// 6 CPU P-states × 3 GPU P-states (GPU device) = 42 configurations.
+    ///
+    /// The space is enumerated once and cached for the life of the
+    /// process — it sits on the sub-millisecond online selection path, so
+    /// use [`Configuration::all`] to borrow it allocation-free; this
+    /// signature survives as a thin cloning wrapper for callers that want
+    /// ownership.
     pub fn enumerate() -> Vec<Configuration> {
-        let mut out = Vec::with_capacity(
-            CpuPState::COUNT * NUM_CPU_CORES as usize + CpuPState::COUNT * GpuPState::COUNT,
-        );
-        for cp in CpuPState::all() {
-            for threads in 1..=NUM_CPU_CORES {
-                out.push(Configuration::cpu(threads, cp));
+        Self::all().to_vec()
+    }
+
+    /// The cached configuration space, in [`enumerate`]'s order.
+    ///
+    /// [`enumerate`]: Configuration::enumerate
+    pub fn all() -> &'static [Configuration] {
+        static SPACE: std::sync::OnceLock<Vec<Configuration>> = std::sync::OnceLock::new();
+        SPACE.get_or_init(|| {
+            let mut out = Vec::with_capacity(Self::space_size());
+            for cp in CpuPState::all() {
+                for threads in 1..=NUM_CPU_CORES {
+                    out.push(Configuration::cpu(threads, cp));
+                }
             }
-        }
-        for cp in CpuPState::all() {
-            for gp in GpuPState::all() {
-                out.push(Configuration::gpu(gp, cp));
+            for cp in CpuPState::all() {
+                for gp in GpuPState::all() {
+                    out.push(Configuration::gpu(gp, cp));
+                }
             }
-        }
-        out
+            out
+        })
     }
 
     /// A stable dense index of this configuration within [`enumerate`]'s
@@ -151,6 +165,14 @@ mod tests {
         let all = Configuration::enumerate();
         assert_eq!(all.len(), 42);
         assert_eq!(all.len(), Configuration::space_size());
+    }
+
+    #[test]
+    fn all_is_cached_and_matches_enumerate() {
+        // Same static slice on every call (one enumeration per process)…
+        assert!(std::ptr::eq(Configuration::all(), Configuration::all()));
+        // …and the owning wrapper sees exactly the same space.
+        assert_eq!(Configuration::enumerate(), Configuration::all());
     }
 
     #[test]

@@ -161,7 +161,7 @@ impl Machine {
 
     /// Execute the kernel at every configuration in the space.
     pub fn sweep(&self, kernel: &KernelCharacteristics) -> Vec<KernelRun> {
-        Configuration::enumerate().iter().map(|c| self.run(kernel, c)).collect()
+        Configuration::all().iter().map(|c| self.run(kernel, c)).collect()
     }
 }
 

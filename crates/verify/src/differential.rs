@@ -14,6 +14,7 @@ use acs_core::offline::TrainError;
 use acs_core::online::Predictor;
 use acs_core::{train, TrainingParams};
 use acs_sim::Configuration;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One scenario's outcome for one method.
@@ -129,30 +130,41 @@ pub fn run_differential(
     for m in &grid.machines {
         let model = train(&m.training, params)?;
         let predictor = Predictor::new(&model);
-        for (profile, caps) in &m.evaluated {
-            // The grid already holds the full sweep; derive the oracle
-            // frontier from it rather than re-sweeping (the disk-cached
-            // [`OracleEngine::frontier`] path serves `acs verify --cache-dir`,
-            // where profiles are not pre-collected).
-            let frontier = profile.oracle_frontier();
-            for &cap_w in caps {
-                let oracle = OracleEngine::choose(&frontier, cap_w);
-                for &method in &Method::COMPARED {
-                    let config = select(method, profile, Some(&predictor), cap_w);
-                    let run = profile.run_at(&config);
-                    cases.push(ScenarioCase {
-                        method,
-                        machine_seed: m.machine.seed,
-                        kernel_id: profile.kernel.id(),
-                        cap_w,
-                        config,
-                        power_w: run.true_power_w(),
-                        perf: 1.0 / run.time_s,
-                        oracle,
-                    });
+        // Each evaluated profile's (cap, method) replay is independent, so
+        // profiles fan out across the rayon pool; `flat_map_iter` splices
+        // the per-profile case blocks back in profile order, keeping the
+        // report byte-identical to the sequential nesting.
+        let machine_cases: Vec<ScenarioCase> = m
+            .evaluated
+            .par_iter()
+            .flat_map_iter(|(profile, caps)| {
+                // The grid already holds the full sweep; derive the oracle
+                // frontier from it rather than re-sweeping (the disk-cached
+                // [`OracleEngine::frontier`] path serves `acs verify
+                // --cache-dir`, where profiles are not pre-collected).
+                let frontier = profile.oracle_frontier();
+                let mut out = Vec::with_capacity(caps.len() * Method::COMPARED.len());
+                for &cap_w in caps {
+                    let oracle = OracleEngine::choose(&frontier, cap_w);
+                    for &method in &Method::COMPARED {
+                        let config = select(method, profile, Some(&predictor), cap_w);
+                        let run = profile.run_at(&config);
+                        out.push(ScenarioCase {
+                            method,
+                            machine_seed: m.machine.seed,
+                            kernel_id: profile.kernel.id(),
+                            cap_w,
+                            config,
+                            power_w: run.true_power_w(),
+                            perf: 1.0 / run.time_s,
+                            oracle,
+                        });
+                    }
                 }
-            }
-        }
+                out
+            })
+            .collect();
+        cases.extend(machine_cases);
     }
 
     let total_scenarios = cases.len() / Method::COMPARED.len();
@@ -160,30 +172,39 @@ pub fn run_differential(
     Ok(RegretReport { total_scenarios, per_method, cases })
 }
 
+/// Aggregate one method's cases in a single pass (no intermediate
+/// per-category `Vec`s): every statistic is a running count or sum.
 fn summarize_method(cases: &[ScenarioCase], method: Method) -> MethodRegret {
-    let mine: Vec<&ScenarioCase> = cases.iter().filter(|c| c.method == method).collect();
-    let n = mine.len().max(1);
-    let under: Vec<&&ScenarioCase> = mine.iter().filter(|c| c.under_limit()).collect();
-    let violations: Vec<&&ScenarioCase> =
-        mine.iter().filter(|c| c.oracle.feasible && c.power_w > c.cap_w * (1.0 + 1e-9)).collect();
+    let mut scenarios = 0usize;
+    let mut under = 0usize;
+    let mut regret_sum = 0.0f64;
+    let mut max_regret = 0.0f64;
+    let mut violations = 0usize;
+    let mut overshoot_sum = 0.0f64;
 
-    let regrets: Vec<f64> = under.iter().map(|c| c.regret()).collect();
-    let mean_regret =
-        if regrets.is_empty() { 0.0 } else { regrets.iter().sum::<f64>() / regrets.len() as f64 };
-    let mean_overshoot = if violations.is_empty() {
-        None
-    } else {
-        Some(violations.iter().map(|c| c.power_w / c.cap_w).sum::<f64>() / violations.len() as f64)
-    };
+    for c in cases.iter().filter(|c| c.method == method) {
+        scenarios += 1;
+        if c.under_limit() {
+            under += 1;
+            let r = c.regret();
+            regret_sum += r;
+            max_regret = max_regret.max(r);
+        }
+        if c.oracle.feasible && c.power_w > c.cap_w * (1.0 + 1e-9) {
+            violations += 1;
+            overshoot_sum += c.power_w / c.cap_w;
+        }
+    }
 
+    let n = scenarios.max(1);
     MethodRegret {
         method,
-        scenarios: mine.len(),
-        under_rate: under.len() as f64 / n as f64,
-        mean_regret,
-        max_regret: regrets.iter().fold(0.0, |a: f64, &b| a.max(b)),
-        violation_rate: violations.len() as f64 / n as f64,
-        mean_overshoot,
+        scenarios,
+        under_rate: under as f64 / n as f64,
+        mean_regret: if under == 0 { 0.0 } else { regret_sum / under as f64 },
+        max_regret,
+        violation_rate: violations as f64 / n as f64,
+        mean_overshoot: (violations > 0).then(|| overshoot_sum / violations as f64),
     }
 }
 

@@ -104,6 +104,16 @@ impl OracleEngine {
         frontier
     }
 
+    /// Oracle frontiers for a whole kernel suite on one machine: the
+    /// per-(machine, kernel) 42-configuration sweeps are independent, so
+    /// they fan out across the rayon pool. Results are index-ordered
+    /// (aligned with `kernels`), and the disk cache behaves exactly as in
+    /// [`OracleEngine::frontier`] — each kernel writes its own record.
+    pub fn frontiers(&self, machine: &Machine, kernels: &[KernelCharacteristics]) -> Vec<Frontier> {
+        use rayon::prelude::*;
+        kernels.par_iter().map(|k| self.frontier(machine, k)).collect()
+    }
+
     /// The oracle's selection from a frontier at `cap_w`: the
     /// best-performing point meeting the cap, else the minimum-power
     /// fallback.

@@ -102,11 +102,16 @@ pub fn probe_caps(profile: &KernelProfile, params: &GridParams) -> Vec<f64> {
 
 impl ScenarioGrid {
     /// Generate the grid: characterize training and evaluation kernels on
-    /// every machine and derive each kernel's probe caps.
+    /// every machine and derive each kernel's probe caps. Machines are
+    /// independent simulated nodes, so they characterize in parallel (and
+    /// each machine's suite sweep fans out further inside
+    /// [`acs_core::collect_suite`]); the machine order matches
+    /// `params.machine_seeds` regardless of thread count.
     pub fn generate(params: GridParams) -> Self {
+        use rayon::prelude::*;
         let machines = params
             .machine_seeds
-            .iter()
+            .par_iter()
             .map(|&seed| {
                 let machine = Machine::new(seed);
                 let training = acs_core::collect_suite(&machine, &training_kernels());

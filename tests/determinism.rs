@@ -65,9 +65,9 @@ fn different_seeds_give_different_timelines() {
 
 #[test]
 fn same_seed_is_thread_invariant() {
-    // The vendored rayon shim is sequential, so "regardless of thread
-    // count" is pinned the honest way: full replays on independently
-    // spawned OS threads must agree with the main thread byte-for-byte.
+    // Full replays on independently spawned OS threads must agree with
+    // the main thread byte-for-byte. (Pool-size invariance *within* one
+    // replay is gated separately in tests/parallel_determinism.rs.)
     let reference = unguarded_trace(GOLDEN_SEED);
     let handles: Vec<_> =
         (0..4).map(|_| std::thread::spawn(|| unguarded_trace(GOLDEN_SEED))).collect();

@@ -2,11 +2,13 @@
 //!
 //! Thin non-poisoning wrappers over `std::sync` primitives exposing the
 //! subset of the real crate's API this workspace uses: `lock()`,
-//! `try_lock()`, `read()`, `write()`, `into_inner()`, `get_mut()`.
+//! `try_lock()`, `read()`, `write()`, `into_inner()`, `get_mut()`, and
+//! `Condvar` (`wait`/`wait_for`/`notify_one`/`notify_all`).
 //! Poisoned locks (a panicking holder) are recovered transparently, which
 //! matches parking_lot's no-poisoning semantics.
 
 use std::sync::{self, TryLockError};
+use std::time::Duration;
 
 pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
 pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
@@ -74,6 +76,89 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// Whether a timed condition-variable wait returned because of a timeout
+/// (mirrors `parking_lot::WaitTimeoutResult`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout rather than a notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Condition variable with parking_lot's guard-in-place API: `wait` takes
+/// `&mut MutexGuard` and re-acquires the same lock before returning.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// A new condition variable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Block until notified, releasing the guard's lock while parked.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        replace_guard(guard, |g| self.inner.wait(g).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        replace_guard(guard, |g| {
+            let (g, res) = self.inner.wait_timeout(g, timeout).unwrap_or_else(|e| e.into_inner());
+            timed_out = res.timed_out();
+            g
+        });
+        WaitTimeoutResult(timed_out)
+    }
+
+    /// Wake one parked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every parked waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// Run `f` on the guard by value (std's condvar API takes guards by move)
+/// while the caller keeps a `&mut` slot (parking_lot's API takes `&mut`).
+fn replace_guard<T>(
+    slot: &mut MutexGuard<'_, T>,
+    f: impl FnOnce(MutexGuard<'_, T>) -> MutexGuard<'_, T>,
+) {
+    // SAFETY: `slot` is exclusively borrowed; the guard is read out, handed
+    // to `f` (which always returns a live guard for the same mutex), and
+    // written back before returning. If `f` unwinds the slot would hold a
+    // dropped guard, so the bomb aborts instead of exposing it — std's
+    // condvar waits only fail on poisoning, which `unwrap_or_else` above
+    // already absorbs, so the abort path is unreachable in practice.
+    struct AbortOnUnwind;
+    impl Drop for AbortOnUnwind {
+        fn drop(&mut self) {
+            std::process::abort();
+        }
+    }
+    unsafe {
+        let bomb = AbortOnUnwind;
+        let guard = std::ptr::read(slot);
+        let new_guard = f(guard);
+        std::ptr::write(slot, new_guard);
+        std::mem::forget(bomb);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +182,36 @@ mod tests {
         let m = Mutex::new(0);
         let _g = m.lock();
         assert!(m.try_lock().is_none());
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (m, cv) = &*pair;
+                let mut ready = m.lock();
+                while !*ready {
+                    cv.wait(&mut ready);
+                }
+            })
+        };
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(res.timed_out());
     }
 }

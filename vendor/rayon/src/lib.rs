@@ -1,82 +1,654 @@
-//! Offline-compatible `rayon` shim.
+//! Offline-compatible `rayon` shim backed by a real thread pool.
 //!
-//! Provides `par_iter()` / `into_par_iter()` entry points that return the
-//! corresponding *sequential* std iterators, so call sites keep rayon's
-//! spelling (`xs.par_iter().map(..).collect()`) and gain parallelism for
-//! free if the real crate is ever restored. Correctness is identical;
-//! only wall-clock differs.
+//! Earlier revisions of this shim returned *sequential* std iterators from
+//! `par_iter()` so call sites kept rayon's spelling without gaining any
+//! parallelism. This revision executes the same call sites on a
+//! work-stealing thread pool while keeping the property the workspace's
+//! golden-trace and determinism gates depend on: **results are
+//! byte-identical to the sequential run at any thread count**.
+//!
+//! # Execution model
+//!
+//! Every parallel pipeline bottoms out in an indexed producer (a slice, an
+//! owned `Vec`, or a `Range<usize>`) with adapters (`map`,
+//! `flat_map_iter`) composed on top. Driving a pipeline splits the index
+//! space `0..len` into contiguous chunks whose boundaries depend **only on
+//! `len`** — never on the thread count — and workers self-schedule by
+//! atomically claiming the next unclaimed chunk (chunk-granular work
+//! stealing from a shared injector). Each chunk's outputs are buffered
+//! locally in index order, and the final collection concatenates chunk
+//! buffers in chunk order, so `collect()` observes exactly the sequential
+//! element order.
+//!
+//! # Determinism policy
+//!
+//! * `collect()` / `to_vec()` are index-ordered: bit-identical to the
+//!   sequential run regardless of `RAYON_NUM_THREADS`.
+//! * Reductions (`sum()`, `count()`) materialize in index order first and
+//!   combine sequentially on the calling thread, so floating-point
+//!   reductions keep a fixed combine order at any thread count.
+//! * Simulator noise in this workspace is addressed by `(seed, kernel,
+//!   config, iteration)`, not by execution order, so running items
+//!   concurrently cannot perturb values — only wall-clock.
+//!
+//! # Thread-count knobs
+//!
+//! The global pool is sized once from `RAYON_NUM_THREADS` (unset, `0`, or
+//! unparsable ⇒ `std::thread::available_parallelism()`). `1` is a true
+//! sequential fallback: no worker threads are spawned and drives run
+//! inline on the caller. [`with_num_threads`] runs a closure against a
+//! temporary pool of an explicit size — the hook the parallel-determinism
+//! tests and the `pipeline_parallel` bench use to compare thread counts
+//! inside one process.
+//!
+//! # Panics
+//!
+//! A panic inside a parallel closure aborts remaining chunks, is carried
+//! back to the calling thread, and resumes there — same observable
+//! behavior as the sequential run (modulo which item panics first when
+//! several would).
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 pub mod prelude {
-    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParallelIteratorExt};
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
-/// Rayon methods that have no sequential std spelling; delegate to the
-/// equivalent `Iterator` adapters.
-pub trait ParallelIteratorExt: Iterator + Sized {
-    fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
-    where
-        U: IntoIterator,
-        F: FnMut(Self::Item) -> U,
-    {
-        self.flat_map(f)
+// ---------------------------------------------------------------------------
+// Thread pool
+// ---------------------------------------------------------------------------
+
+/// A lifetime-erased unit of work: a pointer to a [`DriveShared`] plus the
+/// monomorphized entry point that knows its concrete type.
+struct Job {
+    data: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+// SAFETY: the pointed-to `DriveShared` is `Sync` (enforced where jobs are
+// created) and outlives the job — the drive that enqueued it blocks until
+// every enqueued job has run to completion before returning or unwinding.
+unsafe impl Send for Job {}
+
+/// The shared injector queue all workers (and helping waiters) pull from.
+struct Injector {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signaled on new work, on drive completion, and on shutdown.
+    signal: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Injector {
+    fn new() -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+            signal: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        self.queue.lock().push_back(job);
+        self.signal.notify_all();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().pop_front()
     }
 }
 
-impl<I: Iterator> ParallelIteratorExt for I {}
+/// A pool of `threads − 1` OS worker threads plus the calling thread,
+/// which always participates in its own drives (so a 1-thread pool spawns
+/// nothing and runs everything inline).
+pub struct ThreadPool {
+    injector: Arc<Injector>,
+    threads: usize,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
 
+impl ThreadPool {
+    /// Build a pool where drives use `threads` total threads (min 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let injector = Arc::new(Injector::new());
+        let workers = (1..threads)
+            .map(|i| {
+                let inj = Arc::clone(&injector);
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{i}"))
+                    .spawn(move || worker_loop(&inj))
+                    .expect("spawn rayon shim worker")
+            })
+            .collect();
+        Self { injector, threads, workers }
+    }
+
+    /// Total threads drives on this pool may use (including the caller).
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.injector.shutdown.store(true, Ordering::Release);
+        self.injector.signal.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Dedicated worker: run jobs until shutdown.
+fn worker_loop(inj: &Injector) {
+    loop {
+        let job = {
+            let mut q = inj.queue.lock();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if inj.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                inj.signal.wait(&mut q);
+            }
+        };
+        // SAFETY: see `Job`'s Send rationale — the backing state is alive
+        // until its drive observes this job's completion.
+        unsafe { (job.exec)(job.data) };
+    }
+}
+
+fn global_pool() -> &'static Arc<ThreadPool> {
+    static POOL: OnceLock<Arc<ThreadPool>> = OnceLock::new();
+    POOL.get_or_init(|| Arc::new(ThreadPool::new(env_thread_count())))
+}
+
+/// `RAYON_NUM_THREADS`, with rayon's convention: unset, `0`, or unparsable
+/// means "use all available parallelism".
+fn env_thread_count() -> usize {
+    let available = || std::thread::available_parallelism().map_or(1, |n| n.get());
+    match std::env::var("RAYON_NUM_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(0) | None => available(),
+        Some(n) => n,
+    }
+}
+
+thread_local! {
+    /// Stack of scoped pool overrides installed by [`with_num_threads`].
+    static POOL_OVERRIDE: RefCell<Vec<Arc<ThreadPool>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn current_pool() -> Arc<ThreadPool> {
+    POOL_OVERRIDE.with(|s| s.borrow().last().cloned()).unwrap_or_else(|| Arc::clone(global_pool()))
+}
+
+/// Threads the next drive on this thread will use.
+pub fn current_num_threads() -> usize {
+    current_pool().num_threads()
+}
+
+/// Run `f` with parallel drives on this thread using a temporary pool of
+/// exactly `threads` threads, then tear the pool down. Nested calls stack;
+/// the override is per-thread.
+///
+/// This exists for determinism tests and speedup benches that must compare
+/// thread counts within one process, where the `RAYON_NUM_THREADS`-sized
+/// global pool is already frozen.
+pub fn with_num_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let pool = Arc::new(ThreadPool::new(threads));
+    POOL_OVERRIDE.with(|s| s.borrow_mut().push(pool));
+    // Pop the override even if `f` unwinds, so a caught panic (e.g. a
+    // #[should_panic] test) cannot leak the temporary pool override.
+    struct PopOnDrop;
+    impl Drop for PopOnDrop {
+        fn drop(&mut self) {
+            POOL_OVERRIDE.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+    let _pop = PopOnDrop;
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// Drive: ordered chunked execution of one pipeline
+// ---------------------------------------------------------------------------
+
+/// Upper bound on chunks per drive. Boundaries derive from `len` alone so
+/// chunk partials (and thus any per-chunk buffering) are identical at
+/// every thread count.
+const MAX_CHUNKS: usize = 128;
+
+fn chunk_layout(len: usize) -> (usize, usize) {
+    let n_chunks = len.clamp(1, MAX_CHUNKS);
+    let chunk_len = len.div_ceil(n_chunks);
+    (len.div_ceil(chunk_len), chunk_len)
+}
+
+/// Per-drive shared state: the producer, the chunk cursor, ordered result
+/// buffers, a completion latch, and the first captured panic.
+struct DriveShared<'a, P: IndexedParallelProducer> {
+    producer: &'a P,
+    len: usize,
+    n_chunks: usize,
+    chunk_len: usize,
+    next_chunk: AtomicUsize,
+    /// `(chunk index, items)` in completion order; sorted by chunk index
+    /// at assembly, restoring exact sequential order.
+    results: Mutex<Vec<(usize, Vec<P::Item>)>>,
+    /// Enqueued helper jobs that have not yet finished.
+    pending: AtomicUsize,
+    /// Set on the first panic: remaining chunks are abandoned.
+    abort: AtomicBool,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl<'a, P: IndexedParallelProducer + Sync> DriveShared<'a, P> {
+    fn new(producer: &'a P, len: usize, helpers: usize) -> Self {
+        let (n_chunks, chunk_len) = chunk_layout(len);
+        Self {
+            producer,
+            len,
+            n_chunks,
+            chunk_len,
+            next_chunk: AtomicUsize::new(0),
+            results: Mutex::new(Vec::with_capacity(n_chunks)),
+            pending: AtomicUsize::new(helpers),
+            abort: AtomicBool::new(false),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Claim and execute chunks until none remain (or a peer panicked).
+    fn work(&self) {
+        loop {
+            let c = self.next_chunk.fetch_add(1, Ordering::Relaxed);
+            if c >= self.n_chunks || self.abort.load(Ordering::Relaxed) {
+                return;
+            }
+            let start = c * self.chunk_len;
+            let end = (start + self.chunk_len).min(self.len);
+            let mut items = Vec::with_capacity(end - start);
+            for i in start..end {
+                self.producer.produce_into(i, &mut |item| items.push(item));
+            }
+            self.results.lock().push((c, items));
+        }
+    }
+
+    /// `work()` with panic capture — the shape both helpers and the caller
+    /// run.
+    fn work_catching(&self) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| self.work())) {
+            self.abort.store(true, Ordering::Relaxed);
+            let mut slot = self.panic.lock();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+    }
+
+    /// Helper-job entry: work, then arrive at the latch.
+    fn run_helper(&self, inj: &Injector) {
+        self.work_catching();
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last helper done: wake the (possibly parked) driving thread.
+            inj.signal.notify_all();
+        }
+    }
+}
+
+/// Monomorphized trampoline stored in [`Job::exec`]: recover the concrete
+/// `(DriveShared, &Injector)` pair and run one helper.
+///
+/// SAFETY contract: `data` must point to a live pair for the duration of
+/// the call; the enqueuing drive guarantees this by latching on
+/// `pending == 0` before releasing the state.
+unsafe fn run_helper_erased<P: IndexedParallelProducer + Sync>(data: *const ()) {
+    let shared = &*(data as *const (DriveShared<'_, P>, &Injector));
+    shared.0.run_helper(shared.1);
+}
+
+/// Execute a full pipeline, returning its items in sequential order.
+fn drive<P: IndexedParallelProducer + Sync>(producer: P) -> Vec<P::Item> {
+    let len = producer.p_len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let pool = current_pool();
+    let (n_chunks, _) = chunk_layout(len);
+    let helpers = (pool.num_threads() - 1).min(n_chunks - 1);
+
+    if helpers == 0 {
+        // Sequential fallback: same chunk layout, same order, no threads.
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            producer.produce_into(i, &mut |item| out.push(item));
+        }
+        return out;
+    }
+
+    let inj: &Injector = &pool.injector;
+    let shared = (DriveShared::new(&producer, len, helpers), inj);
+    for _ in 0..helpers {
+        inj.push(Job {
+            data: &shared as *const (DriveShared<'_, P>, &Injector) as *const (),
+            exec: run_helper_erased::<P>,
+        });
+    }
+
+    let state = &shared.0;
+    state.work_catching();
+
+    // Latch: every enqueued helper job must finish before `shared` (which
+    // they reference) can be released. While waiting, help drain the
+    // injector — a queued job may belong to this drive (a busy pool) or to
+    // a nested drive parked the same way; executing it is always progress
+    // and prevents mutual-wait stalls.
+    while state.pending.load(Ordering::Acquire) != 0 {
+        if let Some(job) = inj.try_pop() {
+            // SAFETY: same contract as `worker_loop`.
+            unsafe { (job.exec)(job.data) };
+            continue;
+        }
+        let mut q = inj.queue.lock();
+        if state.pending.load(Ordering::Acquire) != 0 && q.is_empty() {
+            // Timed park: completion signals race with queue pushes, and a
+            // bounded wait keeps an unlucky lost wakeup from becoming a
+            // hang instead of a microsecond blip.
+            inj.signal.wait_for(&mut q, Duration::from_millis(1));
+        }
+    }
+
+    if let Some(payload) = state.panic.lock().take() {
+        resume_unwind(payload);
+    }
+
+    let mut buffers = std::mem::take(&mut *state.results.lock());
+    buffers.sort_unstable_by_key(|(c, _)| *c);
+    let mut out = Vec::with_capacity(len);
+    for (_, items) in buffers {
+        out.extend(items);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Producers and adapters
+// ---------------------------------------------------------------------------
+
+/// Internal engine trait: a pipeline stage that can produce the items for
+/// one source index into a sink. Composition happens per index, so adapter
+/// chains of any depth drive through one virtual call layer per stage.
+#[doc(hidden)]
+pub trait IndexedParallelProducer {
+    /// The element type this stage yields.
+    type Item: Send;
+
+    /// Number of source indices.
+    fn p_len(&self) -> usize;
+
+    /// Produce every item derived from source index `index`, in order.
+    fn produce_into(&self, index: usize, sink: &mut dyn FnMut(Self::Item));
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParSlice<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IndexedParallelProducer for ParSlice<'a, T> {
+    type Item = &'a T;
+
+    fn p_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn produce_into(&self, index: usize, sink: &mut dyn FnMut(Self::Item)) {
+        sink(&self.slice[index]);
+    }
+}
+
+/// Owning parallel iterator over a `Vec`.
+///
+/// Items move out of shared storage from worker threads, so each element
+/// sits behind its own `Mutex<Option<T>>` slot; every slot is taken
+/// exactly once (chunk claims are disjoint), making the lock uncontended.
+pub struct ParVec<T> {
+    slots: Vec<Mutex<Option<T>>>,
+}
+
+impl<T: Send> IndexedParallelProducer for ParVec<T> {
+    type Item = T;
+
+    fn p_len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn produce_into(&self, index: usize, sink: &mut dyn FnMut(Self::Item)) {
+        let item = self.slots[index].lock().take().expect("each index is claimed exactly once");
+        sink(item);
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl IndexedParallelProducer for ParRange {
+    type Item = usize;
+
+    fn p_len(&self) -> usize {
+        self.range.len()
+    }
+
+    fn produce_into(&self, index: usize, sink: &mut dyn FnMut(Self::Item)) {
+        sink(self.range.start + index);
+    }
+}
+
+/// `map` adapter.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, R> IndexedParallelProducer for Map<B, F>
+where
+    B: IndexedParallelProducer,
+    F: Fn(B::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn p_len(&self) -> usize {
+        self.base.p_len()
+    }
+
+    fn produce_into(&self, index: usize, sink: &mut dyn FnMut(Self::Item)) {
+        self.base.produce_into(index, &mut |item| sink((self.f)(item)));
+    }
+}
+
+/// `flat_map_iter` adapter: one sequential iterator per item, spliced in
+/// index order.
+pub struct FlatMapIter<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, U> IndexedParallelProducer for FlatMapIter<B, F>
+where
+    B: IndexedParallelProducer,
+    F: Fn(B::Item) -> U + Sync,
+    U: IntoIterator,
+    U::Item: Send,
+{
+    type Item = U::Item;
+
+    fn p_len(&self) -> usize {
+        self.base.p_len()
+    }
+
+    fn produce_into(&self, index: usize, sink: &mut dyn FnMut(Self::Item)) {
+        self.base.produce_into(index, &mut |item| {
+            for out in (self.f)(item) {
+                sink(out);
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public iterator API
+// ---------------------------------------------------------------------------
+
+/// The user-facing parallel iterator interface (rayon's spelling).
+pub trait ParallelIterator: IndexedParallelProducer + Sized {
+    /// Transform every item.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Map each item to a *sequential* iterator and flatten, preserving
+    /// order (rayon's cheap flatten for iterators that aren't themselves
+    /// parallel).
+    fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        F: Fn(Self::Item) -> U + Sync,
+        U: IntoIterator,
+        U::Item: Send,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    /// Execute and collect into `C` in sequential element order.
+    fn collect<C>(self) -> C
+    where
+        Self: Sync,
+        C: FromIterator<Self::Item>,
+    {
+        drive(self).into_iter().collect()
+    }
+
+    /// Execute and collect into a `Vec` in sequential element order.
+    fn to_vec(self) -> Vec<Self::Item>
+    where
+        Self: Sync,
+    {
+        drive(self)
+    }
+
+    /// Execute and sum. Items materialize in parallel; the combine runs
+    /// sequentially in index order on the caller, so floating-point sums
+    /// are bit-identical at any thread count.
+    fn sum<S>(self) -> S
+    where
+        Self: Sync,
+        S: std::iter::Sum<Self::Item>,
+    {
+        drive(self).into_iter().sum()
+    }
+
+    /// Execute and count produced items.
+    fn count(self) -> usize
+    where
+        Self: Sync,
+    {
+        drive(self.map(|_| ())).len()
+    }
+
+    /// Execute `f` on every item (no ordering guarantee between threads,
+    /// matching rayon).
+    fn for_each<F>(self, f: F)
+    where
+        Self: Sync,
+        F: Fn(Self::Item) + Sync,
+    {
+        drive(self.map(f));
+    }
+}
+
+impl<P: IndexedParallelProducer + Sized> ParallelIterator for P {}
+
+/// `.par_iter()` on borrowed collections.
 pub trait IntoParallelRefIterator<'a> {
-    type Item: 'a;
-    type Iter: Iterator<Item = Self::Item>;
+    /// Borrowed element type.
+    type Item: Send + 'a;
+    /// The borrowing parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
 
+    /// Parallel iterator over `&self`.
     fn par_iter(&'a self) -> Self::Iter;
 }
 
 impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
     type Item = &'a T;
-    type Iter = std::slice::Iter<'a, T>;
+    type Iter = ParSlice<'a, T>;
 
     fn par_iter(&'a self) -> Self::Iter {
-        self.iter()
+        ParSlice { slice: self }
     }
 }
 
 impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
     type Item = &'a T;
-    type Iter = std::slice::Iter<'a, T>;
+    type Iter = ParSlice<'a, T>;
 
     fn par_iter(&'a self) -> Self::Iter {
-        self.iter()
+        ParSlice { slice: self }
     }
 }
 
+/// `.into_par_iter()` on owned collections.
 pub trait IntoParallelIterator {
-    type Item;
-    type Iter: Iterator<Item = Self::Item>;
+    /// Element type.
+    type Item: Send;
+    /// The owning parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
 
+    /// Consume `self` into a parallel iterator.
     fn into_par_iter(self) -> Self::Iter;
 }
 
 impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
-    type Iter = std::vec::IntoIter<T>;
+    type Iter = ParVec<T>;
 
     fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
+        ParVec { slots: self.into_iter().map(|t| Mutex::new(Some(t))).collect() }
     }
 }
 
-impl IntoParallelIterator for std::ops::Range<usize> {
+impl IntoParallelIterator for Range<usize> {
     type Item = usize;
-    type Iter = std::ops::Range<usize>;
+    type Iter = ParRange;
 
     fn into_par_iter(self) -> Self::Iter {
-        self
+        ParRange { range: self }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn par_iter_matches_sequential() {
@@ -85,5 +657,110 @@ mod tests {
         assert_eq!(doubled, vec![2, 4, 6]);
         let sum: usize = (0..5usize).into_par_iter().sum();
         assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn collect_is_index_ordered_at_every_thread_count() {
+        let n = 1000usize;
+        let expected: Vec<usize> = (0..n).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8] {
+            let got: Vec<usize> =
+                with_num_threads(threads, || (0..n).into_par_iter().map(|i| i * i).collect());
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn float_sum_is_bit_identical_across_thread_counts() {
+        let xs: Vec<f64> = (0..10_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let sequential: f64 = xs.iter().sum();
+        for threads in [1, 2, 7] {
+            let parallel: f64 = with_num_threads(threads, || xs.par_iter().map(|&x| x).sum());
+            assert_eq!(parallel.to_bits(), sequential.to_bits(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn flat_map_iter_preserves_order() {
+        let expected: Vec<usize> = (0..200).flat_map(|i| 0..i % 5).collect();
+        let got: Vec<usize> = with_num_threads(4, || {
+            (0..200usize).into_par_iter().flat_map_iter(|i| 0..i % 5).collect()
+        });
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn into_par_iter_moves_items_once() {
+        let xs: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> =
+            with_num_threads(3, || xs.clone().into_par_iter().map(|s| s.len()).collect());
+        assert_eq!(lens, xs.iter().map(String::len).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn work_actually_lands_on_pool_threads() {
+        use std::collections::HashSet;
+        let names: HashSet<String> = with_num_threads(4, || {
+            (0..64usize)
+                .into_par_iter()
+                .map(|_| {
+                    // Skew the schedule so helpers get a chance to claim.
+                    std::thread::sleep(Duration::from_millis(1));
+                    std::thread::current().name().unwrap_or("main").to_string()
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .collect()
+        });
+        assert!(names.len() > 1, "expected multiple executing threads, got {names:?}");
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            with_num_threads(4, || {
+                (0..100usize).into_par_iter().for_each(|i| {
+                    if i == 37 {
+                        panic!("boom at {i}");
+                    }
+                });
+            })
+        });
+        assert!(result.is_err(), "worker panic must resurface on the caller");
+    }
+
+    #[test]
+    fn nested_drives_do_not_deadlock() {
+        let total: usize = with_num_threads(2, || {
+            (0..8usize)
+                .into_par_iter()
+                .map(|i| (0..8usize).into_par_iter().map(|j| i * j).sum::<usize>())
+                .sum()
+        });
+        let expected: usize = (0..8).map(|i| (0..8).map(|j| i * j).sum::<usize>()).sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<i32> = Vec::<i32>::new().par_iter().map(|x| *x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<i32> = vec![7].par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn current_num_threads_reflects_override() {
+        assert!(current_num_threads() >= 1);
+        with_num_threads(3, || assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn chunk_layout_is_len_deterministic() {
+        for len in [1, 2, 127, 128, 129, 1000, 100_000] {
+            let (n, c) = chunk_layout(len);
+            assert!(n <= MAX_CHUNKS);
+            assert!(c * n >= len && c * (n - 1) < len, "len={len} n={n} c={c}");
+        }
     }
 }
