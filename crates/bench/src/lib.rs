@@ -6,6 +6,8 @@
 
 #![warn(missing_docs)]
 
+pub mod loadgen;
+
 use acs_core::eval::{characterize_apps, evaluate, AppProfiles, Evaluation};
 use acs_core::{MethodSummary, TrainingParams};
 use acs_sim::Machine;

@@ -1,0 +1,304 @@
+//! A seeded closed-loop load generator for the selection server.
+//!
+//! Each session is one closed loop: send a request, wait for the
+//! response, send the next. The request stream is a pure function of
+//! `(seed, session index, request index)` via a splitmix64 generator (the
+//! vendored `rand` is an empty shim, and a hand-rolled generator keeps
+//! replays bit-identical forever), so running the same options twice
+//! produces the same request stream — and, for a single session, must
+//! produce a byte-identical response log (the tier-1 gate in
+//! `tests/serve_determinism.rs`).
+//!
+//! The response log excludes `Welcome` (carries the server-assigned node
+//! id, which depends on how many sessions the server has ever accepted)
+//! and `Stats` (carries wall-clock latencies); both are *session-identity*
+//! and *observability* data, not selection results. Everything else —
+//! selections, batch selections, run reports, budgets, typed errors — is
+//! logged verbatim in request order.
+
+use acs_serve::{Client, Request, Response, StatsSnapshot};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Load-generator options.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Total requests across all sessions.
+    pub requests: u64,
+    /// Seed for the request stream.
+    pub seed: u64,
+    /// Concurrent closed-loop sessions.
+    pub sessions: u64,
+    /// Every Nth request is a `Run` (0 = never).
+    pub run_every: u64,
+    /// Every Nth request is a residual-headroom `Report` (0 = never).
+    pub report_every: u64,
+    /// Ask for a `Stats` snapshot after the last request.
+    pub stats_at_end: bool,
+    /// Send the `Shutdown` poison request once every session is done.
+    pub shutdown_at_end: bool,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        Self {
+            addr: String::new(),
+            requests: 1000,
+            seed: 7,
+            sessions: 1,
+            run_every: 0,
+            report_every: 0,
+            stats_at_end: false,
+            shutdown_at_end: false,
+        }
+    }
+}
+
+/// Aggregate results of one load-generator run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadgenReport {
+    /// Requests sent (excluding the final optional `Stats`/`Shutdown`).
+    pub requests: u64,
+    /// Sessions driven.
+    pub sessions: u64,
+    /// Request-stream seed.
+    pub seed: u64,
+    /// Responses that were typed errors or `Overloaded`.
+    pub errors: u64,
+    /// Requests lost to connection/protocol failures.
+    pub dropped: u64,
+    /// Wall time for the whole run, s.
+    pub elapsed_s: f64,
+    /// Requests per second over the run.
+    pub throughput_rps: f64,
+    /// Median client-observed latency, µs.
+    pub p50_latency_us: u64,
+    /// 99th-percentile client-observed latency, µs.
+    pub p99_latency_us: u64,
+    /// `Select` requests that were the first sight of their kernel
+    /// (cold path: sample runs + CART + regression on the server).
+    pub cold_selects: u64,
+    /// Repeat `Select` requests (warm path: memoized frontier walk).
+    pub warm_selects: u64,
+    /// Mean cold-path latency, µs.
+    pub cold_mean_us: f64,
+    /// Mean warm-path latency, µs.
+    pub warm_mean_us: f64,
+    /// Server stats snapshot, when requested.
+    pub stats: Option<StatsSnapshot>,
+}
+
+/// One worker's share of the run.
+struct SessionOutcome {
+    log: String,
+    latencies_us: Vec<u64>,
+    cold_us: Vec<u64>,
+    warm_us: Vec<u64>,
+    errors: u64,
+    dropped: u64,
+}
+
+/// splitmix64: tiny, seedable, and stable across toolchains.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic request for `(seed, session, index)`.
+fn request_for(opts: &LoadgenOptions, kernel_ids: &[String], rng: &mut u64, index: u64) -> Request {
+    let draw = splitmix64(rng);
+    if opts.report_every > 0 && index % opts.report_every == opts.report_every - 1 {
+        // Residual headroom in [0, 40) W, deterministic from the stream.
+        return Request::Report { residual_w: (draw % 4000) as f64 / 100.0 };
+    }
+    let kernel_id = kernel_ids[(draw % kernel_ids.len() as u64) as usize].clone();
+    if opts.run_every > 0 && index % opts.run_every == opts.run_every - 1 {
+        Request::Run { kernel_id, iterations: 1 + draw % 3 }
+    } else {
+        Request::Select { kernel_id }
+    }
+}
+
+fn run_session(
+    opts: &LoadgenOptions,
+    session: u64,
+    count: u64,
+    kernel_ids: &[String],
+    first_seen: &Mutex<HashSet<String>>,
+) -> Result<SessionOutcome, String> {
+    let mut client =
+        Client::connect(&opts.addr).map_err(|e| format!("connect {}: {e}", opts.addr))?;
+    let mut outcome = SessionOutcome {
+        log: String::new(),
+        latencies_us: Vec::with_capacity(count as usize),
+        cold_us: Vec::new(),
+        warm_us: Vec::new(),
+        errors: 0,
+        dropped: 0,
+    };
+    // Handshake; `Welcome` is deliberately not logged (see module docs).
+    if client.call(&Request::Hello).is_err() {
+        outcome.dropped = count;
+        return Ok(outcome);
+    }
+    let mut rng = opts.seed ^ (session.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_add(session);
+    for index in 0..count {
+        let request = request_for(opts, kernel_ids, &mut rng, index);
+        let cold = match &request {
+            Request::Select { kernel_id } => {
+                Some(first_seen.lock().expect("first_seen lock").insert(kernel_id.clone()))
+            }
+            _ => None,
+        };
+        let started = Instant::now();
+        let response = match client.call(&request) {
+            Ok(r) => r,
+            Err(_) => {
+                // The connection is gone; everything not yet sent is lost.
+                outcome.dropped += count - index;
+                return Ok(outcome);
+            }
+        };
+        let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        outcome.latencies_us.push(us);
+        match cold {
+            Some(true) => outcome.cold_us.push(us),
+            Some(false) => outcome.warm_us.push(us),
+            None => {}
+        }
+        if matches!(response, Response::Error { .. } | Response::Overloaded { .. }) {
+            outcome.errors += 1;
+        }
+        outcome.log.push_str(&serde_json::to_string(&response).expect("serialize response"));
+        outcome.log.push('\n');
+    }
+    let _ = client.call(&Request::Bye);
+    Ok(outcome)
+}
+
+/// Drive the configured load and return the aggregate report plus the
+/// concatenated (session-ordered) response log.
+pub fn run_loadgen(opts: &LoadgenOptions) -> Result<(LoadgenReport, String), String> {
+    if opts.sessions == 0 {
+        return Err("loadgen needs at least one session".into());
+    }
+    let kernel_ids: Vec<String> =
+        acs_kernels::all_kernel_instances().iter().map(|k| k.id()).collect();
+    let first_seen = Mutex::new(HashSet::new());
+    let base = opts.requests / opts.sessions;
+    let extra = opts.requests % opts.sessions;
+
+    let started = Instant::now();
+    let outcomes: Vec<Result<SessionOutcome, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.sessions)
+            .map(|session| {
+                let count = base + u64::from(session < extra);
+                let (kernel_ids, first_seen) = (&kernel_ids, &first_seen);
+                scope.spawn(move || run_session(opts, session, count, kernel_ids, first_seen))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("loadgen session panicked")).collect()
+    });
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    let mut log = String::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut cold_us: Vec<u64> = Vec::new();
+    let mut warm_us: Vec<u64> = Vec::new();
+    let (mut errors, mut dropped) = (0u64, 0u64);
+    for outcome in outcomes {
+        let o = outcome?;
+        log.push_str(&o.log);
+        latencies.extend(o.latencies_us);
+        cold_us.extend(o.cold_us);
+        warm_us.extend(o.warm_us);
+        errors += o.errors;
+        dropped += o.dropped;
+    }
+
+    let stats = if opts.stats_at_end {
+        let mut client = Client::connect(&opts.addr).map_err(|e| format!("stats connect: {e}"))?;
+        match client.call(&Request::Stats).map_err(|e| format!("stats call: {e}"))? {
+            Response::Stats(s) => Some(s),
+            other => return Err(format!("expected Stats response, got {other:?}")),
+        }
+    } else {
+        None
+    };
+    if opts.shutdown_at_end {
+        let mut client =
+            Client::connect(&opts.addr).map_err(|e| format!("shutdown connect: {e}"))?;
+        match client.call(&Request::Shutdown).map_err(|e| format!("shutdown call: {e}"))? {
+            Response::ShuttingDown => {}
+            other => return Err(format!("expected ShuttingDown response, got {other:?}")),
+        }
+    }
+
+    latencies.sort_unstable();
+    let quantile = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            0
+        } else {
+            let rank = ((latencies.len() as f64 * q).ceil() as usize).clamp(1, latencies.len());
+            latencies[rank - 1]
+        }
+    };
+    let mean = |v: &[u64]| -> f64 {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<u64>() as f64 / v.len() as f64
+        }
+    };
+    let report = LoadgenReport {
+        requests: opts.requests,
+        sessions: opts.sessions,
+        seed: opts.seed,
+        errors,
+        dropped,
+        elapsed_s,
+        throughput_rps: if elapsed_s > 0.0 { opts.requests as f64 / elapsed_s } else { 0.0 },
+        p50_latency_us: quantile(0.50),
+        p99_latency_us: quantile(0.99),
+        cold_selects: cold_us.len() as u64,
+        warm_selects: warm_us.len() as u64,
+        cold_mean_us: mean(&cold_us),
+        warm_mean_us: mean(&warm_us),
+        stats,
+    };
+    Ok((report, log))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_stream_is_deterministic() {
+        let opts = LoadgenOptions { run_every: 5, report_every: 7, ..Default::default() };
+        let ids: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        let stream = |seed: u64| -> Vec<Request> {
+            let mut rng = seed;
+            (0..40).map(|i| request_for(&opts, &ids, &mut rng, i)).collect()
+        };
+        assert_eq!(stream(7), stream(7));
+        assert_ne!(stream(7), stream(8), "different seeds should differ somewhere");
+        let s = stream(7);
+        assert!(matches!(s[6], Request::Report { .. }), "index 6 is the 7th request");
+        assert!(matches!(s[4], Request::Run { .. }));
+        assert!(s.iter().any(|r| matches!(r, Request::Select { .. })));
+    }
+
+    #[test]
+    fn zero_sessions_is_an_error() {
+        let opts = LoadgenOptions { sessions: 0, ..Default::default() };
+        assert!(run_loadgen(&opts).is_err());
+    }
+}

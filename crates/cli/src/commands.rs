@@ -74,6 +74,20 @@ COMMANDS:
                                           with --bless, regenerate) the golden
                                           traces; --cache-dir caches oracle
                                           frontiers between runs
+  serve [--model FILE] [--host H]         long-running selection server: loads
+        [--port P] [--global-cap W]       the model once (or trains in-process
+        [--policy equal|demand]           when --model is omitted), splits the
+        [--max-sessions N]                global cap across connected sessions
+        [--max-batch N] [--seed N]        via the arbiter, prints the bound
+        [--timeline-cap N]                address (--port 0 = ephemeral), and
+                                          serves until SIGINT or a Shutdown
+                                          poison request
+  loadgen --addr HOST:PORT                seeded closed-loop load generator:
+          [--requests N] [--seed N]       drives the selection server, prints
+          [--sessions N] [--run-every N]  throughput/latency and the server's
+          [--report-every N] [--log FILE] STATS snapshot, optionally records
+          [--result NAME]                 the response log (--log) and a JSON
+          [--shutdown true]               report under results/ (--result)
 ";
 
 /// Dispatch a parsed command line.
@@ -88,6 +102,8 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "runtime" => cmd_runtime(args, out),
         "chaos" => cmd_chaos(args, out),
         "verify" => cmd_verify(args, out),
+        "serve" => cmd_serve(args, out),
+        "loadgen" => cmd_loadgen(args, out),
         "help" => {
             write!(out, "{USAGE}").map_err(io_err)?;
             Ok(())
@@ -465,6 +481,105 @@ fn cmd_verify(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     }
 }
 
+/// The model for `serve`: loaded from `--model`, or trained in-process on
+/// the full suite at `--seed` when the flag is omitted (a few seconds;
+/// convenient for smoke tests and CI, where no model file exists yet).
+fn serve_model(args: &Args) -> Result<TrainedModel, CliError> {
+    if let Some(path) = args.get("model") {
+        return TrainedModel::load(path).map_err(io_err);
+    }
+    let seed: u64 = args.get_or("seed", 2014)?;
+    let machine = Machine::new(seed);
+    let profiles: Vec<KernelProfile> = acs_kernels::all_kernel_instances()
+        .iter()
+        .map(|k| KernelProfile::collect(&machine, k))
+        .collect();
+    train(&profiles, TrainingParams::default()).map_err(|e| CliError::Domain(e.to_string()))
+}
+
+fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use acs_serve::{ServeConfig, Server};
+
+    let global_cap_w: f64 = args.get_or("global-cap", 120.0)?;
+    if global_cap_w.is_nan() || global_cap_w <= 0.0 {
+        return Err(CliError::Domain(format!(
+            "--global-cap must be a positive wattage, got {global_cap_w}"
+        )));
+    }
+    let config = ServeConfig {
+        host: args.get("host").unwrap_or("127.0.0.1").to_string(),
+        port: args.get_or("port", 4014)?,
+        seed: args.get_or("seed", 2014)?,
+        global_cap_w,
+        policy: args.get("policy").unwrap_or("equal").parse().map_err(CliError::Domain)?,
+        max_sessions: args.get_or("max-sessions", 8)?,
+        max_batch: args.get_or("max-batch", 256)?,
+        timeline_capacity: args.get_or("timeline-cap", 4096)?,
+    };
+    let model = serve_model(args)?;
+    let server = Server::bind(config, model).map_err(|e| CliError::Domain(e.to_string()))?;
+    // The bound address line is a contract: `--port 0` callers (CI, the
+    // e2e tests) parse it to find the ephemeral port.
+    writeln!(out, "listening on {}", server.local_addr()).map_err(io_err)?;
+    out.flush().map_err(io_err)?;
+    server.run().map_err(|e| CliError::Domain(e.to_string()))
+}
+
+fn cmd_loadgen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use acs_bench::loadgen::{run_loadgen, LoadgenOptions};
+
+    let opts = LoadgenOptions {
+        addr: args.require("addr")?.to_string(),
+        requests: args.get_or("requests", 1000)?,
+        seed: args.get_or("seed", 7)?,
+        sessions: args.get_or("sessions", 1)?,
+        run_every: args.get_or("run-every", 0)?,
+        report_every: args.get_or("report-every", 0)?,
+        stats_at_end: args.get_or("stats", true)?,
+        shutdown_at_end: args.get_or("shutdown", false)?,
+    };
+    let (report, log) = run_loadgen(&opts).map_err(CliError::Domain)?;
+
+    if let Some(path) = args.get("log") {
+        std::fs::write(path, &log).map_err(io_err)?;
+    }
+    writeln!(out, "requests:    {}", report.requests).map_err(io_err)?;
+    writeln!(out, "sessions:    {}", report.sessions).map_err(io_err)?;
+    writeln!(out, "throughput:  {:.0} req/s", report.throughput_rps).map_err(io_err)?;
+    writeln!(
+        out,
+        "latency:     p50 {} µs, p99 {} µs",
+        report.p50_latency_us, report.p99_latency_us
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "cold/warm:   {} cold ({:.0} µs mean), {} warm ({:.0} µs mean)",
+        report.cold_selects, report.cold_mean_us, report.warm_selects, report.warm_mean_us
+    )
+    .map_err(io_err)?;
+    writeln!(out, "errors:      {} errored, {} dropped", report.errors, report.dropped)
+        .map_err(io_err)?;
+    if let Some(stats) = &report.stats {
+        writeln!(out, "\nserver STATS:").map_err(io_err)?;
+        writeln!(out, "{}", serde_json::to_string_pretty(stats).map_err(io_err)?)
+            .map_err(io_err)?;
+    }
+    if let Some(name) = args.get("result") {
+        if name != "none" {
+            let path = acs_bench::write_result(name, &report);
+            writeln!(out, "wrote {}", path.display()).map_err(io_err)?;
+        }
+    }
+    if report.errors > 0 || report.dropped > 0 {
+        return Err(CliError::Domain(format!(
+            "loadgen saw {} errored and {} dropped request(s)",
+            report.errors, report.dropped
+        )));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -646,5 +761,81 @@ mod tests {
     fn missing_required_option_is_an_arg_error() {
         assert!(matches!(run_str("characterize"), Err(CliError::Args(_))));
         assert!(matches!(run_str("tree"), Err(CliError::Args(_))));
+        assert!(matches!(run_str("loadgen"), Err(CliError::Args(_))));
+    }
+
+    #[test]
+    fn serve_rejects_bad_cap_and_policy() {
+        match run_str("serve --global-cap -5") {
+            Err(CliError::Domain(msg)) => assert!(msg.contains("positive wattage"), "{msg}"),
+            other => panic!("expected domain error, got {other:?}"),
+        }
+        match run_str("serve --policy fair") {
+            Err(CliError::Domain(msg)) => assert!(msg.contains("unknown arbiter policy"), "{msg}"),
+            other => panic!("expected domain error, got {other:?}"),
+        }
+    }
+
+    /// A `Write` sink shareable with the thread `cmd_serve` blocks on, so
+    /// the test can read the "listening on" line while the server runs.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).expect("utf8 output")
+        }
+    }
+
+    /// End-to-end through the CLI surface: `serve --port 0` prints the
+    /// bound address, `loadgen` drives it and reports zero failures, and
+    /// the Shutdown poison drains the server thread.
+    #[test]
+    fn serve_and_loadgen_end_to_end() {
+        let buf = SharedBuf::default();
+        let server_out = buf.clone();
+        let server = std::thread::spawn(move || {
+            let mut out = server_out;
+            let args = Args::parse(
+                "serve --port 0 --global-cap 90 --policy demand --seed 2014"
+                    .split_whitespace()
+                    .map(String::from),
+            )
+            .unwrap();
+            run(&args, &mut out)
+        });
+        // In-process training takes a moment; wait for the bound address.
+        let addr = loop {
+            if let Some(line) = buf.text().lines().find(|l| l.starts_with("listening on ")) {
+                break line.trim_start_matches("listening on ").to_string();
+            }
+            assert!(!server.is_finished(), "server exited early: {:?}", buf.text());
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        };
+
+        let log = tmp("loadgen-e2e.jsonl");
+        let out = run_str(&format!(
+            "loadgen --addr {addr} --requests 60 --seed 7 --run-every 9 --report-every 5 \
+             --log {log} --shutdown true"
+        ))
+        .unwrap();
+        assert!(out.contains("errors:      0 errored, 0 dropped"), "{out}");
+        assert!(out.contains("server STATS:"), "{out}");
+        assert!(out.contains("\"protocol_errors\": 0"), "{out}");
+        server.join().unwrap().unwrap();
+
+        let log_text = std::fs::read_to_string(&log).unwrap();
+        assert_eq!(log_text.lines().count(), 60, "one logged response per request");
+        assert!(log_text.contains("Selected"), "{log_text}");
     }
 }

@@ -9,6 +9,7 @@
 use acs_sim::Configuration;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 
 /// One timeline event.
@@ -112,6 +113,17 @@ pub struct Entry {
 
 /// An append-only, thread-safe scheduling trace with a virtual clock that
 /// advances by recorded kernel durations.
+///
+/// By default the trace is unbounded. A long-running process (the
+/// `acs-serve` daemon) instead bounds it with
+/// [`with_capacity`](Self::with_capacity) /
+/// [`set_capacity`](Self::set_capacity): the trace becomes a ring buffer
+/// that drops its **oldest** entries once full, counting what it sheds in
+/// [`dropped`](Self::dropped). While the entry count stays under the
+/// capacity the observable trace — [`entries`](Self::entries),
+/// [`to_json`](Self::to_json), [`render`](Self::render) — is byte-for-byte
+/// identical to an unbounded timeline's, so golden traces recorded before
+/// the bound existed keep passing.
 #[derive(Debug, Default)]
 pub struct Timeline {
     inner: Mutex<TimelineInner>,
@@ -120,13 +132,55 @@ pub struct Timeline {
 #[derive(Debug, Default)]
 struct TimelineInner {
     now_s: f64,
-    entries: Vec<Entry>,
+    entries: VecDeque<Entry>,
+    /// Maximum retained entries (`None` = unbounded).
+    capacity: Option<usize>,
+    /// Entries shed by the ring buffer.
+    dropped: u64,
+}
+
+impl TimelineInner {
+    fn evict_to_capacity(&mut self) {
+        if let Some(cap) = self.capacity {
+            while self.entries.len() > cap {
+                self.entries.pop_front();
+                self.dropped += 1;
+            }
+        }
+    }
 }
 
 impl Timeline {
-    /// An empty timeline at t = 0.
+    /// An empty, unbounded timeline at t = 0.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty timeline retaining at most `capacity` entries (oldest
+    /// entries are dropped first once full).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let t = Self::default();
+        t.inner.lock().capacity = Some(capacity);
+        t
+    }
+
+    /// Change the retention bound (`None` = unbounded). Shrinking below
+    /// the current length evicts the oldest entries immediately.
+    pub fn set_capacity(&self, capacity: Option<usize>) {
+        let mut inner = self.inner.lock();
+        inner.capacity = capacity;
+        inner.evict_to_capacity();
+    }
+
+    /// The retention bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.inner.lock().capacity
+    }
+
+    /// Entries shed so far by the ring buffer (0 while under capacity,
+    /// and always 0 for an unbounded timeline).
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
     }
 
     /// Record an event at the current virtual time. `KernelRun` events
@@ -140,7 +194,8 @@ impl Timeline {
             Event::RetryBackoff { wait_s, .. } => inner.now_s += wait_s,
             _ => {}
         }
-        inner.entries.push(Entry { at_s, event });
+        inner.entries.push_back(Entry { at_s, event });
+        inner.evict_to_capacity();
     }
 
     /// Current virtual time, seconds.
@@ -148,19 +203,19 @@ impl Timeline {
         self.inner.lock().now_s
     }
 
-    /// Number of recorded events.
+    /// Number of retained events.
     pub fn len(&self) -> usize {
         self.inner.lock().entries.len()
     }
 
-    /// True when nothing has been recorded.
+    /// True when nothing is retained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Snapshot of all entries.
+    /// Snapshot of all retained entries, oldest first.
     pub fn entries(&self) -> Vec<Entry> {
-        self.inner.lock().entries.clone()
+        self.inner.lock().entries.iter().cloned().collect()
     }
 
     /// Canonical JSON serialization of the whole trace. The vendored
@@ -365,6 +420,71 @@ mod tests {
         assert!(txt.contains("tier  k model → model+fl(1)"));
         assert!(txt.contains("sense k: dropout"));
         assert!(txt.contains("clamp k wanted"));
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_beyond_capacity() {
+        let t = Timeline::with_capacity(3);
+        for i in 0..5 {
+            t.record(run_event("k", i, 0.001));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        // The oldest entries went first: iterations 2, 3, 4 remain.
+        let iters: Vec<u64> = t
+            .entries()
+            .iter()
+            .map(|e| match &e.event {
+                Event::KernelRun { iteration, .. } => *iteration,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(iters, vec![2, 3, 4]);
+        // The virtual clock still covers every recorded run.
+        assert!((t.now_s() - 0.005).abs() < 1e-15);
+    }
+
+    #[test]
+    fn to_json_is_identical_under_capacity() {
+        // A bounded timeline that never overflows must serialize exactly
+        // like an unbounded one — existing golden traces depend on it.
+        let unbounded = Timeline::new();
+        let bounded = Timeline::with_capacity(16);
+        for t in [&unbounded, &bounded] {
+            t.record(Event::CapChanged { cap_w: 25.0 });
+            t.record(run_event("k", 0, 0.004));
+            t.record(Event::LimiterStep { kernel_id: "k".into(), config: cfg() });
+        }
+        assert_eq!(bounded.dropped(), 0);
+        assert_eq!(unbounded.to_json(), bounded.to_json());
+        assert_eq!(unbounded.render(), bounded.render());
+    }
+
+    #[test]
+    fn set_capacity_trims_immediately_and_unbounds() {
+        let t = Timeline::new();
+        for i in 0..10 {
+            t.record(run_event("k", i, 0.001));
+        }
+        assert_eq!(t.capacity(), None);
+        t.set_capacity(Some(4));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        // Growing the bound (or removing it) never resurrects entries.
+        t.set_capacity(None);
+        assert_eq!(t.len(), 4);
+        t.record(run_event("k", 10, 0.001));
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.dropped(), 6);
+    }
+
+    #[test]
+    fn zero_capacity_retains_nothing_but_keeps_the_clock() {
+        let t = Timeline::with_capacity(0);
+        t.record(run_event("k", 0, 0.002));
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+        assert!((t.now_s() - 0.002).abs() < 1e-15);
     }
 
     #[test]

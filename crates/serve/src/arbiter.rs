@@ -1,0 +1,288 @@
+//! The cluster power-budget arbiter.
+//!
+//! The paper selects configurations under a *node-level* cap; its
+//! motivating setting (PAPER.md §I) is an overprovisioned cluster where a
+//! global budget must be split across nodes. The arbiter treats every
+//! connected session as a node and partitions the global cap across them.
+//! Two policies:
+//!
+//! - **Equal share**: every node gets `cap / n`. The baseline.
+//! - **Demand proportional**: half the cap is a guaranteed floor split
+//!   equally (no node starves), the other half is distributed in
+//!   proportion to each node's *demand* — how little residual headroom
+//!   (`residual_w`, reported by the node from its `limiter` measurements)
+//!   it has under its current budget. A node running far below its budget
+//!   donates watts to nodes running at theirs.
+//!
+//! Budgets change only when nodes join, leave, or report; every change
+//! bumps an epoch counter so sessions can detect a reshuffle with one
+//! atomic-free comparison and re-run selection ([`CappedRuntime::set_cap`]
+//! re-selects from cached frontiers — the Section III-C dynamic-constraint
+//! property).
+//!
+//! [`CappedRuntime::set_cap`]: acs_core::CappedRuntime::set_cap
+
+use std::collections::BTreeMap;
+
+/// Minimum budget change, W, that counts as a reshuffle.
+const RESHUFFLE_EPS_W: f64 = 1e-9;
+
+/// How the global cap is split across nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArbiterPolicy {
+    /// `cap / n` for every node.
+    EqualShare,
+    /// An equal floor for half the cap; the rest follows reported demand.
+    DemandProportional,
+}
+
+impl ArbiterPolicy {
+    /// Stable name (the CLI `--policy` value).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArbiterPolicy::EqualShare => "equal",
+            ArbiterPolicy::DemandProportional => "demand",
+        }
+    }
+}
+
+impl std::str::FromStr for ArbiterPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "equal" => Ok(ArbiterPolicy::EqualShare),
+            "demand" => Ok(ArbiterPolicy::DemandProportional),
+            other => Err(format!("unknown arbiter policy '{other}' (expected equal|demand)")),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct NodeState {
+    /// Last reported residual headroom, W (budget minus measured power).
+    residual_w: f64,
+    /// Current budget, W.
+    budget_w: f64,
+}
+
+/// Partitions a global power cap across connected nodes.
+#[derive(Debug)]
+pub struct Arbiter {
+    global_cap_w: f64,
+    policy: ArbiterPolicy,
+    nodes: BTreeMap<u64, NodeState>,
+    rebalances: u64,
+    epoch: u64,
+}
+
+impl Arbiter {
+    /// An arbiter over a positive global cap.
+    pub fn new(global_cap_w: f64, policy: ArbiterPolicy) -> Self {
+        assert!(global_cap_w > 0.0, "global cap must be positive");
+        Self { global_cap_w, policy, nodes: BTreeMap::new(), rebalances: 0, epoch: 0 }
+    }
+
+    /// The global cap, W.
+    pub fn global_cap_w(&self) -> f64 {
+        self.global_cap_w
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> ArbiterPolicy {
+        self.policy
+    }
+
+    /// Number of connected nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// How many times a rebalance actually changed at least one budget.
+    pub fn rebalances(&self) -> u64 {
+        self.rebalances
+    }
+
+    /// Monotonic counter bumped on every budget change; sessions compare
+    /// it against their last seen value to detect reshuffles cheaply.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Admit a node and return its budget. A fresh node starts with zero
+    /// reported residual (maximum demand) until its first report.
+    pub fn join(&mut self, node_id: u64) -> f64 {
+        self.nodes.insert(node_id, NodeState { residual_w: 0.0, budget_w: 0.0 });
+        self.rebalance();
+        self.nodes[&node_id].budget_w
+    }
+
+    /// Remove a node; its watts flow back to the survivors.
+    pub fn leave(&mut self, node_id: u64) {
+        if self.nodes.remove(&node_id).is_some() {
+            self.rebalance();
+        }
+    }
+
+    /// Ingest a node's residual-headroom report and re-partition.
+    /// Returns the node's budget after the rebalance (`None` for an
+    /// unknown node). Non-finite reports are ignored.
+    pub fn report(&mut self, node_id: u64, residual_w: f64) -> Option<f64> {
+        let node = self.nodes.get_mut(&node_id)?;
+        if residual_w.is_finite() {
+            node.residual_w = residual_w;
+        }
+        self.rebalance();
+        Some(self.nodes[&node_id].budget_w)
+    }
+
+    /// A node's current budget, W.
+    pub fn budget_of(&self, node_id: u64) -> Option<f64> {
+        self.nodes.get(&node_id).map(|n| n.budget_w)
+    }
+
+    /// Re-partition the cap per the policy; bump counters when any budget
+    /// moved by more than [`RESHUFFLE_EPS_W`].
+    fn rebalance(&mut self) {
+        let n = self.nodes.len();
+        if n == 0 {
+            return;
+        }
+        let shares: Vec<f64> = match self.policy {
+            ArbiterPolicy::EqualShare => vec![self.global_cap_w / n as f64; n],
+            ArbiterPolicy::DemandProportional => {
+                let floor = 0.5 * self.global_cap_w / n as f64;
+                let pool = 0.5 * self.global_cap_w;
+                // Demand: a node with no headroom left wants watts; a node
+                // with lots of residual donates. Shift so the hungriest
+                // node defines zero demand offset and everything stays
+                // non-negative.
+                let max_residual = self
+                    .nodes
+                    .values()
+                    .map(|s| s.residual_w.max(0.0))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let demands: Vec<f64> = self
+                    .nodes
+                    .values()
+                    .map(|s| (max_residual - s.residual_w.max(0.0)).max(0.0))
+                    .collect();
+                let total: f64 = demands.iter().sum();
+                if total <= RESHUFFLE_EPS_W {
+                    // Indistinguishable demands: split the pool equally.
+                    vec![floor + pool / n as f64; n]
+                } else {
+                    demands.iter().map(|d| floor + pool * d / total).collect()
+                }
+            }
+        };
+        let mut changed = false;
+        for (state, share) in self.nodes.values_mut().zip(shares) {
+            if (state.budget_w - share).abs() > RESHUFFLE_EPS_W {
+                changed = true;
+            }
+            state.budget_w = share;
+        }
+        if changed {
+            self.rebalances += 1;
+            self.epoch += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_share_splits_evenly() {
+        let mut a = Arbiter::new(120.0, ArbiterPolicy::EqualShare);
+        assert_eq!(a.join(1), 120.0);
+        assert_eq!(a.join(2), 60.0);
+        let b3 = a.join(3);
+        assert!((b3 - 40.0).abs() < 1e-9);
+        assert_eq!(a.budget_of(1), Some(b3));
+        a.leave(2);
+        assert!((a.budget_of(1).unwrap() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budgets_sum_to_cap_under_both_policies() {
+        for policy in [ArbiterPolicy::EqualShare, ArbiterPolicy::DemandProportional] {
+            let mut a = Arbiter::new(90.0, policy);
+            for id in 0..5 {
+                a.join(id);
+            }
+            a.report(0, 12.0);
+            a.report(1, 0.5);
+            a.report(3, 30.0);
+            let total: f64 = (0..5).map(|id| a.budget_of(id).unwrap()).sum();
+            assert!((total - 90.0).abs() < 1e-6, "{policy:?}: budgets sum to {total}");
+        }
+    }
+
+    #[test]
+    fn demand_proportional_favors_hungry_nodes() {
+        let mut a = Arbiter::new(100.0, ArbiterPolicy::DemandProportional);
+        a.join(1);
+        a.join(2);
+        // Node 1 has lots of headroom (low demand); node 2 has none.
+        a.report(1, 20.0);
+        a.report(2, 0.0);
+        let b1 = a.budget_of(1).unwrap();
+        let b2 = a.budget_of(2).unwrap();
+        assert!(b2 > b1, "hungry node got {b2}, satisfied node got {b1}");
+        // The floor guarantees at least half an equal share.
+        assert!(b1 >= 0.5 * 100.0 / 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn equal_demands_split_the_pool_equally() {
+        let mut a = Arbiter::new(80.0, ArbiterPolicy::DemandProportional);
+        a.join(1);
+        a.join(2);
+        let b1 = a.budget_of(1).unwrap();
+        let b2 = a.budget_of(2).unwrap();
+        assert!((b1 - 40.0).abs() < 1e-9 && (b2 - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epoch_moves_only_on_real_reshuffles() {
+        let mut a = Arbiter::new(100.0, ArbiterPolicy::EqualShare);
+        a.join(1);
+        let e = a.epoch();
+        // Same residual report under equal share changes nothing.
+        a.report(1, 5.0);
+        assert_eq!(a.epoch(), e);
+        a.join(2);
+        assert!(a.epoch() > e);
+    }
+
+    #[test]
+    fn ignores_unknown_and_non_finite() {
+        let mut a = Arbiter::new(100.0, ArbiterPolicy::DemandProportional);
+        a.join(1);
+        assert_eq!(a.report(99, 1.0), None);
+        let before = a.budget_of(1).unwrap();
+        a.report(1, f64::NAN);
+        assert_eq!(a.budget_of(1).unwrap(), before);
+    }
+
+    #[test]
+    fn rebalances_counts_changes() {
+        let mut a = Arbiter::new(100.0, ArbiterPolicy::DemandProportional);
+        a.join(1);
+        a.join(2);
+        let r = a.rebalances();
+        a.report(1, 25.0);
+        assert!(a.rebalances() > r, "a demand swing must count as a rebalance");
+    }
+
+    #[test]
+    fn policy_parses() {
+        assert_eq!("equal".parse::<ArbiterPolicy>().unwrap(), ArbiterPolicy::EqualShare);
+        assert_eq!("demand".parse::<ArbiterPolicy>().unwrap(), ArbiterPolicy::DemandProportional);
+        assert!("fair".parse::<ArbiterPolicy>().is_err());
+        assert_eq!(ArbiterPolicy::DemandProportional.name(), "demand");
+    }
+}

@@ -1,0 +1,188 @@
+//! The request executor: memoized online selection over a shared model.
+//!
+//! The cold path for a kernel is the paper's full online stage — two
+//! sample-configuration runs, CART classification, and per-configuration
+//! regression (Section III-C). The engine memoizes the resulting
+//! [`PredictedProfile`] per kernel id, so repeat clients pay only a Pareto
+//! frontier walk. Batches fan onto the workspace rayon pool with
+//! index-ordered collection, so batch responses are deterministic.
+//!
+//! Determinism rule (DESIGN.md §11): a cache hit and a cache miss must
+//! produce byte-identical selections. That holds because the profile is a
+//! pure function of `(machine seed, kernel id, model)` — the cache changes
+//! *when* work happens, never *what* is answered — and it is why
+//! [`Selection`] carries no hit/miss flag; hit rates live in the metrics
+//! snapshot only.
+
+use crate::protocol::Selection;
+use acs_core::{sample_config, PredictedProfile, Predictor, SamplePair, TrainedModel};
+use acs_sim::{Device, KernelCharacteristics, Machine};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Typed engine failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The kernel id is not in the suite.
+    UnknownKernel(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownKernel(id) => {
+                write!(f, "unknown kernel '{id}' (try `acs suite`)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Shared, thread-safe selection engine.
+pub struct Engine {
+    model: Arc<TrainedModel>,
+    machine: Machine,
+    kernels: BTreeMap<String, KernelCharacteristics>,
+    cache: Mutex<HashMap<String, Arc<PredictedProfile>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Engine {
+    /// An engine answering for the full benchmark suite on `machine`.
+    pub fn new(model: Arc<TrainedModel>, machine: Machine) -> Self {
+        let kernels =
+            acs_kernels::all_kernel_instances().into_iter().map(|k| (k.id(), k)).collect();
+        Self {
+            model,
+            machine,
+            kernels,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The trained model the engine serves.
+    pub fn model(&self) -> &Arc<TrainedModel> {
+        &self.model
+    }
+
+    /// The kernel with this id, if it is in the suite.
+    pub fn kernel(&self, id: &str) -> Option<&KernelCharacteristics> {
+        self.kernels.get(id)
+    }
+
+    /// `(hits, misses)` of the profile cache since startup.
+    pub fn cache_counts(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// The memoized predicted profile for a kernel; computed on first use
+    /// (two sample runs + classify + regress), a map lookup afterwards.
+    pub fn profile(&self, kernel_id: &str) -> Result<Arc<PredictedProfile>, EngineError> {
+        if let Some(hit) = self.cache.lock().get(kernel_id) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        let kernel = self
+            .kernels
+            .get(kernel_id)
+            .ok_or_else(|| EngineError::UnknownKernel(kernel_id.to_string()))?;
+        // Compute outside the lock: concurrent misses for the same kernel
+        // duplicate pure work but agree on the result bit-for-bit (the
+        // profile is a function of seed + kernel + model only).
+        let cpu = self.machine.run_iter(kernel, &sample_config(Device::Cpu), 0);
+        let gpu = self.machine.run_iter(kernel, &sample_config(Device::Gpu), 1);
+        let profile = Arc::new(Predictor::new(&self.model).predict(&SamplePair::new(cpu, gpu)));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut cache = self.cache.lock();
+        Ok(Arc::clone(cache.entry(kernel_id.to_string()).or_insert(profile)))
+    }
+
+    /// Select a configuration for one kernel under a budget.
+    pub fn select(&self, kernel_id: &str, budget_w: f64) -> Result<Selection, EngineError> {
+        let profile = self.profile(kernel_id)?;
+        let config = profile.select(budget_w);
+        let point = profile.point_for(&config);
+        Ok(Selection {
+            kernel_id: kernel_id.to_string(),
+            cluster: profile.cluster,
+            config,
+            predicted_power_w: point.power_w,
+            predicted_perf: point.perf,
+            budget_w,
+        })
+    }
+
+    /// Select for many kernels at once on the rayon pool. Results are
+    /// collected in request order (index-ordered), so the response is
+    /// independent of worker scheduling.
+    pub fn select_batch(
+        &self,
+        kernel_ids: &[String],
+        budget_w: f64,
+    ) -> Vec<Result<Selection, EngineError>> {
+        kernel_ids.par_iter().map(|id| self.select(id, budget_w)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acs_core::{train, KernelProfile, TrainingParams};
+
+    fn engine() -> Engine {
+        let machine = Machine::new(2014);
+        let kernels = acs_kernels::all_kernel_instances();
+        let profiles: Vec<KernelProfile> =
+            kernels.iter().take(12).map(|k| KernelProfile::collect(&machine, k)).collect();
+        let model = train(&profiles, TrainingParams::default()).expect("training succeeds");
+        Engine::new(Arc::new(model), machine)
+    }
+
+    #[test]
+    fn cache_hit_equals_cache_miss() {
+        let e = engine();
+        let id = e.kernels.keys().next().unwrap().clone();
+        let cold = e.select(&id, 25.0).unwrap();
+        let warm = e.select(&id, 25.0).unwrap();
+        assert_eq!(cold, warm);
+        let (hits, misses) = e.cache_counts();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn unknown_kernel_is_typed() {
+        let e = engine();
+        match e.select("no/such/kernel", 25.0) {
+            Err(EngineError::UnknownKernel(id)) => assert_eq!(id, "no/such/kernel"),
+            other => panic!("expected UnknownKernel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_preserves_request_order_and_matches_singles() {
+        let e = engine();
+        let ids: Vec<String> = e.kernels.keys().take(8).cloned().collect();
+        let batch = e.select_batch(&ids, 30.0);
+        assert_eq!(batch.len(), ids.len());
+        for (id, got) in ids.iter().zip(&batch) {
+            let single = e.select(id, 30.0).unwrap();
+            assert_eq!(got.as_ref().unwrap(), &single, "order or value drifted for {id}");
+        }
+    }
+
+    #[test]
+    fn tighter_budget_never_raises_predicted_power() {
+        let e = engine();
+        let id = e.kernels.keys().next().unwrap().clone();
+        let loose = e.select(&id, 60.0).unwrap();
+        let tight = e.select(&id, 12.0).unwrap();
+        assert!(tight.predicted_power_w <= loose.predicted_power_w + 1e-9);
+    }
+}

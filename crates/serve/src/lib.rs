@@ -1,0 +1,40 @@
+//! **acs-serve** — a multi-tenant online selection server.
+//!
+//! The paper's online stage answers "which configuration should this
+//! kernel run at under this power cap?" in under a millisecond — but only
+//! inside one-shot CLI invocations. This crate turns it into a
+//! long-running daemon: trained offline artifacts are loaded once, every
+//! TCP connection becomes a *node* of a simulated cluster, and a
+//! **power-budget arbiter** partitions a global cap across the connected
+//! nodes (equal-share, or demand-proportional using each node's reported
+//! residual headroom). When the arbiter reshuffles budgets, sessions
+//! re-run selection from their cached predicted frontiers — the paper's
+//! Section III-C dynamic-constraint property, exercised as a service.
+//!
+//! Module map:
+//! - [`protocol`] — length-prefixed JSON frames, typed [`ProtocolError`]
+//! - [`engine`] — memoized classify+predict, batch fan-out on rayon
+//! - [`arbiter`] — global-cap partitioning policies
+//! - [`metrics`] — counters, latency quantiles, the `STATS` snapshot
+//! - [`server`] — listener, admission control, sessions, shutdown
+//!
+//! Determinism contract (DESIGN.md §11): for a single-session client, a
+//! fixed seed and a recorded request stream replay to a byte-identical
+//! response log. Responses therefore never leak cache state, wall-clock
+//! time, or thread interleavings; those live only in the `STATS`
+//! snapshot, which replay logs exclude.
+
+pub mod arbiter;
+pub mod engine;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use arbiter::{Arbiter, ArbiterPolicy};
+pub use engine::{Engine, EngineError};
+pub use metrics::{Metrics, StatsSnapshot};
+pub use protocol::{
+    read_frame, read_frame_blocking, write_frame, ProtocolError, ReadOutcome, Request, Response,
+    Selection, MAX_FRAME_LEN,
+};
+pub use server::{Client, ServeConfig, ServeError, Server, ServerHandle};

@@ -1,0 +1,217 @@
+//! Server metrics: counters, latency quantiles, and the `STATS` snapshot.
+//!
+//! Latencies are recorded in microseconds into a bounded reservoir (the
+//! server is long-running; an unbounded sample vector would be the same
+//! bug the Timeline ring buffer exists to prevent). Quantiles are computed
+//! on demand by sorting a copy — snapshots are rare relative to requests.
+//!
+//! Snapshots carry wall-clock-derived latency numbers, so replay logs
+//! exclude `Stats` responses (DESIGN.md §11); everything else in the
+//! snapshot is a plain counter.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cap on retained latency samples. Beyond it, recording falls back to
+/// overwriting a rotating slot, which keeps quantiles fresh without growth.
+const LATENCY_RESERVOIR: usize = 1 << 16;
+
+/// Point-in-time server statistics, as returned for a `Stats` request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Requests served, all kinds.
+    pub requests_total: u64,
+    /// Per-kind request counts (`select`, `batch`, `run`, ...).
+    pub requests_by_kind: BTreeMap<String, u64>,
+    /// Median request service latency, µs.
+    pub p50_latency_us: u64,
+    /// 99th-percentile request service latency, µs.
+    pub p99_latency_us: u64,
+    /// Profile-cache hits since startup.
+    pub cache_hits: u64,
+    /// Profile-cache misses since startup.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`, 0 when nothing was looked up.
+    pub cache_hit_rate: f64,
+    /// Sessions currently connected.
+    pub active_sessions: u64,
+    /// Arbiter rebalances that changed at least one budget.
+    pub arbiter_rebalances: u64,
+    /// Budget reshuffles that made a session re-run selection.
+    pub reselections: u64,
+    /// Connections or batches refused with a typed `Overloaded`.
+    pub overloaded: u64,
+    /// Frames that failed to parse (truncated, oversized, bad UTF-8, ...).
+    pub protocol_errors: u64,
+    /// Requests served per degradation-ladder rung label (PR-1 ladder:
+    /// `model`, `model+fl(1)`, ..., `safe-min`).
+    pub degradation_tallies: BTreeMap<String, u64>,
+}
+
+/// Thread-safe metric registry shared by all sessions.
+#[derive(Default)]
+pub struct Metrics {
+    requests_total: AtomicU64,
+    by_kind: Mutex<BTreeMap<String, u64>>,
+    latencies_us: Mutex<Vec<u64>>,
+    next_slot: AtomicU64,
+    overloaded: AtomicU64,
+    protocol_errors: AtomicU64,
+    reselections: AtomicU64,
+    degradation: Mutex<BTreeMap<String, u64>>,
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one served request of `kind` with its service latency.
+    pub fn record_request(&self, kind: &str, latency_us: u64) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        *self.by_kind.lock().entry(kind.to_string()).or_insert(0) += 1;
+        let mut lat = self.latencies_us.lock();
+        if lat.len() < LATENCY_RESERVOIR {
+            lat.push(latency_us);
+        } else {
+            let slot = self.next_slot.fetch_add(1, Ordering::Relaxed) as usize;
+            lat[slot % LATENCY_RESERVOIR] = latency_us;
+        }
+    }
+
+    /// Count a typed `Overloaded` rejection.
+    pub fn record_overloaded(&self) {
+        self.overloaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a wire-protocol failure.
+    pub fn record_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a budget reshuffle that re-ran selection in some session.
+    pub fn record_reselection(&self) {
+        self.reselections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tally one request served at a degradation-ladder rung.
+    pub fn record_rung(&self, label: &str) {
+        *self.degradation.lock().entry(label.to_string()).or_insert(0) += 1;
+    }
+
+    /// Wire-protocol failures so far.
+    pub fn protocol_errors(&self) -> u64 {
+        self.protocol_errors.load(Ordering::Relaxed)
+    }
+
+    /// Build a snapshot. Cache and arbiter counters live elsewhere, so the
+    /// caller passes them in.
+    pub fn snapshot(
+        &self,
+        cache_counts: (u64, u64),
+        active_sessions: u64,
+        arbiter_rebalances: u64,
+    ) -> StatsSnapshot {
+        let (p50, p99) = self.latency_quantiles();
+        let (cache_hits, cache_misses) = cache_counts;
+        let looked_up = cache_hits + cache_misses;
+        StatsSnapshot {
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            requests_by_kind: self.by_kind.lock().clone(),
+            p50_latency_us: p50,
+            p99_latency_us: p99,
+            cache_hits,
+            cache_misses,
+            cache_hit_rate: if looked_up == 0 { 0.0 } else { cache_hits as f64 / looked_up as f64 },
+            active_sessions,
+            arbiter_rebalances,
+            reselections: self.reselections.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            degradation_tallies: self.degradation.lock().clone(),
+        }
+    }
+
+    fn latency_quantiles(&self) -> (u64, u64) {
+        let mut lat = self.latencies_us.lock().clone();
+        if lat.is_empty() {
+            return (0, 0);
+        }
+        lat.sort_unstable();
+        (quantile(&lat, 0.50), quantile(&lat, 0.99))
+    }
+}
+
+/// Nearest-rank quantile of a sorted, non-empty sample.
+pub fn quantile(sorted: &[u64], q: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_quantiles() {
+        let m = Metrics::new();
+        for us in 1..=100u64 {
+            m.record_request("select", us);
+        }
+        m.record_request("stats", 1000);
+        let s = m.snapshot((30, 70), 2, 5);
+        assert_eq!(s.requests_total, 101);
+        assert_eq!(s.requests_by_kind["select"], 100);
+        assert_eq!(s.requests_by_kind["stats"], 1);
+        assert_eq!(s.p50_latency_us, 51);
+        assert_eq!(s.p99_latency_us, 100);
+        assert_eq!(s.cache_hits, 30);
+        assert!((s.cache_hit_rate - 0.30).abs() < 1e-12);
+        assert_eq!(s.active_sessions, 2);
+        assert_eq!(s.arbiter_rebalances, 5);
+    }
+
+    #[test]
+    fn empty_registry_snapshots_cleanly() {
+        let s = Metrics::new().snapshot((0, 0), 0, 0);
+        assert_eq!(s.p50_latency_us, 0);
+        assert_eq!(s.p99_latency_us, 0);
+        assert_eq!(s.cache_hit_rate, 0.0);
+        assert!(s.degradation_tallies.is_empty());
+    }
+
+    #[test]
+    fn reservoir_is_bounded() {
+        let m = Metrics::new();
+        for i in 0..(LATENCY_RESERVOIR as u64 + 500) {
+            m.record_request("select", i);
+        }
+        assert_eq!(m.latencies_us.lock().len(), LATENCY_RESERVOIR);
+    }
+
+    #[test]
+    fn rung_tallies_accumulate() {
+        let m = Metrics::new();
+        m.record_rung("model");
+        m.record_rung("model");
+        m.record_rung("safe-min");
+        let s = m.snapshot((0, 0), 0, 0);
+        assert_eq!(s.degradation_tallies["model"], 2);
+        assert_eq!(s.degradation_tallies["safe-min"], 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_the_wire_format() {
+        let m = Metrics::new();
+        m.record_request("select", 10);
+        m.record_rung("model");
+        let s = m.snapshot((1, 1), 1, 0);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

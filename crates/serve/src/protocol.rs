@@ -1,0 +1,403 @@
+//! The wire protocol: length-prefixed JSON frames.
+//!
+//! Every message is a 4-byte big-endian `u32` byte length followed by that
+//! many bytes of UTF-8 JSON. The length prefix is validated against
+//! [`MAX_FRAME_LEN`] *before* any allocation, truncated frames and invalid
+//! UTF-8 surface as typed [`ProtocolError`]s, and nothing in this module
+//! panics on hostile input.
+//!
+//! Responses are intentionally free of any field that depends on server
+//! cache state or wall-clock time: a recorded request stream must replay to
+//! a byte-identical response log (DESIGN.md §11), so `Selected` carries no
+//! "cache hit" flag and latency lives only in the [`StatsSnapshot`], which
+//! replay logs exclude.
+
+use crate::metrics::StatsSnapshot;
+use acs_sim::Configuration;
+use serde::{Deserialize, Serialize};
+use std::io::{ErrorKind, Read, Write};
+
+/// Hard ceiling on a frame's payload length (1 MiB). A length prefix above
+/// this is rejected before any buffer is allocated, so a hostile client
+/// cannot make the server reserve gigabytes with four bytes.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Handshake: ask for the session's node id and current power budget.
+    Hello,
+    /// Select a configuration for one kernel under the session's budget.
+    Select {
+        /// Kernel id (`benchmark/input/name`, as listed by `acs suite`).
+        kernel_id: String,
+    },
+    /// Select configurations for many kernels in one round trip; the
+    /// server fans the batch onto its thread pool.
+    Batch {
+        /// Kernel ids to select for, answered in the same order.
+        kernel_ids: Vec<String>,
+    },
+    /// Execute iterations of a kernel on the session's capped runtime.
+    Run {
+        /// Kernel id.
+        kernel_id: String,
+        /// Number of iterations to execute (clamped to at least 1).
+        iterations: u64,
+    },
+    /// Report this node's residual power headroom to the arbiter.
+    Report {
+        /// Residual watts under the node's current budget (negative when
+        /// the node overshoots).
+        residual_w: f64,
+    },
+    /// Ask for a metrics snapshot.
+    Stats,
+    /// Close this session politely.
+    Bye,
+    /// Poison request: shut the whole server down.
+    Shutdown,
+}
+
+impl Request {
+    /// Short label for metrics bucketing.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Hello => "hello",
+            Request::Select { .. } => "select",
+            Request::Batch { .. } => "batch",
+            Request::Run { .. } => "run",
+            Request::Report { .. } => "report",
+            Request::Stats => "stats",
+            Request::Bye => "bye",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One configuration selection, as returned for `Select` and `Batch`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Selection {
+    /// Kernel the selection is for.
+    pub kernel_id: String,
+    /// Cluster the kernel was classified into.
+    pub cluster: usize,
+    /// The selected configuration.
+    pub config: Configuration,
+    /// Predicted power at that configuration, W.
+    pub predicted_power_w: f64,
+    /// Predicted performance at that configuration (iterations/s).
+    pub predicted_perf: f64,
+    /// The session budget the selection was made under, W.
+    pub budget_w: f64,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Handshake reply.
+    Welcome {
+        /// Server-assigned node id for this session.
+        node_id: u64,
+        /// The session's current power budget, W.
+        budget_w: f64,
+    },
+    /// Reply to `Select`.
+    Selected(Selection),
+    /// Reply to `Batch`, selections in request order.
+    BatchSelected {
+        /// One selection per requested kernel id, in order.
+        selections: Vec<Selection>,
+    },
+    /// Reply to `Run`.
+    Ran {
+        /// Kernel that ran.
+        kernel_id: String,
+        /// Iterations actually executed.
+        iterations: u64,
+        /// Mean measured power over those iterations, W.
+        avg_power_w: f64,
+        /// Total wall time over those iterations, s.
+        total_time_s: f64,
+        /// Configuration of the final iteration.
+        config: Configuration,
+        /// Degradation-ladder rung the kernel ended the request on.
+        tier: String,
+    },
+    /// Reply to `Report`: the node's budget after the arbiter re-partitions.
+    Budget {
+        /// This node's new budget, W.
+        budget_w: f64,
+    },
+    /// Reply to `Stats`.
+    Stats(StatsSnapshot),
+    /// Typed backpressure: the server (or a batch) is over its bound.
+    Overloaded {
+        /// Offered load (active sessions at admission, batch size for
+        /// an oversized batch).
+        load: u64,
+        /// The configured bound that was exceeded.
+        limit: u64,
+    },
+    /// Typed request failure (unknown kernel, malformed frame, ...).
+    Error {
+        /// Stable machine-readable code.
+        code: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Reply to `Bye`.
+    Bye,
+    /// Reply to `Shutdown`.
+    ShuttingDown,
+}
+
+/// Typed wire-protocol failures. Never a panic.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Underlying socket/stream failure.
+    Io(std::io::Error),
+    /// The stream ended inside a frame.
+    Truncated {
+        /// Bytes the frame promised.
+        expected: usize,
+        /// Bytes actually read before EOF.
+        got: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The claimed payload length.
+        len: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+    /// The payload is not valid UTF-8.
+    InvalidUtf8,
+    /// The payload is valid UTF-8 but not a valid message.
+    Malformed(String),
+}
+
+impl ProtocolError {
+    /// Stable machine-readable code for `Response::Error`.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtocolError::Io(_) => "io",
+            ProtocolError::Truncated { .. } => "truncated",
+            ProtocolError::Oversized { .. } => "oversized",
+            ProtocolError::InvalidUtf8 => "invalid-utf8",
+            ProtocolError::Malformed(_) => "malformed",
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "i/o failure: {e}"),
+            ProtocolError::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} bytes, got {got}")
+            }
+            ProtocolError::Oversized { len, max } => {
+                write!(f, "oversized frame: length prefix {len} exceeds maximum {max}")
+            }
+            ProtocolError::InvalidUtf8 => write!(f, "frame payload is not valid UTF-8"),
+            ProtocolError::Malformed(m) => write!(f, "malformed message: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+/// Outcome of a non-blocking frame read.
+#[derive(Debug)]
+pub enum ReadOutcome<T> {
+    /// A complete frame arrived.
+    Frame(T),
+    /// The peer closed the stream cleanly (EOF between frames).
+    Eof,
+    /// A read timeout fired before the first byte of a frame; nothing was
+    /// consumed, so the caller may poll its shutdown flag and retry.
+    Idle,
+}
+
+/// Serialize `msg` and write it as one length-prefixed frame.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> Result<(), ProtocolError> {
+    let body = serde_json::to_string(msg).map_err(|e| ProtocolError::Malformed(e.to_string()))?;
+    let bytes = body.as_bytes();
+    if bytes.len() > MAX_FRAME_LEN {
+        return Err(ProtocolError::Oversized { len: bytes.len(), max: MAX_FRAME_LEN });
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// True for the error kinds a read timeout surfaces as.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Read exactly `buf.len()` bytes, treating timeouts as retryable only
+/// once at least one byte has arrived (a frame, once started, is always
+/// finished or declared truncated). Returns the byte count read when EOF
+/// arrives early, `buf.len()` on success.
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8], mut got: usize) -> Result<usize, ProtocolError> {
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => return Ok(got),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) && got > 0 => {}
+            Err(e) => return Err(ProtocolError::Io(e)),
+        }
+    }
+    Ok(got)
+}
+
+/// Read one frame, distinguishing clean EOF and idle timeouts from errors.
+///
+/// On a stream with a read timeout, a timeout before the first byte of the
+/// length prefix returns [`ReadOutcome::Idle`]; once a frame has started,
+/// timeouts are retried until the frame completes or the stream ends
+/// (→ [`ProtocolError::Truncated`]).
+pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> Result<ReadOutcome<T>, ProtocolError> {
+    let mut header = [0u8; 4];
+    let mut got = 0usize;
+    // The first byte decides between Eof, Idle, and an in-flight frame.
+    while got == 0 {
+        match r.read(&mut header) {
+            Ok(0) => return Ok(ReadOutcome::Eof),
+            Ok(n) => got = n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => return Ok(ReadOutcome::Idle),
+            Err(e) => return Err(ProtocolError::Io(e)),
+        }
+    }
+    let got = read_full(r, &mut header, got)?;
+    if got < header.len() {
+        return Err(ProtocolError::Truncated { expected: header.len(), got });
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::Oversized { len, max: MAX_FRAME_LEN });
+    }
+    let mut body = vec![0u8; len];
+    let got = read_full(r, &mut body, 0)?;
+    if got < len {
+        return Err(ProtocolError::Truncated { expected: len, got });
+    }
+    let text = std::str::from_utf8(&body).map_err(|_| ProtocolError::InvalidUtf8)?;
+    let msg = serde_json::from_str(text).map_err(|e| ProtocolError::Malformed(e.to_string()))?;
+    Ok(ReadOutcome::Frame(msg))
+}
+
+/// Blocking convenience: read one frame, mapping EOF to `None`.
+///
+/// Intended for streams *without* a read timeout (clients, tests); an idle
+/// timeout is reported as an I/O error rather than silently retried.
+pub fn read_frame_blocking<R: Read, T: Deserialize>(r: &mut R) -> Result<Option<T>, ProtocolError> {
+    match read_frame(r)? {
+        ReadOutcome::Frame(t) => Ok(Some(t)),
+        ReadOutcome::Eof => Ok(None),
+        ReadOutcome::Idle => Err(ProtocolError::Io(std::io::Error::new(
+            ErrorKind::TimedOut,
+            "read timed out waiting for a frame",
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(msg: &T) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, msg).unwrap();
+        let back: T = read_frame_blocking(&mut Cursor::new(&buf)).unwrap().unwrap();
+        assert_eq!(&back, msg);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip(&Request::Hello);
+        roundtrip(&Request::Select { kernel_id: "LU/Small/lud".into() });
+        roundtrip(&Request::Batch { kernel_ids: vec!["a".into(), "b".into()] });
+        roundtrip(&Request::Run { kernel_id: "x".into(), iterations: 5 });
+        roundtrip(&Request::Report { residual_w: -1.25 });
+        roundtrip(&Request::Stats);
+        roundtrip(&Request::Bye);
+        roundtrip(&Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip(&Response::Welcome { node_id: 3, budget_w: 40.0 });
+        roundtrip(&Response::Overloaded { load: 9, limit: 8 });
+        roundtrip(&Response::Error { code: "oversized".into(), detail: "big".into() });
+        roundtrip(&Response::Bye);
+        roundtrip(&Response::ShuttingDown);
+    }
+
+    #[test]
+    fn eof_between_frames_is_clean() {
+        let empty: Vec<u8> = Vec::new();
+        match read_frame::<_, Request>(&mut Cursor::new(&empty)).unwrap() {
+            ReadOutcome::Eof => {}
+            other => panic!("expected Eof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_header_and_body_are_typed() {
+        // 2 of 4 header bytes.
+        let err = read_frame::<_, Request>(&mut Cursor::new(&[0u8, 0][..])).unwrap_err();
+        assert!(matches!(err, ProtocolError::Truncated { expected: 4, got: 2 }));
+        // Header promises 10 bytes, body delivers 3.
+        let mut buf = 10u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"abc");
+        let err = read_frame::<_, Request>(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, ProtocolError::Truncated { expected: 10, got: 3 }));
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_before_allocation() {
+        let buf = (u32::MAX).to_be_bytes();
+        let err = read_frame::<_, Request>(&mut Cursor::new(&buf[..])).unwrap_err();
+        match err {
+            ProtocolError::Oversized { len, max } => {
+                assert_eq!(len, u32::MAX as usize);
+                assert_eq!(max, MAX_FRAME_LEN);
+            }
+            other => panic!("expected Oversized, got {other}"),
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_and_bad_json_are_typed() {
+        let mut buf = 2u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let err = read_frame::<_, Request>(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, ProtocolError::InvalidUtf8));
+
+        let mut buf = 4u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"{{{{");
+        let err = read_frame::<_, Request>(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, ProtocolError::Malformed(_)));
+    }
+
+    #[test]
+    fn error_codes_are_stable() {
+        assert_eq!(ProtocolError::InvalidUtf8.code(), "invalid-utf8");
+        assert_eq!(ProtocolError::Oversized { len: 1, max: 0 }.code(), "oversized");
+        assert_eq!(ProtocolError::Truncated { expected: 4, got: 0 }.code(), "truncated");
+        assert_eq!(ProtocolError::Malformed("x".into()).code(), "malformed");
+    }
+}

@@ -1,0 +1,465 @@
+//! The connection layer: listener, admission control, per-session loops.
+//!
+//! The accept loop is non-blocking and polls a shutdown flag, so SIGINT
+//! and the `Shutdown` poison request both drain the server the same way:
+//! stop accepting, let every session observe the flag at its next read
+//! timeout (≤ ~100 ms), join the session threads, leave the arbiter empty.
+//!
+//! Admission control is a hard bound, not a queue: when `max_sessions`
+//! sessions are live, a new connection is answered with one typed
+//! [`Response::Overloaded`] frame and closed. Nothing in the server
+//! buffers unboundedly — see DESIGN.md §11.
+
+use crate::arbiter::{Arbiter, ArbiterPolicy};
+use crate::engine::{Engine, EngineError};
+use crate::metrics::Metrics;
+use crate::protocol::{read_frame, write_frame, ProtocolError, ReadOutcome, Request, Response};
+use acs_core::{CappedRuntime, GuardPolicy, TrainedModel};
+use acs_sim::Machine;
+use parking_lot::Mutex;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Per-session read timeout; bounds how long a session takes to observe
+/// the shutdown flag.
+const SESSION_READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Interface to bind.
+    pub host: String,
+    /// Port to bind; `0` asks the OS for an ephemeral port.
+    pub port: u16,
+    /// Machine noise seed (each session simulates its own node machine).
+    pub seed: u64,
+    /// Global cluster power cap, W, partitioned by the arbiter.
+    pub global_cap_w: f64,
+    /// Budget-partition policy.
+    pub policy: ArbiterPolicy,
+    /// Hard bound on concurrent sessions.
+    pub max_sessions: usize,
+    /// Hard bound on kernels per `Batch` request.
+    pub max_batch: usize,
+    /// Ring-buffer capacity of each session's scheduling timeline.
+    pub timeline_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            host: "127.0.0.1".into(),
+            port: 0,
+            seed: 2014,
+            global_cap_w: 120.0,
+            policy: ArbiterPolicy::EqualShare,
+            max_sessions: 8,
+            max_batch: 256,
+            timeline_capacity: 4096,
+        }
+    }
+}
+
+/// Typed server failures.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The listener could not bind (EADDRINUSE, bad interface, ...).
+    Bind {
+        /// The address that was requested.
+        addr: String,
+        /// OS-level detail.
+        detail: String,
+    },
+    /// Listener failure after binding.
+    Io(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind { addr, detail } => {
+                write!(f, "cannot bind {addr}: {detail}")
+            }
+            ServeError::Io(m) => write!(f, "listener failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// State shared by the accept loop and every session.
+struct Shared {
+    config: ServeConfig,
+    model: Arc<TrainedModel>,
+    engine: Engine,
+    arbiter: Mutex<Arbiter>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    next_node: AtomicU64,
+}
+
+/// A cheap handle for observing and stopping a running server.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Request shutdown; the accept loop and sessions drain within their
+    /// next poll interval.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Wire-protocol failures observed so far.
+    pub fn protocol_errors(&self) -> u64 {
+        self.shared.metrics.protocol_errors()
+    }
+}
+
+/// SIGINT plumbing: the handler only sets a flag the accept loop polls.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static SIGINT: AtomicBool = AtomicBool::new(false);
+    const SIGINT_NO: i32 = 2;
+
+    extern "C" fn on_sigint(_: i32) {
+        SIGINT.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT_NO, on_sigint);
+        }
+    }
+
+    pub fn pending() -> bool {
+        SIGINT.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn pending() -> bool {
+        false
+    }
+}
+
+/// A bound, not-yet-running selection server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind the configured address. `port: 0` binds an ephemeral port —
+    /// read it back with [`local_addr`](Self::local_addr). Bind failures
+    /// (EADDRINUSE and friends) come back as [`ServeError::Bind`], never
+    /// a panic.
+    pub fn bind(config: ServeConfig, model: TrainedModel) -> Result<Self, ServeError> {
+        let requested = format!("{}:{}", config.host, config.port);
+        let listener = TcpListener::bind(&requested)
+            .map_err(|e| ServeError::Bind { addr: requested.clone(), detail: e.to_string() })?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Bind { addr: requested, detail: e.to_string() })?;
+        listener.set_nonblocking(true).map_err(|e| ServeError::Io(e.to_string()))?;
+        let model = Arc::new(model);
+        let shared = Arc::new(Shared {
+            engine: Engine::new(Arc::clone(&model), Machine::new(config.seed)),
+            arbiter: Mutex::new(Arbiter::new(config.global_cap_w, config.policy)),
+            metrics: Metrics::new(),
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            next_node: AtomicU64::new(1),
+            model,
+            config,
+        });
+        Ok(Self { listener, addr, shared })
+    }
+
+    /// The address actually bound (resolves `--port 0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle usable from other threads while [`run`](Self::run) blocks.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Serve until SIGINT or a `Shutdown` poison request, then drain and
+    /// join every session.
+    pub fn run(self) -> Result<(), ServeError> {
+        sig::install();
+        let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if sig::pending() {
+                self.shared.shutdown.store(true, Ordering::SeqCst);
+            }
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let active = self.shared.active.load(Ordering::SeqCst);
+                    if active >= self.shared.config.max_sessions {
+                        self.shared.metrics.record_overloaded();
+                        let mut stream = stream;
+                        let _ = write_frame(
+                            &mut stream,
+                            &Response::Overloaded {
+                                load: active as u64 + 1,
+                                limit: self.shared.config.max_sessions as u64,
+                            },
+                        );
+                        continue;
+                    }
+                    self.shared.active.fetch_add(1, Ordering::SeqCst);
+                    let node_id = self.shared.next_node.fetch_add(1, Ordering::SeqCst);
+                    let shared = Arc::clone(&self.shared);
+                    sessions.push(std::thread::spawn(move || {
+                        run_session(shared, stream, node_id);
+                    }));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(ServeError::Io(e.to_string())),
+            }
+        }
+        for handle in sessions {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+/// One connection: a node in the arbiter's cluster with its own capped,
+/// guarded runtime over its own (seed-identical) simulated machine.
+fn run_session(shared: Arc<Shared>, mut stream: TcpStream, node_id: u64) {
+    let _ = stream.set_read_timeout(Some(SESSION_READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+
+    let budget_w = shared.arbiter.lock().join(node_id);
+    let mut rt = CappedRuntime::guarded(
+        Machine::new(shared.config.seed),
+        (*shared.model).clone(),
+        budget_w,
+        GuardPolicy::default(),
+    );
+    rt.timeline().set_capacity(Some(shared.config.timeline_capacity));
+    let mut seen_epoch = shared.arbiter.lock().epoch();
+
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // Pick up budget reshuffles made on behalf of *other* nodes; a
+        // changed budget re-runs selection from the cached frontiers.
+        {
+            let arbiter = shared.arbiter.lock();
+            let epoch = arbiter.epoch();
+            if epoch != seen_epoch {
+                seen_epoch = epoch;
+                let budget = arbiter.budget_of(node_id);
+                drop(arbiter);
+                if let Some(budget) = budget {
+                    apply_budget(&shared, &mut rt, budget);
+                }
+            }
+        }
+
+        let request = match read_frame::<_, Request>(&mut stream) {
+            Ok(ReadOutcome::Frame(req)) => req,
+            Ok(ReadOutcome::Idle) => continue,
+            Ok(ReadOutcome::Eof) => break,
+            Err(err) => {
+                shared.metrics.record_protocol_error();
+                let _ = write_frame(
+                    &mut stream,
+                    &Response::Error { code: err.code().into(), detail: err.to_string() },
+                );
+                break;
+            }
+        };
+
+        let started = Instant::now();
+        let kind = request.kind();
+        let (response, done) = handle_request(&shared, &mut rt, node_id, request);
+        let latency_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        shared.metrics.record_request(kind, latency_us);
+        if write_frame(&mut stream, &response).is_err() {
+            break;
+        }
+        if done {
+            break;
+        }
+    }
+
+    shared.arbiter.lock().leave(node_id);
+    shared.active.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Apply an arbiter-assigned budget to the session runtime, re-running
+/// selection for every classified kernel.
+fn apply_budget(shared: &Shared, rt: &mut CappedRuntime<Machine>, budget_w: f64) {
+    if (rt.cap_w() - budget_w).abs() > 1e-9 && rt.try_set_cap(budget_w).is_ok() {
+        shared.metrics.record_reselection();
+    }
+}
+
+/// Serve one request. Returns the response and whether the session ends.
+fn handle_request(
+    shared: &Shared,
+    rt: &mut CappedRuntime<Machine>,
+    node_id: u64,
+    request: Request,
+) -> (Response, bool) {
+    match request {
+        Request::Hello => (Response::Welcome { node_id, budget_w: rt.cap_w() }, false),
+        Request::Select { kernel_id } => match shared.engine.select(&kernel_id, rt.cap_w()) {
+            Ok(selection) => (Response::Selected(selection), false),
+            Err(e) => (engine_error(e), false),
+        },
+        Request::Batch { kernel_ids } => {
+            let limit = shared.config.max_batch;
+            if kernel_ids.len() > limit {
+                shared.metrics.record_overloaded();
+                return (
+                    Response::Overloaded { load: kernel_ids.len() as u64, limit: limit as u64 },
+                    false,
+                );
+            }
+            let mut selections = Vec::with_capacity(kernel_ids.len());
+            for result in shared.engine.select_batch(&kernel_ids, rt.cap_w()) {
+                match result {
+                    Ok(s) => selections.push(s),
+                    Err(e) => return (engine_error(e), false),
+                }
+            }
+            (Response::BatchSelected { selections }, false)
+        }
+        Request::Run { kernel_id, iterations } => {
+            let Some(kernel) = shared.engine.kernel(&kernel_id).cloned() else {
+                return (engine_error(EngineError::UnknownKernel(kernel_id)), false);
+            };
+            let iterations = iterations.max(1);
+            let mut total_time_s = 0.0;
+            let mut power_sum = 0.0;
+            let mut last_config = None;
+            for _ in 0..iterations {
+                match rt.run_kernel(&kernel) {
+                    Ok(run) => {
+                        total_time_s += run.time_s;
+                        power_sum += run.power_w();
+                        last_config = Some(run.config);
+                    }
+                    Err(e) => {
+                        return (
+                            Response::Error { code: "runtime".into(), detail: e.to_string() },
+                            false,
+                        )
+                    }
+                }
+            }
+            let tier = rt
+                .health(&kernel_id)
+                .map(|h| h.tier.label())
+                .unwrap_or_else(|| "model".to_string());
+            shared.metrics.record_rung(&tier);
+            (
+                Response::Ran {
+                    kernel_id,
+                    iterations,
+                    avg_power_w: power_sum / iterations as f64,
+                    total_time_s,
+                    config: last_config.expect("at least one iteration ran"),
+                    tier,
+                },
+                false,
+            )
+        }
+        Request::Report { residual_w } => {
+            let budget = shared.arbiter.lock().report(node_id, residual_w);
+            // Apply our own new budget immediately; other sessions pick
+            // the reshuffle up at their next poll via the epoch counter.
+            let budget_w = budget.unwrap_or_else(|| rt.cap_w());
+            apply_budget(shared, rt, budget_w);
+            (Response::Budget { budget_w: rt.cap_w() }, false)
+        }
+        Request::Stats => {
+            let snapshot = shared.metrics.snapshot(
+                shared.engine.cache_counts(),
+                shared.active.load(Ordering::SeqCst) as u64,
+                shared.arbiter.lock().rebalances(),
+            );
+            (Response::Stats(snapshot), false)
+        }
+        Request::Bye => (Response::Bye, true),
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            (Response::ShuttingDown, true)
+        }
+    }
+}
+
+fn engine_error(e: EngineError) -> Response {
+    let code = match &e {
+        EngineError::UnknownKernel(_) => "unknown-kernel",
+    };
+    Response::Error { code: code.into(), detail: e.to_string() }
+}
+
+/// A blocking client for the wire protocol (used by `acs loadgen`, the
+/// benches, and the tests).
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: &str) -> Result<Self, ProtocolError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Send one request and wait for its response.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ProtocolError> {
+        write_frame(&mut self.stream, request)?;
+        match read_frame(&mut self.stream)? {
+            ReadOutcome::Frame(resp) => Ok(resp),
+            ReadOutcome::Eof | ReadOutcome::Idle => Err(ProtocolError::Io(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed mid-call",
+            ))),
+        }
+    }
+
+    /// The raw stream (for tests that need to write hostile bytes).
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}

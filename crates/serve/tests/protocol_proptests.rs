@@ -1,0 +1,165 @@
+//! Property tests for the wire protocol: encode/decode round-trips and
+//! hostile-input hardening. Nothing here may panic — every failure mode
+//! must surface as a typed [`ProtocolError`].
+
+use acs_serve::{
+    read_frame, read_frame_blocking, write_frame, ProtocolError, ReadOutcome, Request, Response,
+    Selection, MAX_FRAME_LEN,
+};
+use acs_sim::Configuration;
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// A kernel-id alphabet that exercises slashes, spaces, unicode, and
+/// emptiness.
+fn kernel_id(n: u64) -> String {
+    const POOL: &[&str] = &["LU/Small/lud", "SMC/Large/acc", "κ/üñ/…", "", "a b/c d/e f", "x"];
+    let base = POOL[(n % POOL.len() as u64) as usize];
+    format!("{base}{}", n / POOL.len() as u64)
+}
+
+fn request_from(variant: u8, n: u64, w: f64, extra: &[u64]) -> Request {
+    match variant % 8 {
+        0 => Request::Hello,
+        1 => Request::Select { kernel_id: kernel_id(n) },
+        2 => Request::Batch { kernel_ids: extra.iter().map(|&e| kernel_id(e)).collect() },
+        3 => Request::Run { kernel_id: kernel_id(n), iterations: n % 17 },
+        4 => Request::Report { residual_w: w },
+        5 => Request::Stats,
+        6 => Request::Bye,
+        _ => Request::Shutdown,
+    }
+}
+
+fn response_from(variant: u8, n: u64, w: f64) -> Response {
+    let config = Configuration::all()[(n % Configuration::space_size() as u64) as usize];
+    let selection = Selection {
+        kernel_id: kernel_id(n),
+        cluster: (n % 7) as usize,
+        config,
+        predicted_power_w: w.abs() + 0.1,
+        predicted_perf: w.abs() * 3.0 + 1.0,
+        budget_w: w.abs() + 5.0,
+    };
+    match variant % 8 {
+        0 => Response::Welcome { node_id: n, budget_w: w.abs() },
+        1 => Response::Selected(selection),
+        2 => Response::BatchSelected { selections: vec![selection.clone(), selection] },
+        3 => Response::Ran {
+            kernel_id: kernel_id(n),
+            iterations: n % 9 + 1,
+            avg_power_w: w.abs(),
+            total_time_s: w.abs() * 0.25,
+            config,
+            tier: "model+fl(1)".into(),
+        },
+        4 => Response::Budget { budget_w: w.abs() },
+        5 => Response::Overloaded { load: n, limit: n / 2 },
+        6 => Response::Error { code: "oversized".into(), detail: kernel_id(n) },
+        _ => Response::Bye,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every request survives an encode→decode round trip bit-for-bit.
+    #[test]
+    fn requests_roundtrip(
+        variant in 0u8..8,
+        n in 0u64..1_000_000,
+        w in -500.0..500.0f64,
+        extra in prop::collection::vec(0u64..1000, 0..6),
+    ) {
+        let msg = request_from(variant, n, w, &extra);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        let back: Request = read_frame_blocking(&mut Cursor::new(&buf)).unwrap().unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Every response survives an encode→decode round trip bit-for-bit.
+    #[test]
+    fn responses_roundtrip(
+        variant in 0u8..8,
+        n in 0u64..1_000_000,
+        w in -500.0..500.0f64,
+    ) {
+        let msg = response_from(variant, n, w);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        let back: Response = read_frame_blocking(&mut Cursor::new(&buf)).unwrap().unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Any valid frame truncated at any interior byte decodes to a typed
+    /// `Truncated` error — never a panic, never a bogus success.
+    #[test]
+    fn truncated_frames_are_typed(
+        variant in 0u8..8,
+        n in 0u64..1_000_000,
+        cut in 0u64..10_000,
+    ) {
+        let msg = request_from(variant, n, 1.0, &[n]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        let cut = (cut as usize) % buf.len(); // strictly interior
+        match read_frame::<_, Request>(&mut Cursor::new(&buf[..cut])) {
+            Ok(ReadOutcome::Eof) => prop_assert_eq!(cut, 0),
+            Err(ProtocolError::Truncated { expected, got }) => {
+                prop_assert!(got < expected, "got {} of {}", got, expected);
+            }
+            other => prop_assert!(false, "expected Eof or Truncated, got {:?}", other.is_ok()),
+        }
+    }
+
+    /// Arbitrary bytes never panic the decoder: every outcome is a clean
+    /// frame, a clean EOF, or a typed error.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in prop::collection::vec(0u8..=255, 0..64),
+    ) {
+        match read_frame::<_, Request>(&mut Cursor::new(&bytes)) {
+            Ok(_) => {}
+            Err(
+                ProtocolError::Truncated { .. }
+                | ProtocolError::Oversized { .. }
+                | ProtocolError::InvalidUtf8
+                | ProtocolError::Malformed(_)
+                | ProtocolError::Io(_),
+            ) => {}
+        }
+    }
+
+    /// A length prefix above `MAX_FRAME_LEN` is rejected as `Oversized`
+    /// before any payload is read or allocated.
+    #[test]
+    fn oversized_prefix_is_typed(
+        over in 1u64..u32::MAX as u64 - MAX_FRAME_LEN as u64,
+    ) {
+        let len = (MAX_FRAME_LEN as u64 + over) as u32;
+        let buf = len.to_be_bytes();
+        match read_frame::<_, Request>(&mut Cursor::new(&buf[..])) {
+            Err(ProtocolError::Oversized { len: got, max }) => {
+                prop_assert_eq!(got, len as usize);
+                prop_assert_eq!(max, MAX_FRAME_LEN);
+            }
+            other => prop_assert!(false, "expected Oversized, got ok={}", other.is_ok()),
+        }
+    }
+
+    /// Non-UTF-8 payloads decode to `InvalidUtf8`, not a panic.
+    #[test]
+    fn invalid_utf8_is_typed(
+        prefix in prop::collection::vec(0u8..=127, 0..16),
+    ) {
+        let mut payload = prefix;
+        payload.push(0xff); // never valid in UTF-8
+        let mut buf = (payload.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(&payload);
+        match read_frame::<_, Request>(&mut Cursor::new(&buf)) {
+            Err(ProtocolError::InvalidUtf8) => {}
+            other => prop_assert!(false, "expected InvalidUtf8, got ok={}", other.is_ok()),
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! End-to-end server tests over real sockets: handshake, selection,
+//! batches, runs, arbiter reshuffles, admission control, typed bind
+//! errors, hostile frames, and both shutdown paths.
+
+use acs_core::{train, KernelProfile, TrainedModel, TrainingParams};
+use acs_serve::{ArbiterPolicy, Client, Request, Response, ServeConfig, ServeError, Server};
+use acs_sim::Machine;
+use std::io::Write;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// One small-but-real model shared by every test in this file.
+fn model() -> TrainedModel {
+    static MODEL: OnceLock<TrainedModel> = OnceLock::new();
+    MODEL
+        .get_or_init(|| {
+            let machine = Machine::new(2014);
+            let profiles: Vec<KernelProfile> = acs_kernels::all_kernel_instances()
+                .iter()
+                .take(16)
+                .map(|k| KernelProfile::collect(&machine, k))
+                .collect();
+            train(&profiles, TrainingParams::default()).expect("training succeeds")
+        })
+        .clone()
+}
+
+fn spawn(config: ServeConfig) -> (String, acs_serve::ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(config, model()).expect("bind succeeds");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server runs"));
+    (addr, handle, join)
+}
+
+fn kernel_ids(n: usize) -> Vec<String> {
+    acs_kernels::all_kernel_instances().iter().take(n).map(|k| k.id()).collect()
+}
+
+#[test]
+fn hello_select_run_stats_bye() {
+    let (addr, handle, join) = spawn(ServeConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+
+    let hello = client.call(&Request::Hello).unwrap();
+    let budget = match hello {
+        Response::Welcome { node_id, budget_w } => {
+            assert!(node_id >= 1);
+            assert!((budget_w - 120.0).abs() < 1e-9, "sole node owns the cap, got {budget_w}");
+            budget_w
+        }
+        other => panic!("expected Welcome, got {other:?}"),
+    };
+
+    let id = &kernel_ids(1)[0];
+    match client.call(&Request::Select { kernel_id: id.clone() }).unwrap() {
+        Response::Selected(s) => {
+            assert_eq!(&s.kernel_id, id);
+            assert_eq!(s.budget_w, budget);
+            assert!(s.predicted_power_w > 0.0 && s.predicted_perf > 0.0);
+        }
+        other => panic!("expected Selected, got {other:?}"),
+    }
+
+    match client.call(&Request::Run { kernel_id: id.clone(), iterations: 3 }).unwrap() {
+        Response::Ran { kernel_id, iterations, avg_power_w, total_time_s, tier, .. } => {
+            assert_eq!(&kernel_id, id);
+            assert_eq!(iterations, 3);
+            assert!(avg_power_w > 0.0 && total_time_s > 0.0);
+            assert_eq!(tier, "model", "healthy machine stays on the model rung");
+        }
+        other => panic!("expected Ran, got {other:?}"),
+    }
+
+    match client.call(&Request::Stats).unwrap() {
+        Response::Stats(s) => {
+            assert!(s.requests_total >= 3);
+            assert_eq!(s.requests_by_kind["select"], 1);
+            assert_eq!(s.requests_by_kind["run"], 1);
+            assert_eq!(s.cache_misses, 1);
+            assert_eq!(s.active_sessions, 1);
+            assert_eq!(s.degradation_tallies["model"], 1);
+            assert_eq!(s.protocol_errors, 0);
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+
+    assert!(matches!(client.call(&Request::Bye).unwrap(), Response::Bye));
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn batch_matches_singles_and_oversized_batch_is_overloaded() {
+    let (addr, handle, join) = spawn(ServeConfig { max_batch: 4, ..ServeConfig::default() });
+    let mut client = Client::connect(&addr).unwrap();
+
+    let ids = kernel_ids(4);
+    let batch = match client.call(&Request::Batch { kernel_ids: ids.clone() }).unwrap() {
+        Response::BatchSelected { selections } => selections,
+        other => panic!("expected BatchSelected, got {other:?}"),
+    };
+    assert_eq!(batch.len(), ids.len());
+    for (id, got) in ids.iter().zip(&batch) {
+        match client.call(&Request::Select { kernel_id: id.clone() }).unwrap() {
+            Response::Selected(single) => assert_eq!(&single, got),
+            other => panic!("expected Selected, got {other:?}"),
+        }
+    }
+
+    match client.call(&Request::Batch { kernel_ids: kernel_ids(5) }).unwrap() {
+        Response::Overloaded { load, limit } => {
+            assert_eq!((load, limit), (5, 4));
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn unknown_kernel_is_a_typed_error_not_a_dropped_session() {
+    let (addr, handle, join) = spawn(ServeConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+    match client.call(&Request::Select { kernel_id: "no/such/kernel".into() }).unwrap() {
+        Response::Error { code, detail } => {
+            assert_eq!(code, "unknown-kernel");
+            assert!(detail.contains("no/such/kernel"));
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+    // The session survives a domain error.
+    assert!(matches!(client.call(&Request::Hello).unwrap(), Response::Welcome { .. }));
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn admission_control_rejects_with_typed_overloaded() {
+    let (addr, handle, join) = spawn(ServeConfig { max_sessions: 1, ..ServeConfig::default() });
+    let mut first = Client::connect(&addr).unwrap();
+    assert!(matches!(first.call(&Request::Hello).unwrap(), Response::Welcome { .. }));
+
+    // The second connection must be answered with Overloaded, not queued.
+    let mut second = Client::connect(&addr).unwrap();
+    let resp: Option<Response> = {
+        let stream = second.stream_mut();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        acs_serve::read_frame_blocking(stream).unwrap()
+    };
+    match resp {
+        Some(Response::Overloaded { load, limit }) => {
+            assert_eq!(limit, 1);
+            assert!(load > limit);
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn report_reshuffles_budgets_across_sessions() {
+    let (addr, handle, join) = spawn(ServeConfig {
+        policy: ArbiterPolicy::DemandProportional,
+        global_cap_w: 100.0,
+        ..ServeConfig::default()
+    });
+    let mut a = Client::connect(&addr).unwrap();
+    assert!(matches!(a.call(&Request::Hello).unwrap(), Response::Welcome { .. }));
+    let mut b = Client::connect(&addr).unwrap();
+    assert!(matches!(b.call(&Request::Hello).unwrap(), Response::Welcome { .. }));
+
+    // a reports plenty of headroom (low demand), b reports none: the
+    // arbiter should tilt the discretionary pool toward b.
+    match a.call(&Request::Report { residual_w: 30.0 }).unwrap() {
+        Response::Budget { budget_w } => {
+            assert!(budget_w < 50.0, "satisfied node keeps {budget_w} W of 100 W");
+            // The demand floor: half an equal share is guaranteed.
+            assert!(budget_w >= 25.0 - 1e-9);
+        }
+        other => panic!("expected Budget, got {other:?}"),
+    }
+    match b.call(&Request::Report { residual_w: 0.0 }).unwrap() {
+        Response::Budget { budget_w } => {
+            assert!(budget_w > 50.0, "hungry node got only {budget_w} W of 100 W");
+        }
+        other => panic!("expected Budget, got {other:?}"),
+    }
+
+    // The reshuffle is visible in server metrics.
+    match a.call(&Request::Stats).unwrap() {
+        Response::Stats(s) => assert!(s.arbiter_rebalances >= 1),
+        other => panic!("expected Stats, got {other:?}"),
+    }
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn budget_reshuffle_rewrites_selection() {
+    // One node: gets the whole 40 W cap. A second node joins: the budget
+    // halves, and the same kernel must re-select under 20 W — the
+    // Section III-C dynamic-constraint property, driven by the arbiter.
+    let (addr, handle, join) = spawn(ServeConfig { global_cap_w: 40.0, ..ServeConfig::default() });
+    let id = &kernel_ids(1)[0];
+
+    let mut a = Client::connect(&addr).unwrap();
+    let generous = match a.call(&Request::Select { kernel_id: id.clone() }).unwrap() {
+        Response::Selected(s) => s,
+        other => panic!("expected Selected, got {other:?}"),
+    };
+    assert!((generous.budget_w - 40.0).abs() < 1e-9);
+
+    let mut b = Client::connect(&addr).unwrap();
+    assert!(matches!(b.call(&Request::Hello).unwrap(), Response::Welcome { .. }));
+
+    // Session a's budget drops at its next poll; selections follow.
+    let halved = loop {
+        match a.call(&Request::Select { kernel_id: id.clone() }).unwrap() {
+            Response::Selected(s) if (s.budget_w - 20.0).abs() < 1e-9 => break s,
+            Response::Selected(_) => std::thread::sleep(Duration::from_millis(10)),
+            other => panic!("expected Selected, got {other:?}"),
+        }
+    };
+    assert!(
+        halved.predicted_power_w <= generous.predicted_power_w + 1e-9,
+        "tighter budget cannot select more predicted power"
+    );
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn eaddrinuse_is_a_typed_bind_error() {
+    let held = Server::bind(ServeConfig::default(), model()).expect("first bind succeeds");
+    let port = held.local_addr().port();
+    match Server::bind(ServeConfig { port, ..ServeConfig::default() }, model()) {
+        Err(ServeError::Bind { addr, detail }) => {
+            assert!(addr.ends_with(&format!(":{port}")));
+            assert!(!detail.is_empty());
+        }
+        Ok(_) => panic!("second bind of port {port} unexpectedly succeeded"),
+        Err(other) => panic!("expected Bind error, got {other}"),
+    }
+}
+
+#[test]
+fn hostile_frame_gets_typed_error_and_counts() {
+    let (addr, handle, join) = spawn(ServeConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+
+    // An oversized length prefix straight onto the wire.
+    let stream = client.stream_mut();
+    stream.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    stream.flush().unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    match acs_serve::read_frame_blocking::<_, Response>(stream) {
+        Ok(Some(Response::Error { code, .. })) => assert_eq!(code, "oversized"),
+        other => panic!("expected typed Error response, got {other:?}"),
+    }
+    assert!(handle.protocol_errors() >= 1);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn shutdown_poison_drains_the_server() {
+    let (addr, handle, join) = spawn(ServeConfig::default());
+    let mut bystander = Client::connect(&addr).unwrap();
+    assert!(matches!(bystander.call(&Request::Hello).unwrap(), Response::Welcome { .. }));
+
+    let mut killer = Client::connect(&addr).unwrap();
+    assert!(matches!(killer.call(&Request::Shutdown).unwrap(), Response::ShuttingDown));
+    assert!(handle.is_shutting_down());
+    join.join().unwrap();
+
+    // The drained listener no longer accepts: either the connection is
+    // refused outright or the new socket sees EOF/ECONNRESET on use.
+    match Client::connect(&addr) {
+        Err(_) => {}
+        Ok(mut c) => match c.call(&Request::Hello) {
+            Err(_) => {}
+            Ok(resp) => panic!("server answered {resp:?} after shutdown"),
+        },
+    }
+    // The bystander's session ended without an unsolicited frame.
+    let eof: Option<Response> = {
+        let stream = bystander.stream_mut();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        acs_serve::read_frame_blocking(stream).unwrap()
+    };
+    assert!(eof.is_none(), "session must close silently on shutdown, got {eof:?}");
+}

@@ -1,0 +1,33 @@
+//! SIGINT handling lives in its own test binary: the signal flag is
+//! process-wide (as SIGINT itself is), so this must not share a process
+//! with the other server tests.
+#![cfg(unix)]
+
+use acs_core::{train, KernelProfile, TrainingParams};
+use acs_serve::{Client, Request, Response, ServeConfig, Server};
+use acs_sim::Machine;
+
+#[test]
+fn sigint_drains_the_server() {
+    extern "C" {
+        fn raise(sig: i32) -> i32;
+    }
+    let machine = Machine::new(2014);
+    let profiles: Vec<KernelProfile> = acs_kernels::all_kernel_instances()
+        .iter()
+        .take(12)
+        .map(|k| KernelProfile::collect(&machine, k))
+        .collect();
+    let model = train(&profiles, TrainingParams::default()).expect("training succeeds");
+
+    let server = Server::bind(ServeConfig::default(), model).expect("bind succeeds");
+    let addr = server.local_addr().to_string();
+    let join = std::thread::spawn(move || server.run().expect("server runs"));
+
+    let mut client = Client::connect(&addr).unwrap();
+    assert!(matches!(client.call(&Request::Hello).unwrap(), Response::Welcome { .. }));
+    unsafe {
+        raise(2); // SIGINT; the handler only sets a flag.
+    }
+    join.join().unwrap();
+}

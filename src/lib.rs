@@ -25,7 +25,10 @@
 //!   simulated RAPL frequency limiting, and the full Table III / Figures
 //!   4–9 evaluation protocol,
 //! * [`verify`] — the correctness tooling: exhaustive-oracle differential
-//!   testing, metamorphic invariants, and golden-trace regression gates.
+//!   testing, metamorphic invariants, and golden-trace regression gates,
+//! * [`serve`] — the multi-tenant online selection server: a length-
+//!   prefixed JSON protocol over TCP, memoized selection, and a cluster
+//!   power-budget arbiter partitioning a global cap across sessions.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +62,7 @@ pub use acs_core as core;
 pub use acs_kernels as kernels;
 pub use acs_mlstat as mlstat;
 pub use acs_profiling as profiling;
+pub use acs_serve as serve;
 pub use acs_sim as sim;
 pub use acs_verify as verify;
 

@@ -1,0 +1,64 @@
+//! Tier-1 gate: the acceptance criterion for the selection server.
+//!
+//! `loadgen --requests 1000 --seed 7` against a local server must complete
+//! with zero dropped and zero errored requests, and replaying the same
+//! seed must produce a **byte-identical** response log — including the
+//! second replay, which runs entirely against a warm profile cache. That
+//! last part is the determinism-under-concurrency contract of DESIGN.md
+//! §11: responses never leak cache state, wall-clock time, or session
+//! identity.
+
+use acs::prelude::*;
+use acs::serve::{ServeConfig, Server};
+use acs_bench::loadgen::{run_loadgen, LoadgenOptions};
+
+#[test]
+fn loadgen_seed7_replays_to_byte_identical_logs() {
+    // Train on the full suite at the experiment seed, as `acs serve` does.
+    let machine = Machine::new(2014);
+    let profiles: Vec<KernelProfile> = acs::kernels::all_kernel_instances()
+        .iter()
+        .map(|k| KernelProfile::collect(&machine, k))
+        .collect();
+    let model = train(&profiles, TrainingParams::default()).expect("training succeeds");
+
+    let server = Server::bind(ServeConfig::default(), model).expect("ephemeral bind succeeds");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server runs"));
+
+    // Mixed traffic: selections, periodic runs, periodic residual reports.
+    let opts = LoadgenOptions {
+        addr,
+        requests: 1000,
+        seed: 7,
+        sessions: 1,
+        run_every: 11,
+        report_every: 13,
+        stats_at_end: false,
+        shutdown_at_end: false,
+    };
+
+    let (first_report, first_log) = run_loadgen(&opts).expect("first run completes");
+    assert_eq!(first_report.errors, 0, "first run errored requests");
+    assert_eq!(first_report.dropped, 0, "first run dropped requests");
+    assert_eq!(first_log.lines().count(), 1000, "one logged response per request");
+
+    // Replay on the same (now cache-warm) server.
+    let (second_report, second_log) = run_loadgen(&opts).expect("replay completes");
+    assert_eq!(second_report.errors, 0, "replay errored requests");
+    assert_eq!(second_report.dropped, 0, "replay dropped requests");
+
+    assert!(
+        first_log == second_log,
+        "replay of seed 7 diverged at byte {}",
+        first_log
+            .bytes()
+            .zip(second_log.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or(first_log.len().min(second_log.len()))
+    );
+
+    handle.shutdown();
+    join.join().expect("server thread joins");
+}

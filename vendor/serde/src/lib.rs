@@ -326,6 +326,28 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(m) => m
+                .iter()
+                .map(|(k, val)| {
+                    V::from_value(val)
+                        .map(|parsed| (k.clone(), parsed))
+                        .map_err(|e| DeError::new(format!("map key `{k}`: {e}")))
+                })
+                .collect(),
+            other => Err(DeError::expected("object", "BTreeMap", other)),
+        }
+    }
+}
+
 impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
