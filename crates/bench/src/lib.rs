@@ -6,6 +6,7 @@
 
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod loadgen;
 
 use acs_core::eval::{characterize_apps, evaluate, AppProfiles, Evaluation};

@@ -120,7 +120,7 @@ fn request_for(opts: &LoadgenOptions, kernel_ids: &[String], rng: &mut u64, inde
     }
     let kernel_id = kernel_ids[(draw % kernel_ids.len() as u64) as usize].clone();
     if opts.run_every > 0 && index % opts.run_every == opts.run_every - 1 {
-        Request::Run { kernel_id, iterations: 1 + draw % 3 }
+        Request::Run { kernel_id, iterations: 1 + draw % 3, idem: None }
     } else {
         Request::Select { kernel_id }
     }

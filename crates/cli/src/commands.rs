@@ -80,8 +80,17 @@ COMMANDS:
         [--max-sessions N]                global cap across connected sessions
         [--max-batch N] [--seed N]        via the arbiter, prints the bound
         [--timeline-cap N]                address (--port 0 = ephemeral), and
-                                          serves until SIGINT or a Shutdown
-                                          poison request
+        [--journal FILE]                  serves until SIGINT or a Shutdown
+                                          poison request; --journal makes
+                                          admissions/budgets/cache keys durable
+                                          so a restart resumes where a crash
+                                          stopped (DESIGN.md §12)
+  chaosproxy --upstream HOST:PORT         seeded fault-injecting TCP proxy in
+             [--listen HOST:PORT]         front of the server: tears frames,
+             [--chaos-seed N]             corrupts bytes, delays, duplicates,
+             [--disconnect P] [--tear P]  and disconnects mid-batch, each with
+             [--corrupt P] [--delay P]    its own probability (defaults are
+             [--delay-ms MS] [--dup P]    mild; 0 disables a fault)
   loadgen --addr HOST:PORT                seeded closed-loop load generator:
           [--requests N] [--seed N]       drives the selection server, prints
           [--sessions N] [--run-every N]  throughput/latency and the server's
@@ -103,6 +112,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "chaos" => cmd_chaos(args, out),
         "verify" => cmd_verify(args, out),
         "serve" => cmd_serve(args, out),
+        "chaosproxy" => cmd_chaosproxy(args, out),
         "loadgen" => cmd_loadgen(args, out),
         "help" => {
             write!(out, "{USAGE}").map_err(io_err)?;
@@ -515,14 +525,65 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         max_sessions: args.get_or("max-sessions", 8)?,
         max_batch: args.get_or("max-batch", 256)?,
         timeline_capacity: args.get_or("timeline-cap", 4096)?,
+        journal: args.get("journal").map(std::path::PathBuf::from),
     };
     let model = serve_model(args)?;
     let server = Server::bind(config, model).map_err(|e| CliError::Domain(e.to_string()))?;
     // The bound address line is a contract: `--port 0` callers (CI, the
-    // e2e tests) parse it to find the ephemeral port.
+    // e2e tests) parse it to find the ephemeral port. So is the
+    // `recovered:` line, which `bench_recovery` parses.
+    if let Some(recovery) = server.handle().recovery() {
+        writeln!(
+            out,
+            "recovered: {} entries replayed, {} kernels warmed, {} orphaned session(s)",
+            recovery.replayed,
+            recovery.warm_kernels.len(),
+            recovery.orphaned_sessions.len()
+        )
+        .map_err(io_err)?;
+    }
     writeln!(out, "listening on {}", server.local_addr()).map_err(io_err)?;
     out.flush().map_err(io_err)?;
     server.run().map_err(|e| CliError::Domain(e.to_string()))
+}
+
+fn cmd_chaosproxy(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use acs_serve::{ChaosPlan, ChaosProxy};
+
+    let upstream = args.require("upstream")?.to_string();
+    let listen = args.get("listen").unwrap_or("127.0.0.1:0").to_string();
+    let plan = ChaosPlan {
+        seed: args.get_or("chaos-seed", ChaosPlan::default().seed)?,
+        disconnect_p: args.get_or("disconnect", ChaosPlan::default().disconnect_p)?,
+        tear_p: args.get_or("tear", ChaosPlan::default().tear_p)?,
+        corrupt_p: args.get_or("corrupt", ChaosPlan::default().corrupt_p)?,
+        delay_p: args.get_or("delay", ChaosPlan::default().delay_p)?,
+        delay_ms: args.get_or("delay-ms", ChaosPlan::default().delay_ms)?,
+        dup_p: args.get_or("dup", ChaosPlan::default().dup_p)?,
+    };
+    let proxy =
+        ChaosProxy::bind(&listen, &upstream, plan).map_err(|e| CliError::Domain(e.to_string()))?;
+    let handle = proxy.handle();
+    writeln!(out, "listening on {}", proxy.local_addr()).map_err(io_err)?;
+    writeln!(out, "proxying to {upstream} under plan {plan:?}").map_err(io_err)?;
+    out.flush().map_err(io_err)?;
+    proxy.run().map_err(|e| CliError::Domain(e.to_string()))?;
+    let stats = handle.stats();
+    writeln!(
+        out,
+        "injected: {} of {} frames faulted ({} torn, {} corrupted, {} delayed, \
+         {} duplicated, {} disconnects) across {} connection(s)",
+        stats.faults(),
+        stats.frames,
+        stats.torn,
+        stats.corrupted,
+        stats.delayed,
+        stats.duplicated,
+        stats.disconnects,
+        stats.connections
+    )
+    .map_err(io_err)?;
+    Ok(())
 }
 
 fn cmd_loadgen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {

@@ -87,5 +87,8 @@ pub use online::{prediction_error, PredictedProfile, Predictor};
 pub use partition::{
     partition_budget, partition_budget_with, DemandCurve, Partition, PartitionObjective,
 };
+pub use persist::{
+    crc32, quarantine_path, read_artifact, write_artifact, PersistError, ARTIFACT_VERSION,
+};
 pub use profile::{collect_suite, KernelProfile};
 pub use runtime::{AppRunReport, CappedRuntime};

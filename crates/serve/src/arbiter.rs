@@ -141,6 +141,28 @@ impl Arbiter {
         self.nodes.get(&node_id).map(|n| n.budget_w)
     }
 
+    /// Node ids currently admitted, ascending.
+    pub fn node_ids(&self) -> Vec<u64> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Sum of all per-node budgets, W. With at least one node this is
+    /// *exactly* the global cap — [`rebalance`](Self::join) assigns the
+    /// floating-point remainder of the split to the lowest node id.
+    pub fn budget_sum_w(&self) -> f64 {
+        self.nodes.values().map(|n| n.budget_w).sum()
+    }
+
+    /// `|budget_sum - global_cap|`, the conservation invariant the chaos
+    /// tests check after every disconnect. Zero with no nodes admitted.
+    pub fn conservation_error_w(&self) -> f64 {
+        if self.nodes.is_empty() {
+            0.0
+        } else {
+            (self.budget_sum_w() - self.global_cap_w).abs()
+        }
+    }
+
     /// Re-partition the cap per the policy; bump counters when any budget
     /// moved by more than [`RESHUFFLE_EPS_W`].
     fn rebalance(&mut self) {
@@ -148,7 +170,7 @@ impl Arbiter {
         if n == 0 {
             return;
         }
-        let shares: Vec<f64> = match self.policy {
+        let mut shares: Vec<f64> = match self.policy {
             ArbiterPolicy::EqualShare => vec![self.global_cap_w / n as f64; n],
             ArbiterPolicy::DemandProportional => {
                 let floor = 0.5 * self.global_cap_w / n as f64;
@@ -176,6 +198,21 @@ impl Arbiter {
                 }
             }
         };
+        // f64 splits do not sum back to the cap exactly (`cap/n * n ≠ cap`
+        // in general), and the drift compounds across rebalances into a
+        // violated conservation invariant. Fold the rounding remainder
+        // onto the lowest node id — deterministic, and at most a few ulp.
+        // Each fold re-rounds, so iterate until the re-summed total lands
+        // exactly on the cap (one or two passes in practice; the bound
+        // guards the pathological case where the remainder is below one
+        // ulp of the first share and the fold cannot make progress).
+        for _ in 0..4 {
+            let residual = self.global_cap_w - shares.iter().sum::<f64>();
+            if residual == 0.0 {
+                break;
+            }
+            shares[0] += residual;
+        }
         let mut changed = false;
         for (state, share) in self.nodes.values_mut().zip(shares) {
             if (state.budget_w - share).abs() > RESHUFFLE_EPS_W {
@@ -183,6 +220,12 @@ impl Arbiter {
             }
             state.budget_w = share;
         }
+        debug_assert!(
+            self.conservation_error_w() <= RESHUFFLE_EPS_W,
+            "budgets sum to {} under a {} W cap",
+            self.budget_sum_w(),
+            self.global_cap_w
+        );
         if changed {
             self.rebalances += 1;
             self.epoch += 1;
@@ -219,6 +262,47 @@ mod tests {
             let total: f64 = (0..5).map(|id| a.budget_of(id).unwrap()).sum();
             assert!((total - 90.0).abs() < 1e-6, "{policy:?}: budgets sum to {total}");
         }
+    }
+
+    #[test]
+    fn budgets_sum_exactly_to_cap_with_awkward_splits() {
+        // 100/7 is not representable; without the remainder fold the sum
+        // drifts off the cap by a few ulp and compounds over rebalances.
+        for policy in [ArbiterPolicy::EqualShare, ArbiterPolicy::DemandProportional] {
+            let mut a = Arbiter::new(100.0, policy);
+            for id in 0..7 {
+                a.join(id);
+            }
+            a.report(2, 7.7);
+            a.report(5, 0.3);
+            assert_eq!(a.budget_sum_w(), 100.0, "{policy:?}");
+            assert_eq!(a.conservation_error_w(), 0.0, "{policy:?}");
+            a.leave(3);
+            assert_eq!(a.budget_sum_w(), 100.0, "{policy:?} after leave");
+        }
+    }
+
+    #[test]
+    fn remainder_goes_to_the_lowest_node_id() {
+        let mut a = Arbiter::new(100.0, ArbiterPolicy::EqualShare);
+        for id in [5, 9, 3] {
+            a.join(id);
+        }
+        // The two higher ids keep the untouched even split; node 3 absorbs
+        // whatever is left so the total is exact.
+        let even = 100.0 / 3.0;
+        assert_eq!(a.budget_of(5), Some(even));
+        assert_eq!(a.budget_of(9), Some(even));
+        assert_eq!(a.budget_sum_w(), 100.0);
+        assert!((a.budget_of(3).unwrap() - even).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conservation_error_is_zero_with_no_nodes() {
+        let a = Arbiter::new(50.0, ArbiterPolicy::DemandProportional);
+        assert_eq!(a.conservation_error_w(), 0.0);
+        assert_eq!(a.budget_sum_w(), 0.0);
+        assert!(a.node_ids().is_empty());
     }
 
     #[test]

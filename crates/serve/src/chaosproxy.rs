@@ -1,0 +1,499 @@
+//! A seeded fault-injecting TCP proxy, in the spirit of the PR-1
+//! `FaultPlan`: the simulator's fault harness injected failures *inside*
+//! the machine; this one injects them *around* the process, on the wire
+//! between a client (loadgen, the resilient client, a test) and the
+//! server. Jepsen-style, but deterministic: every fault decision comes
+//! from a splitmix64 stream seeded by `(plan seed, connection index)`, so
+//! a chaos run replays.
+//!
+//! The proxy is frame-aware in the client→server direction — it reads
+//! whole length-prefixed frames and then decides, per frame, to
+//!
+//! - **disconnect**: drop both sides mid-conversation (mid-batch included),
+//! - **tear**: forward the header and half the body, then close,
+//! - **corrupt**: overwrite one payload byte with `0xFF` (never valid
+//!   UTF-8, so the server *must* answer a typed `invalid-utf8` error —
+//!   a random printable flip could accidentally remain valid JSON),
+//! - **delay**: hold the frame for `delay_ms` before forwarding,
+//! - **duplicate**: forward the frame twice (the server answers twice;
+//!   a naive closed-loop client desyncs, which is the point),
+//!
+//! or forward it untouched. The server→client direction is a transparent
+//! byte pump: the contract under test is the *server's* hardening, and
+//! asymmetric injection keeps every fault attributable.
+//!
+//! The hardening contract (checked by `tests/chaosproxy.rs` and the
+//! `bench_recovery` smoke): every injected fault maps to a typed
+//! [`ProtocolError`](crate::ProtocolError) response or a clean session
+//! drop — never a panic, and never a poisoned arbiter (budget
+//! conservation holds after every disconnect).
+
+use crate::protocol::MAX_FRAME_LEN;
+use crate::server::{sig, ServeError};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Accept-loop poll interval, matching the server's.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Pump read timeout; bounds shutdown latency.
+const PUMP_READ_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// Per-frame fault probabilities. Probabilities are evaluated in the
+/// documented order (disconnect, tear, corrupt, delay, duplicate) against
+/// a single roll, so their sum must stay ≤ 1.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChaosPlan {
+    /// Seed of the fault-decision stream.
+    pub seed: u64,
+    /// P(drop both directions mid-conversation).
+    pub disconnect_p: f64,
+    /// P(forward a torn frame — header plus half the body — then close).
+    pub tear_p: f64,
+    /// P(overwrite one payload byte with `0xFF`).
+    pub corrupt_p: f64,
+    /// P(hold the frame for `delay_ms`).
+    pub delay_p: f64,
+    /// Delay duration, ms.
+    pub delay_ms: u64,
+    /// P(forward the frame twice).
+    pub dup_p: f64,
+}
+
+impl Default for ChaosPlan {
+    fn default() -> Self {
+        Self {
+            seed: 2014,
+            disconnect_p: 0.02,
+            tear_p: 0.02,
+            corrupt_p: 0.02,
+            delay_p: 0.05,
+            delay_ms: 20,
+            dup_p: 0.02,
+        }
+    }
+}
+
+impl ChaosPlan {
+    /// A plan that injects nothing (a transparent proxy).
+    pub fn quiet(seed: u64) -> Self {
+        Self {
+            seed,
+            disconnect_p: 0.0,
+            tear_p: 0.0,
+            corrupt_p: 0.0,
+            delay_p: 0.0,
+            dup_p: 0.0,
+            delay_ms: 0,
+        }
+    }
+
+    /// Validate probabilities: each in [0, 1], summing to ≤ 1.
+    pub fn validate(&self) -> Result<(), String> {
+        let ps = [
+            ("disconnect", self.disconnect_p),
+            ("tear", self.tear_p),
+            ("corrupt", self.corrupt_p),
+            ("delay", self.delay_p),
+            ("dup", self.dup_p),
+        ];
+        for (name, p) in ps {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} probability {p} is outside [0, 1]"));
+            }
+        }
+        let total: f64 = ps.iter().map(|(_, p)| p).sum();
+        if total > 1.0 {
+            return Err(format!("fault probabilities sum to {total}, above 1"));
+        }
+        Ok(())
+    }
+}
+
+/// Counters of what the proxy actually injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ChaosStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Client→server frames seen (including faulted ones).
+    pub frames: u64,
+    /// Frames forwarded untouched.
+    pub forwarded: u64,
+    /// Mid-conversation disconnects injected.
+    pub disconnects: u64,
+    /// Torn frames injected.
+    pub torn: u64,
+    /// Corrupted frames injected.
+    pub corrupted: u64,
+    /// Delayed frames injected.
+    pub delayed: u64,
+    /// Duplicated frames injected.
+    pub duplicated: u64,
+}
+
+impl ChaosStats {
+    /// Total faults injected.
+    pub fn faults(&self) -> u64 {
+        self.disconnects + self.torn + self.corrupted + self.delayed + self.duplicated
+    }
+}
+
+struct ProxyShared {
+    upstream: String,
+    plan: ChaosPlan,
+    shutdown: AtomicBool,
+    connections: AtomicU64,
+    frames: AtomicU64,
+    forwarded: AtomicU64,
+    disconnects: AtomicU64,
+    torn: AtomicU64,
+    corrupted: AtomicU64,
+    delayed: AtomicU64,
+    duplicated: AtomicU64,
+}
+
+/// Observe and stop a running proxy from another thread.
+#[derive(Clone)]
+pub struct ChaosProxyHandle {
+    shared: Arc<ProxyShared>,
+}
+
+impl ChaosProxyHandle {
+    /// Ask the accept loop and every pump to drain.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Snapshot of the injection counters.
+    pub fn stats(&self) -> ChaosStats {
+        let s = &self.shared;
+        ChaosStats {
+            connections: s.connections.load(Ordering::Relaxed),
+            frames: s.frames.load(Ordering::Relaxed),
+            forwarded: s.forwarded.load(Ordering::Relaxed),
+            disconnects: s.disconnects.load(Ordering::Relaxed),
+            torn: s.torn.load(Ordering::Relaxed),
+            corrupted: s.corrupted.load(Ordering::Relaxed),
+            delayed: s.delayed.load(Ordering::Relaxed),
+            duplicated: s.duplicated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A bound, not-yet-running chaos proxy.
+pub struct ChaosProxy {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<ProxyShared>,
+}
+
+impl ChaosProxy {
+    /// Bind `listen` (`host:port`, port 0 for ephemeral) and prepare to
+    /// forward every connection to `upstream` under `plan`.
+    pub fn bind(listen: &str, upstream: &str, plan: ChaosPlan) -> Result<Self, ServeError> {
+        plan.validate().map_err(|detail| ServeError::Bind { addr: listen.into(), detail })?;
+        let listener = TcpListener::bind(listen)
+            .map_err(|e| ServeError::Bind { addr: listen.into(), detail: e.to_string() })?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Bind { addr: listen.into(), detail: e.to_string() })?;
+        listener.set_nonblocking(true).map_err(|e| ServeError::Io(e.to_string()))?;
+        Ok(Self {
+            listener,
+            addr,
+            shared: Arc::new(ProxyShared {
+                upstream: upstream.to_string(),
+                plan,
+                shutdown: AtomicBool::new(false),
+                connections: AtomicU64::new(0),
+                frames: AtomicU64::new(0),
+                forwarded: AtomicU64::new(0),
+                disconnects: AtomicU64::new(0),
+                torn: AtomicU64::new(0),
+                corrupted: AtomicU64::new(0),
+                delayed: AtomicU64::new(0),
+                duplicated: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The address actually bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle usable while [`run`](Self::run) blocks.
+    pub fn handle(&self) -> ChaosProxyHandle {
+        ChaosProxyHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Proxy until SIGINT or [`ChaosProxyHandle::shutdown`], then drain.
+    pub fn run(self) -> Result<(), ServeError> {
+        sig::install();
+        let mut pumps: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if sig::pending() {
+                self.shared.shutdown.store(true, Ordering::SeqCst);
+            }
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((client, _peer)) => {
+                    let conn_id = self.shared.connections.fetch_add(1, Ordering::SeqCst);
+                    let shared = Arc::clone(&self.shared);
+                    pumps.push(std::thread::spawn(move || handle_conn(shared, client, conn_id)));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(ServeError::Io(e.to_string())),
+            }
+        }
+        for pump in pumps {
+            let _ = pump.join();
+        }
+        Ok(())
+    }
+}
+
+/// splitmix64, seeded per connection so chaos runs replay.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in [0, 1).
+fn next_f64(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// One proxied connection: spawn the transparent server→client pump,
+/// run the fault-injecting client→server pump inline, then tear both
+/// sides down.
+fn handle_conn(shared: Arc<ProxyShared>, client: TcpStream, conn_id: u64) {
+    let Ok(server) = TcpStream::connect(&shared.upstream) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    let _ = client.set_read_timeout(Some(PUMP_READ_TIMEOUT));
+    let _ = server.set_read_timeout(Some(PUMP_READ_TIMEOUT));
+
+    let (Ok(server_read), Ok(client_write)) = (server.try_clone(), client.try_clone()) else {
+        let _ = client.shutdown(Shutdown::Both);
+        let _ = server.shutdown(Shutdown::Both);
+        return;
+    };
+    let back_shared = Arc::clone(&shared);
+    let back = std::thread::spawn(move || pump_bytes(server_read, client_write, &back_shared));
+
+    inject_frames(&shared, client.try_clone().ok(), client, server, conn_id);
+    let _ = back.join();
+}
+
+/// Transparent byte pump (server→client). Exits on EOF, error, or proxy
+/// shutdown; closing its streams unblocks the other pump too.
+fn pump_bytes(mut from: TcpStream, mut to: TcpStream, shared: &ProxyShared) {
+    let mut buf = [0u8; 4096];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => break,
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+/// Read one raw length-prefixed frame (idle-aware). `Ok(None)` = clean
+/// EOF or shutdown; oversized prefixes are passed back to the caller as
+/// a frame with an empty body so the bytes still reach the server, which
+/// answers with its own typed `oversized` error.
+fn read_raw_frame(
+    stream: &mut TcpStream,
+    shared: &ProxyShared,
+) -> Result<Option<(u32, Vec<u8>)>, ()> {
+    let mut header = [0u8; 4];
+    let mut got = 0usize;
+    while got < header.len() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        match stream.read(&mut header[got..]) {
+            Ok(0) => return if got == 0 { Ok(None) } else { Err(()) },
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => return Err(()),
+        }
+    }
+    let len = u32::from_be_bytes(header);
+    if len as usize > MAX_FRAME_LEN {
+        // Forward the hostile prefix as-is; the server rejects it typed.
+        return Ok(Some((len, Vec::new())));
+    }
+    let mut body = vec![0u8; len as usize];
+    let mut got = 0usize;
+    while got < body.len() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        match stream.read(&mut body[got..]) {
+            Ok(0) => return Err(()),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => return Err(()),
+        }
+    }
+    Ok(Some((len, body)))
+}
+
+/// The fault-injecting client→server pump.
+fn inject_frames(
+    shared: &ProxyShared,
+    client_close: Option<TcpStream>,
+    mut client: TcpStream,
+    mut server: TcpStream,
+    conn_id: u64,
+) {
+    let plan = shared.plan;
+    let mut rng = plan.seed ^ splitmix64(&mut { conn_id.wrapping_add(1) });
+    let close_both = |server: &TcpStream| {
+        let _ = server.shutdown(Shutdown::Both);
+        if let Some(c) = &client_close {
+            let _ = c.shutdown(Shutdown::Both);
+        }
+    };
+    while let Ok(Some((len, mut body))) = read_raw_frame(&mut client, shared) {
+        shared.frames.fetch_add(1, Ordering::Relaxed);
+        if len as usize > MAX_FRAME_LEN {
+            // Oversized prefix from a hostile client: forward verbatim and
+            // stop being frame-aware (the server closes after its typed
+            // error anyway).
+            let _ = server.write_all(&len.to_be_bytes());
+            let _ = server.flush();
+            continue;
+        }
+
+        let roll = next_f64(&mut rng);
+        let mut edge = plan.disconnect_p;
+        if roll < edge {
+            shared.disconnects.fetch_add(1, Ordering::Relaxed);
+            close_both(&server);
+            break;
+        }
+        edge += plan.tear_p;
+        if roll < edge {
+            shared.torn.fetch_add(1, Ordering::Relaxed);
+            let half = body.len() / 2;
+            let _ = server.write_all(&len.to_be_bytes());
+            let _ = server.write_all(&body[..half]);
+            let _ = server.flush();
+            close_both(&server);
+            break;
+        }
+        edge += plan.corrupt_p;
+        if roll < edge && !body.is_empty() {
+            shared.corrupted.fetch_add(1, Ordering::Relaxed);
+            let at = (splitmix64(&mut rng) % body.len() as u64) as usize;
+            body[at] = 0xFF;
+        } else {
+            edge += plan.delay_p;
+            if roll < edge {
+                shared.delayed.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(plan.delay_ms));
+            } else {
+                edge += plan.dup_p;
+                if roll < edge {
+                    shared.duplicated.fetch_add(1, Ordering::Relaxed);
+                    if write_frame_raw(&mut server, len, &body).is_err() {
+                        break;
+                    }
+                } else {
+                    shared.forwarded.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if write_frame_raw(&mut server, len, &body).is_err() {
+            break;
+        }
+    }
+    let _ = server.shutdown(Shutdown::Both);
+    let _ = client.shutdown(Shutdown::Both);
+}
+
+fn write_frame_raw(stream: &mut TcpStream, len: u32, body: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_validates() {
+        assert!(ChaosPlan::default().validate().is_ok());
+        assert!(ChaosPlan::quiet(7).validate().is_ok());
+    }
+
+    #[test]
+    fn out_of_range_probabilities_are_rejected() {
+        let plan = ChaosPlan { tear_p: 1.5, ..ChaosPlan::quiet(1) };
+        assert!(plan.validate().unwrap_err().contains("tear"));
+        let plan = ChaosPlan { corrupt_p: -0.1, ..ChaosPlan::quiet(1) };
+        assert!(plan.validate().unwrap_err().contains("corrupt"));
+        let plan =
+            ChaosPlan { disconnect_p: 0.5, tear_p: 0.4, corrupt_p: 0.3, ..ChaosPlan::quiet(1) };
+        assert!(plan.validate().unwrap_err().contains("sum"));
+    }
+
+    #[test]
+    fn fault_rolls_are_deterministic_per_seed() {
+        let draw = |seed: u64| -> Vec<u64> {
+            let mut s = seed;
+            (0..8).map(|_| splitmix64(&mut s)).collect()
+        };
+        assert_eq!(draw(2014), draw(2014));
+        assert_ne!(draw(2014), draw(2015));
+        let mut s = 1;
+        for _ in 0..100 {
+            let f = next_f64(&mut s);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn stats_faults_sums_the_injections() {
+        let s = ChaosStats {
+            connections: 1,
+            frames: 10,
+            forwarded: 5,
+            disconnects: 1,
+            torn: 1,
+            corrupted: 1,
+            delayed: 1,
+            duplicated: 1,
+        };
+        assert_eq!(s.faults(), 5);
+    }
+}

@@ -12,9 +12,23 @@
 //! pure function of `(machine seed, kernel id, model)` — the cache changes
 //! *when* work happens, never *what* is answered — and it is why
 //! [`Selection`] carries no hit/miss flag; hit rates live in the metrics
-//! snapshot only.
+//! snapshot only. The same rule makes eviction safe: the profile cache is
+//! bounded LRU (least-recently-used out first, ties broken by kernel id),
+//! and an evicted kernel is simply recomputed to the identical value.
+//!
+//! Two memo layers live here:
+//!
+//! - the **profile cache** (kernel id → [`PredictedProfile`]), a pure
+//!   memo whose misses are reported to an optional hook — the server
+//!   wires that hook to the recovery journal so a restart can re-warm
+//!   the same keys;
+//! - the **idempotency memo** (client key → [`Response`]), which makes
+//!   retried `Run` requests exactly-once in effect: the first successful
+//!   execution's response bytes are replayed verbatim for any retry
+//!   carrying the same key. Also bounded LRU; an evicted key merely
+//!   downgrades a late retry to a re-execution.
 
-use crate::protocol::Selection;
+use crate::protocol::{Response, Selection};
 use acs_core::{sample_config, PredictedProfile, Predictor, SamplePair, TrainedModel};
 use acs_sim::{Device, KernelCharacteristics, Machine};
 use parking_lot::Mutex;
@@ -42,14 +56,49 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// Default bound on memoized kernel profiles. The full suite is far
+/// smaller, so the default never evicts in practice; tests shrink it.
+pub const DEFAULT_PROFILE_CAPACITY: usize = 512;
+
+/// Default bound on remembered idempotency keys.
+pub const DEFAULT_IDEM_CAPACITY: usize = 1024;
+
+/// An LRU slot: the value plus the tick of its last touch.
+struct Slot<V> {
+    value: V,
+    last_used: u64,
+}
+
+/// Called with the kernel id whenever a profile-cache miss inserts a new
+/// entry (the server journals these so a restart can re-warm the cache).
+type MissHook = Box<dyn Fn(&str) + Send + Sync>;
+
 /// Shared, thread-safe selection engine.
 pub struct Engine {
     model: Arc<TrainedModel>,
     machine: Machine,
     kernels: BTreeMap<String, KernelCharacteristics>,
-    cache: Mutex<HashMap<String, Arc<PredictedProfile>>>,
+    cache: Mutex<HashMap<String, Slot<Arc<PredictedProfile>>>>,
+    profile_capacity: usize,
+    idem: Mutex<HashMap<u64, Slot<Response>>>,
+    idem_capacity: usize,
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    on_miss: Mutex<Option<MissHook>>,
+}
+
+/// Evict least-recently-used slots (ties broken by smallest key, so the
+/// victim is deterministic under equal ticks) until `map` fits `capacity`.
+fn evict_lru<K: Ord + std::hash::Hash + Clone, V>(map: &mut HashMap<K, Slot<V>>, capacity: usize) {
+    while map.len() > capacity {
+        let victim = map
+            .iter()
+            .min_by(|(ka, a), (kb, b)| a.last_used.cmp(&b.last_used).then_with(|| ka.cmp(kb)))
+            .map(|(k, _)| k.clone())
+            .expect("non-empty map over capacity");
+        map.remove(&victim);
+    }
 }
 
 impl Engine {
@@ -62,9 +111,32 @@ impl Engine {
             machine,
             kernels,
             cache: Mutex::new(HashMap::new()),
+            profile_capacity: DEFAULT_PROFILE_CAPACITY,
+            idem: Mutex::new(HashMap::new()),
+            idem_capacity: DEFAULT_IDEM_CAPACITY,
+            tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            on_miss: Mutex::new(None),
         }
+    }
+
+    /// Shrink (or grow) the profile-cache bound. Clamped to at least 1.
+    pub fn with_profile_capacity(mut self, capacity: usize) -> Self {
+        self.profile_capacity = capacity.max(1);
+        self
+    }
+
+    /// Shrink (or grow) the idempotency-memo bound. Clamped to at least 1.
+    pub fn with_idem_capacity(mut self, capacity: usize) -> Self {
+        self.idem_capacity = capacity.max(1);
+        self
+    }
+
+    /// Install the cache-miss hook (server → recovery journal). Installed
+    /// *after* recovery warm-up so replayed keys are not re-journaled.
+    pub fn set_miss_hook(&self, hook: MissHook) {
+        *self.on_miss.lock() = Some(hook);
     }
 
     /// The trained model the engine serves.
@@ -82,12 +154,22 @@ impl Engine {
         (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
     }
 
+    /// Kernels currently memoized (≤ the configured capacity).
+    pub fn cached_profiles(&self) -> usize {
+        self.cache.lock().len()
+    }
+
     /// The memoized predicted profile for a kernel; computed on first use
     /// (two sample runs + classify + regress), a map lookup afterwards.
+    /// The cache is bounded: beyond capacity the least-recently-used
+    /// kernel is dropped and will be recomputed — to the bit-identical
+    /// value — if asked for again.
     pub fn profile(&self, kernel_id: &str) -> Result<Arc<PredictedProfile>, EngineError> {
-        if let Some(hit) = self.cache.lock().get(kernel_id) {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        if let Some(hit) = self.cache.lock().get_mut(kernel_id) {
+            hit.last_used = tick;
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
+            return Ok(Arc::clone(&hit.value));
         }
         let kernel = self
             .kernels
@@ -100,8 +182,43 @@ impl Engine {
         let gpu = self.machine.run_iter(kernel, &sample_config(Device::Gpu), 1);
         let profile = Arc::new(Predictor::new(&self.model).predict(&SamplePair::new(cpu, gpu)));
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut cache = self.cache.lock();
-        Ok(Arc::clone(cache.entry(kernel_id.to_string()).or_insert(profile)))
+        let (result, inserted) = {
+            let mut cache = self.cache.lock();
+            let inserted = !cache.contains_key(kernel_id);
+            let slot = cache
+                .entry(kernel_id.to_string())
+                .or_insert(Slot { value: profile, last_used: tick });
+            slot.last_used = tick;
+            let result = Arc::clone(&slot.value);
+            evict_lru(&mut cache, self.profile_capacity);
+            (result, inserted)
+        };
+        if inserted {
+            // Outside the cache lock: the hook may take the journal lock.
+            if let Some(hook) = self.on_miss.lock().as_ref() {
+                hook(kernel_id);
+            }
+        }
+        Ok(result)
+    }
+
+    /// The memoized response for an idempotency key, if the keyed request
+    /// already executed. Refreshes the key's LRU position.
+    pub fn idem_lookup(&self, key: u64) -> Option<Response> {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut idem = self.idem.lock();
+        let slot = idem.get_mut(&key)?;
+        slot.last_used = tick;
+        Some(slot.value.clone())
+    }
+
+    /// Remember a successful response under its idempotency key so a
+    /// retry replays these exact bytes instead of executing again.
+    pub fn idem_store(&self, key: u64, response: &Response) {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut idem = self.idem.lock();
+        idem.insert(key, Slot { value: response.clone(), last_used: tick });
+        evict_lru(&mut idem, self.idem_capacity);
     }
 
     /// Select a configuration for one kernel under a budget.
@@ -175,6 +292,103 @@ mod tests {
             let single = e.select(id, 30.0).unwrap();
             assert_eq!(got.as_ref().unwrap(), &single, "order or value drifted for {id}");
         }
+    }
+
+    #[test]
+    fn lru_eviction_is_bounded_and_recomputes_identically() {
+        let e = engine().with_profile_capacity(2);
+        let ids: Vec<String> = e.kernels.keys().take(3).cloned().collect();
+        let first = e.select(&ids[0], 25.0).unwrap();
+        e.select(&ids[1], 25.0).unwrap();
+        e.select(&ids[2], 25.0).unwrap(); // ids[0] is now least recent: out
+        assert_eq!(e.cached_profiles(), 2);
+
+        // The evicted kernel recomputes — to the identical selection.
+        let again = e.select(&ids[0], 25.0).unwrap();
+        assert_eq!(first, again);
+        let (hits, misses) = e.cache_counts();
+        assert_eq!((hits, misses), (0, 4), "re-selecting an evicted kernel is a miss");
+        assert_eq!(e.cached_profiles(), 2);
+    }
+
+    #[test]
+    fn lru_refresh_protects_recently_used_entries() {
+        let e = engine().with_profile_capacity(2);
+        let ids: Vec<String> = e.kernels.keys().take(3).cloned().collect();
+        e.select(&ids[0], 25.0).unwrap();
+        e.select(&ids[1], 25.0).unwrap();
+        e.select(&ids[0], 25.0).unwrap(); // refresh: ids[1] is now LRU
+        e.select(&ids[2], 25.0).unwrap(); // evicts ids[1]
+        let (hits, _) = e.cache_counts();
+        assert_eq!(hits, 1);
+        // ids[0] survived the eviction; selecting it again is a hit.
+        e.select(&ids[0], 25.0).unwrap();
+        let (hits, misses) = e.cache_counts();
+        assert_eq!((hits, misses), (2, 3));
+    }
+
+    #[test]
+    fn restart_without_journal_recomputes_value_equal_selections() {
+        // A fresh engine over the same (seed, model) is exactly what a
+        // server restart without `--journal` builds: a cold cache. The
+        // recomputed selection must be value-equal to the warm one.
+        let warm = engine();
+        let id = warm.kernels.keys().next().unwrap().clone();
+        warm.select(&id, 25.0).unwrap();
+        let cached = warm.select(&id, 25.0).unwrap(); // warm-path answer
+
+        let cold = engine();
+        let recomputed = cold.select(&id, 25.0).unwrap();
+        assert_eq!(cached, recomputed);
+        assert_eq!(cold.cache_counts().1, 1, "the restarted engine had to recompute");
+    }
+
+    #[test]
+    fn idem_memo_replays_identical_bytes() {
+        let e = engine();
+        let response = Response::Ran {
+            kernel_id: "k".into(),
+            iterations: 2,
+            avg_power_w: 17.5,
+            total_time_s: 0.25,
+            config: acs_sim::Configuration::all()[0],
+            tier: "model".into(),
+        };
+        assert!(e.idem_lookup(9).is_none());
+        e.idem_store(9, &response);
+        let replayed = e.idem_lookup(9).expect("stored key replays");
+        assert_eq!(
+            serde_json::to_string(&replayed).unwrap(),
+            serde_json::to_string(&response).unwrap(),
+            "a replayed response must re-serialize to identical bytes"
+        );
+    }
+
+    #[test]
+    fn idem_memo_is_bounded_lru() {
+        let e = engine().with_idem_capacity(2);
+        let resp = |n: u64| Response::Welcome { node_id: n, budget_w: 1.0 };
+        e.idem_store(1, &resp(1));
+        e.idem_store(2, &resp(2));
+        assert!(e.idem_lookup(1).is_some()); // refresh key 1: key 2 is LRU
+        e.idem_store(3, &resp(3));
+        assert!(e.idem_lookup(2).is_none(), "LRU key evicted at capacity");
+        assert!(e.idem_lookup(1).is_some());
+        assert!(e.idem_lookup(3).is_some());
+    }
+
+    #[test]
+    fn miss_hook_fires_once_per_inserted_kernel() {
+        use std::sync::Mutex as StdMutex;
+        let e = engine();
+        let seen: Arc<StdMutex<Vec<String>>> = Arc::new(StdMutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        e.set_miss_hook(Box::new(move |id| sink.lock().unwrap().push(id.to_string())));
+        let ids: Vec<String> = e.kernels.keys().take(2).cloned().collect();
+        e.select(&ids[0], 25.0).unwrap();
+        e.select(&ids[0], 25.0).unwrap(); // hit: no hook
+        e.select(&ids[1], 25.0).unwrap();
+        assert_eq!(*seen.lock().unwrap(), ids);
     }
 
     #[test]

@@ -1,0 +1,522 @@
+//! The append-only recovery journal: crash-only serve state.
+//!
+//! The server's durable artifact (the trained model) is covered by
+//! `core::persist`; everything else the selection quality depends on —
+//! which sessions were admitted, how the arbiter split the budget, which
+//! kernels the engine has profiled — lives in memory and dies with the
+//! process. The journal records exactly that state transition stream so a
+//! restarted server can *replay* it and resume where the dead one
+//! stopped: same arbiter epoch, same next node id, same (re-warmed)
+//! profile cache, and therefore byte-identical selections.
+//!
+//! ## Format
+//!
+//! One entry per line:
+//!
+//! ```text
+//! <crc32-hex> <seq> <entry-json>\n
+//! ```
+//!
+//! The CRC covers `<seq> <entry-json>`, and `seq` must equal the line's
+//! index. On open, the journal validates every line in order and
+//! **truncates at the first invalid one**: under the append-only
+//! crash-only model the only legitimate damage is a torn tail from a
+//! death mid-append, so everything from the first bad line on is crash
+//! debris, not data. (A byte flipped by something *other* than a crash
+//! also truncates from that point — the journal is an optimization, and
+//! a shorter valid prefix is always safe to resume from.)
+//!
+//! ## Durability
+//!
+//! Appends go straight to the OS (`File` is unbuffered) and are flushed,
+//! not fsynced: the journal survives process death — including SIGKILL,
+//! which is what the kill-and-restart e2e and `bench_recovery` exercise —
+//! while a whole-machine power loss may drop the OS-buffered tail, which
+//! the next open then cleanly truncates away. Per-entry fsync would put a
+//! disk round trip on every request; crash-only semantics do not need it.
+//!
+//! ## Replay verification
+//!
+//! Arbiter entries record the epoch *after* their operation. [`replay`]
+//! re-applies each operation to a fresh arbiter and checks the recomputed
+//! epoch against the recorded one — a divergence means the journal and
+//! the arbiter implementation disagree about history, and recovery
+//! refuses to guess ([`JournalError::EpochDivergence`]). Sessions that
+//! were admitted but never left are *orphans* (their TCP connections died
+//! with the old process); replay removes them deterministically in
+//! ascending id order and reports them in the [`Recovery`] summary.
+
+use crate::arbiter::{Arbiter, ArbiterPolicy};
+use acs_core::crc32;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One recorded state transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalEntry {
+    /// A session joined the arbiter.
+    Admit {
+        /// The node id the session was admitted as.
+        node_id: u64,
+        /// Arbiter epoch after the join.
+        epoch: u64,
+    },
+    /// A session left the arbiter (clean close, not a crash).
+    Leave {
+        /// The node id that left.
+        node_id: u64,
+        /// Arbiter epoch after the leave.
+        epoch: u64,
+    },
+    /// A session reported residual headroom and the arbiter re-split.
+    Report {
+        /// The reporting node.
+        node_id: u64,
+        /// The reported residual, W.
+        residual_w: f64,
+        /// Arbiter epoch after the report.
+        epoch: u64,
+    },
+    /// The engine profiled a kernel for the first time (a cache miss that
+    /// inserted). Replay re-warms these keys in order.
+    CacheKey {
+        /// The profiled kernel id.
+        kernel_id: String,
+    },
+}
+
+/// Typed journal failures.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem failure.
+    Io(String),
+    /// Serialization failure (should be unreachable for well-formed entries).
+    Format(String),
+    /// Replay recomputed a different arbiter epoch than the journal
+    /// recorded: the history cannot be trusted.
+    EpochDivergence {
+        /// Index of the diverging entry.
+        index: usize,
+        /// The epoch the journal recorded.
+        recorded: u64,
+        /// The epoch replay recomputed.
+        recomputed: u64,
+    },
+    /// Replay found an operation on a node the journal never admitted.
+    UnknownNode {
+        /// Index of the offending entry.
+        index: usize,
+        /// The unknown node id.
+        node_id: u64,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal io: {e}"),
+            JournalError::Format(e) => write!(f, "journal format: {e}"),
+            JournalError::EpochDivergence { index, recorded, recomputed } => write!(
+                f,
+                "journal replay diverged at entry {index}: recorded epoch {recorded}, \
+                 recomputed {recomputed} (delete the journal to start cold)"
+            ),
+            JournalError::UnknownNode { index, node_id } => write!(
+                f,
+                "journal entry {index} references node {node_id}, which was never admitted \
+                 (delete the journal to start cold)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e.to_string())
+    }
+}
+
+struct Inner {
+    file: std::fs::File,
+    next_seq: u64,
+}
+
+/// An open, append-only recovery journal.
+pub struct Journal {
+    inner: Mutex<Inner>,
+    path: PathBuf,
+    truncated_tail_bytes: u64,
+}
+
+/// Parse one journal line; `None` means the line is damaged (bad UTF-8,
+/// bad CRC, wrong sequence number, or unparseable entry).
+fn parse_line(line: &[u8], expected_seq: u64) -> Option<JournalEntry> {
+    let line = std::str::from_utf8(line).ok()?;
+    let (crc_hex, body) = line.split_once(' ')?;
+    if u32::from_str_radix(crc_hex, 16).ok()? != crc32(body.as_bytes()) {
+        return None;
+    }
+    let (seq, json) = body.split_once(' ')?;
+    if seq.parse::<u64>().ok()? != expected_seq {
+        return None;
+    }
+    serde_json::from_str(json).ok()
+}
+
+impl Journal {
+    /// Open (or create) the journal at `path`, validating every recorded
+    /// line. The valid prefix is returned for [`replay`]; a torn or
+    /// damaged tail is physically truncated so future appends extend a
+    /// clean log.
+    pub fn open(path: impl AsRef<Path>) -> Result<(Self, Vec<JournalEntry>), JournalError> {
+        let path = path.as_ref().to_path_buf();
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let mut entries = Vec::new();
+        let mut valid_end = 0usize;
+        while valid_end < bytes.len() {
+            let rest = &bytes[valid_end..];
+            let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+                break; // torn final line: no terminator
+            };
+            let Some(entry) = parse_line(&rest[..nl], entries.len() as u64) else {
+                break;
+            };
+            entries.push(entry);
+            valid_end += nl + 1;
+        }
+        let truncated_tail_bytes = (bytes.len() - valid_end) as u64;
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(&path)?;
+        if truncated_tail_bytes > 0 {
+            file.set_len(valid_end as u64)?;
+        }
+        Ok((
+            Self {
+                inner: Mutex::new(Inner { file, next_seq: entries.len() as u64 }),
+                path,
+                truncated_tail_bytes,
+            },
+            entries,
+        ))
+    }
+
+    /// The journal's on-disk path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes of crash debris discarded when this journal was opened.
+    pub fn truncated_tail_bytes(&self) -> u64 {
+        self.truncated_tail_bytes
+    }
+
+    /// Entries in the log, counting both the recovered prefix and appends
+    /// through this handle.
+    pub fn entries(&self) -> u64 {
+        self.inner.lock().next_seq
+    }
+
+    /// Append one entry. The sequence number and checksum are assigned
+    /// under the journal lock, so concurrent appenders serialize and the
+    /// log stays gapless.
+    pub fn append(&self, entry: &JournalEntry) -> Result<(), JournalError> {
+        let json = serde_json::to_string(entry).map_err(|e| JournalError::Format(e.to_string()))?;
+        let mut inner = self.inner.lock();
+        let body = format!("{} {}", inner.next_seq, json);
+        let line = format!("{:08x} {}\n", crc32(body.as_bytes()), body);
+        inner.file.write_all(line.as_bytes())?;
+        inner.file.flush()?;
+        inner.next_seq += 1;
+        Ok(())
+    }
+}
+
+/// What [`replay`] reconstructed, for logging and the recovery bench.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recovery {
+    /// Journal entries replayed.
+    pub replayed: u64,
+    /// Kernel ids to re-warm the profile cache with, in first-miss order
+    /// (deduplicated).
+    pub warm_kernels: Vec<String>,
+    /// Sessions admitted but never cleanly closed — their connections
+    /// died with the old process; replay removed them in ascending order.
+    pub orphaned_sessions: Vec<u64>,
+    /// The node id the next accepted session should get, so restarted
+    /// servers never reuse an id the journal already assigned.
+    pub next_node: u64,
+}
+
+/// Fold a validated entry stream into a fresh arbiter, verifying each
+/// recorded epoch against the recomputed one.
+pub fn replay(
+    entries: &[JournalEntry],
+    global_cap_w: f64,
+    policy: ArbiterPolicy,
+) -> Result<(Arbiter, Recovery), JournalError> {
+    let mut arbiter = Arbiter::new(global_cap_w, policy);
+    let mut warm_kernels: Vec<String> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut next_node = 1u64;
+    let check = |index: usize, recorded: u64, arbiter: &Arbiter| {
+        if arbiter.epoch() == recorded {
+            Ok(())
+        } else {
+            Err(JournalError::EpochDivergence { index, recorded, recomputed: arbiter.epoch() })
+        }
+    };
+    for (index, entry) in entries.iter().enumerate() {
+        match entry {
+            JournalEntry::Admit { node_id, epoch } => {
+                arbiter.join(*node_id);
+                next_node = next_node.max(node_id + 1);
+                check(index, *epoch, &arbiter)?;
+            }
+            JournalEntry::Leave { node_id, epoch } => {
+                arbiter.leave(*node_id);
+                check(index, *epoch, &arbiter)?;
+            }
+            JournalEntry::Report { node_id, residual_w, epoch } => {
+                if arbiter.report(*node_id, *residual_w).is_none() {
+                    return Err(JournalError::UnknownNode { index, node_id: *node_id });
+                }
+                check(index, *epoch, &arbiter)?;
+            }
+            JournalEntry::CacheKey { kernel_id } => {
+                if seen.insert(kernel_id.clone()) {
+                    warm_kernels.push(kernel_id.clone());
+                }
+            }
+        }
+    }
+    let orphaned_sessions = arbiter.node_ids();
+    for &id in &orphaned_sessions {
+        arbiter.leave(id);
+    }
+    Ok((
+        arbiter,
+        Recovery { replayed: entries.len() as u64, warm_kernels, orphaned_sessions, next_node },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(test: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("acs-journal-{test}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Drive a real arbiter and journal its transitions with truthful
+    /// epochs, the way the server does.
+    fn journal_some_history(journal: &Journal, arbiter: &mut Arbiter) {
+        arbiter.join(1);
+        journal.append(&JournalEntry::Admit { node_id: 1, epoch: arbiter.epoch() }).unwrap();
+        journal.append(&JournalEntry::CacheKey { kernel_id: "LU/Small/lud".into() }).unwrap();
+        arbiter.join(2);
+        journal.append(&JournalEntry::Admit { node_id: 2, epoch: arbiter.epoch() }).unwrap();
+        arbiter.report(2, 5.0);
+        journal
+            .append(&JournalEntry::Report { node_id: 2, residual_w: 5.0, epoch: arbiter.epoch() })
+            .unwrap();
+        journal.append(&JournalEntry::CacheKey { kernel_id: "SMC/Large/acc".into() }).unwrap();
+        journal.append(&JournalEntry::CacheKey { kernel_id: "LU/Small/lud".into() }).unwrap();
+        arbiter.leave(1);
+        journal.append(&JournalEntry::Leave { node_id: 1, epoch: arbiter.epoch() }).unwrap();
+    }
+
+    #[test]
+    fn appended_entries_reopen_identically() {
+        let dir = scratch("roundtrip");
+        let path = dir.join("serve.journal");
+        let (journal, empty) = Journal::open(&path).unwrap();
+        assert!(empty.is_empty());
+        let mut arbiter = Arbiter::new(100.0, ArbiterPolicy::DemandProportional);
+        journal_some_history(&journal, &mut arbiter);
+        assert_eq!(journal.entries(), 7);
+        drop(journal);
+
+        let (reopened, entries) = Journal::open(&path).unwrap();
+        assert_eq!(entries.len(), 7);
+        assert_eq!(reopened.entries(), 7);
+        assert_eq!(reopened.truncated_tail_bytes(), 0);
+        assert_eq!(entries[0], JournalEntry::Admit { node_id: 1, epoch: 1 });
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue() {
+        let dir = scratch("torn");
+        let path = dir.join("serve.journal");
+        let (journal, _) = Journal::open(&path).unwrap();
+        let mut arbiter = Arbiter::new(100.0, ArbiterPolicy::EqualShare);
+        journal_some_history(&journal, &mut arbiter);
+        drop(journal);
+
+        // A death mid-append leaves a partial line with no newline.
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"deadbeef 7 {\"Admit\":{\"node").unwrap();
+        drop(f);
+
+        let (reopened, entries) = Journal::open(&path).unwrap();
+        assert_eq!(entries.len(), 7, "the valid prefix survives");
+        assert!(reopened.truncated_tail_bytes() > 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len, "debris chopped");
+
+        // The log keeps extending cleanly after the truncation.
+        reopened.append(&JournalEntry::CacheKey { kernel_id: "k".into() }).unwrap();
+        drop(reopened);
+        let (_, entries) = Journal::open(&path).unwrap();
+        assert_eq!(entries.len(), 8);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_line_truncates_from_there() {
+        let dir = scratch("corrupt");
+        let path = dir.join("serve.journal");
+        let (journal, _) = Journal::open(&path).unwrap();
+        let mut arbiter = Arbiter::new(100.0, ArbiterPolicy::EqualShare);
+        journal_some_history(&journal, &mut arbiter);
+        drop(journal);
+
+        // Flip one payload byte in the third line: its CRC now fails, and
+        // everything from that line on is discarded.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut bad = lines[2].to_string();
+        let flip = bad.len() - 2;
+        bad.replace_range(flip..flip + 1, "~");
+        let mut rewritten = lines[..2].join("\n");
+        rewritten.push('\n');
+        rewritten.push_str(&bad);
+        rewritten.push('\n');
+        rewritten.push_str(&lines[3..].join("\n"));
+        rewritten.push('\n');
+        std::fs::write(&path, rewritten).unwrap();
+
+        let (reopened, entries) = Journal::open(&path).unwrap();
+        assert_eq!(entries.len(), 2, "valid prefix before the flipped byte");
+        assert!(reopened.truncated_tail_bytes() > 0);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn sequence_gaps_invalidate_the_tail() {
+        let dir = scratch("seqgap");
+        let path = dir.join("serve.journal");
+        // Hand-craft two lines whose CRCs are right but whose second
+        // sequence number skips: a spliced log must not replay past the gap.
+        let e0 = serde_json::to_string(&JournalEntry::CacheKey { kernel_id: "a".into() }).unwrap();
+        let e1 = serde_json::to_string(&JournalEntry::CacheKey { kernel_id: "b".into() }).unwrap();
+        let body0 = format!("0 {e0}");
+        let body2 = format!("2 {e1}"); // gap: seq 1 missing
+        let text = format!(
+            "{:08x} {body0}\n{:08x} {body2}\n",
+            acs_core::crc32(body0.as_bytes()),
+            acs_core::crc32(body2.as_bytes())
+        );
+        std::fs::write(&path, text).unwrap();
+        let (_, entries) = Journal::open(&path).unwrap();
+        assert_eq!(entries.len(), 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn replay_rebuilds_the_arbiter_and_cleans_orphans() {
+        let dir = scratch("replay");
+        let path = dir.join("serve.journal");
+        let (journal, _) = Journal::open(&path).unwrap();
+        let mut live = Arbiter::new(100.0, ArbiterPolicy::DemandProportional);
+        journal_some_history(&journal, &mut live);
+        drop(journal);
+
+        let (_, entries) = Journal::open(&path).unwrap();
+        let (rebuilt, recovery) =
+            replay(&entries, 100.0, ArbiterPolicy::DemandProportional).unwrap();
+        assert_eq!(recovery.replayed, 7);
+        // Node 2 never left: it is an orphan, removed by replay.
+        assert_eq!(recovery.orphaned_sessions, vec![2]);
+        assert_eq!(rebuilt.node_count(), 0);
+        assert_eq!(recovery.next_node, 3, "ids 1 and 2 are burned");
+        // Cache keys dedup in first-miss order.
+        assert_eq!(recovery.warm_kernels, vec!["LU/Small/lud", "SMC/Large/acc"]);
+        assert_eq!(rebuilt.conservation_error_w(), 0.0);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn replay_rejects_epoch_divergence() {
+        let entries = vec![JournalEntry::Admit { node_id: 1, epoch: 42 }];
+        match replay(&entries, 100.0, ArbiterPolicy::EqualShare) {
+            Err(JournalError::EpochDivergence { index: 0, recorded: 42, recomputed }) => {
+                assert_ne!(recomputed, 42);
+            }
+            other => panic!("expected EpochDivergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_rejects_reports_for_unknown_nodes() {
+        let entries = vec![JournalEntry::Report { node_id: 9, residual_w: 1.0, epoch: 1 }];
+        match replay(&entries, 100.0, ArbiterPolicy::EqualShare) {
+            Err(JournalError::UnknownNode { index: 0, node_id: 9 }) => {}
+            other => panic!("expected UnknownNode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replayed_budgets_match_the_live_arbiter_bit_for_bit() {
+        // The property the kill-and-restart e2e depends on: replaying the
+        // journal yields the same epoch and budgets the dead server had.
+        let dir = scratch("bitequal");
+        let path = dir.join("serve.journal");
+        let (journal, _) = Journal::open(&path).unwrap();
+        let mut live = Arbiter::new(77.0, ArbiterPolicy::DemandProportional);
+        live.join(1);
+        journal.append(&JournalEntry::Admit { node_id: 1, epoch: live.epoch() }).unwrap();
+        live.join(2);
+        journal.append(&JournalEntry::Admit { node_id: 2, epoch: live.epoch() }).unwrap();
+        live.report(1, 12.5);
+        journal
+            .append(&JournalEntry::Report { node_id: 1, residual_w: 12.5, epoch: live.epoch() })
+            .unwrap();
+        drop(journal);
+
+        let (_, entries) = Journal::open(&path).unwrap();
+        // Replay, but keep the orphans around for the comparison by
+        // rebuilding manually up to the last entry.
+        let mut rebuilt = Arbiter::new(77.0, ArbiterPolicy::DemandProportional);
+        for e in &entries {
+            match e {
+                JournalEntry::Admit { node_id, .. } => {
+                    rebuilt.join(*node_id);
+                }
+                JournalEntry::Report { node_id, residual_w, .. } => {
+                    rebuilt.report(*node_id, *residual_w);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(rebuilt.epoch(), live.epoch());
+        for id in live.node_ids() {
+            assert_eq!(
+                rebuilt.budget_of(id).unwrap().to_bits(),
+                live.budget_of(id).unwrap().to_bits(),
+                "node {id} budget diverged"
+            );
+        }
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

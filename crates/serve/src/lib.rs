@@ -13,10 +13,16 @@
 //!
 //! Module map:
 //! - [`protocol`] — length-prefixed JSON frames, typed [`ProtocolError`]
-//! - [`engine`] — memoized classify+predict, batch fan-out on rayon
-//! - [`arbiter`] — global-cap partitioning policies
+//! - [`engine`] — memoized classify+predict, batch fan-out on rayon,
+//!   bounded LRU caches, idempotency memo
+//! - [`arbiter`] — global-cap partitioning policies (budgets always sum
+//!   exactly to the cap)
 //! - [`metrics`] — counters, latency quantiles, the `STATS` snapshot
 //! - [`server`] — listener, admission control, sessions, shutdown
+//! - [`journal`] — append-only recovery journal; a restarted server
+//!   replays it and resumes with identical budgets and a warm cache
+//! - [`chaosproxy`] — seeded fault-injecting TCP proxy for hardening
+//!   tests (torn frames, corruption, delays, duplicates, disconnects)
 //!
 //! Determinism contract (DESIGN.md §11): for a single-session client, a
 //! fixed seed and a recorded request stream replay to a byte-identical
@@ -25,13 +31,17 @@
 //! snapshot, which replay logs exclude.
 
 pub mod arbiter;
+pub mod chaosproxy;
 pub mod engine;
+pub mod journal;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use arbiter::{Arbiter, ArbiterPolicy};
+pub use chaosproxy::{ChaosPlan, ChaosProxy, ChaosProxyHandle, ChaosStats};
 pub use engine::{Engine, EngineError};
+pub use journal::{replay, Journal, JournalEntry, JournalError, Recovery};
 pub use metrics::{Metrics, StatsSnapshot};
 pub use protocol::{
     read_frame, read_frame_blocking, write_frame, ProtocolError, ReadOutcome, Request, Response,

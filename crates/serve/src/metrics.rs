@@ -43,6 +43,9 @@ pub struct StatsSnapshot {
     pub reselections: u64,
     /// Connections or batches refused with a typed `Overloaded`.
     pub overloaded: u64,
+    /// `Run` requests answered from the idempotency memo (a retry with a
+    /// known key) instead of executing again.
+    pub idem_replays: u64,
     /// Frames that failed to parse (truncated, oversized, bad UTF-8, ...).
     pub protocol_errors: u64,
     /// Requests served per degradation-ladder rung label (PR-1 ladder:
@@ -60,6 +63,7 @@ pub struct Metrics {
     overloaded: AtomicU64,
     protocol_errors: AtomicU64,
     reselections: AtomicU64,
+    idem_replays: AtomicU64,
     degradation: Mutex<BTreeMap<String, u64>>,
 }
 
@@ -97,6 +101,16 @@ impl Metrics {
         self.reselections.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count a `Run` answered from the idempotency memo.
+    pub fn record_idem_replay(&self) {
+        self.idem_replays.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Idempotent replays so far.
+    pub fn idem_replays(&self) -> u64 {
+        self.idem_replays.load(Ordering::Relaxed)
+    }
+
     /// Tally one request served at a degradation-ladder rung.
     pub fn record_rung(&self, label: &str) {
         *self.degradation.lock().entry(label.to_string()).or_insert(0) += 1;
@@ -130,6 +144,7 @@ impl Metrics {
             arbiter_rebalances,
             reselections: self.reselections.load(Ordering::Relaxed),
             overloaded: self.overloaded.load(Ordering::Relaxed),
+            idem_replays: self.idem_replays.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             degradation_tallies: self.degradation.lock().clone(),
         }

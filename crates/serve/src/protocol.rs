@@ -44,6 +44,13 @@ pub enum Request {
         kernel_id: String,
         /// Number of iterations to execute (clamped to at least 1).
         iterations: u64,
+        /// Client-generated idempotency key. When present, the engine
+        /// memoizes the successful response under this key, and a retry
+        /// carrying the same key replays those exact bytes instead of
+        /// executing again — exactly-once in effect for resilient
+        /// clients. Absent (`null`, or omitted by pre-key clients) means
+        /// every send executes.
+        idem: Option<u64>,
     },
     /// Report this node's residual power headroom to the arbiter.
     Report {
@@ -330,7 +337,8 @@ mod tests {
         roundtrip(&Request::Hello);
         roundtrip(&Request::Select { kernel_id: "LU/Small/lud".into() });
         roundtrip(&Request::Batch { kernel_ids: vec!["a".into(), "b".into()] });
-        roundtrip(&Request::Run { kernel_id: "x".into(), iterations: 5 });
+        roundtrip(&Request::Run { kernel_id: "x".into(), iterations: 5, idem: None });
+        roundtrip(&Request::Run { kernel_id: "x".into(), iterations: 5, idem: Some(42) });
         roundtrip(&Request::Report { residual_w: -1.25 });
         roundtrip(&Request::Stats);
         roundtrip(&Request::Bye);
@@ -344,6 +352,18 @@ mod tests {
         roundtrip(&Response::Error { code: "oversized".into(), detail: "big".into() });
         roundtrip(&Response::Bye);
         roundtrip(&Response::ShuttingDown);
+    }
+
+    #[test]
+    fn pre_key_run_frames_parse_with_no_idem() {
+        // Clients older than the idempotency key omit the field entirely;
+        // the decoder must treat that as `idem: None`, not a malformed
+        // frame, so old loadgen recordings stay replayable.
+        let json = r#"{"Run":{"kernel_id":"x","iterations":2}}"#;
+        let mut buf = (json.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(json.as_bytes());
+        let req: Request = read_frame_blocking(&mut Cursor::new(&buf)).unwrap().unwrap();
+        assert_eq!(req, Request::Run { kernel_id: "x".into(), iterations: 2, idem: None });
     }
 
     #[test]

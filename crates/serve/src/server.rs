@@ -12,6 +12,7 @@
 
 use crate::arbiter::{Arbiter, ArbiterPolicy};
 use crate::engine::{Engine, EngineError};
+use crate::journal::{replay, Journal, JournalEntry, Recovery};
 use crate::metrics::Metrics;
 use crate::protocol::{read_frame, write_frame, ProtocolError, ReadOutcome, Request, Response};
 use acs_core::{CappedRuntime, GuardPolicy, TrainedModel};
@@ -49,6 +50,10 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Ring-buffer capacity of each session's scheduling timeline.
     pub timeline_capacity: usize,
+    /// Recovery-journal path. `Some` makes admissions, arbiter reshuffles,
+    /// and first-time cache misses durable: a restarted server replays the
+    /// journal and resumes with identical budgets and a warm cache.
+    pub journal: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +67,7 @@ impl Default for ServeConfig {
             max_sessions: 8,
             max_batch: 256,
             timeline_capacity: 4096,
+            journal: None,
         }
     }
 }
@@ -78,6 +84,8 @@ pub enum ServeError {
     },
     /// Listener failure after binding.
     Io(String),
+    /// The recovery journal could not be opened or replayed.
+    Journal(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -87,6 +95,7 @@ impl std::fmt::Display for ServeError {
                 write!(f, "cannot bind {addr}: {detail}")
             }
             ServeError::Io(m) => write!(f, "listener failure: {m}"),
+            ServeError::Journal(m) => write!(f, "recovery journal: {m}"),
         }
     }
 }
@@ -101,8 +110,22 @@ struct Shared {
     arbiter: Mutex<Arbiter>,
     metrics: Metrics,
     shutdown: AtomicBool,
+    /// Crash simulation (tests, `bench_recovery`): sessions stop without
+    /// journaling `Leave`, exactly like a SIGKILL mid-conversation.
+    crashed: AtomicBool,
     active: AtomicUsize,
     next_node: AtomicU64,
+    journal: Option<Arc<Journal>>,
+    recovery: Option<Recovery>,
+}
+
+/// Best-effort journal append. Append failures (disk full, journal file
+/// deleted under us) degrade durability, not availability: the server
+/// keeps serving, and the next restart simply recovers less.
+fn journal_append(shared: &Shared, entry: &JournalEntry) {
+    if let Some(journal) = &shared.journal {
+        let _ = journal.append(entry);
+    }
 }
 
 /// A cheap handle for observing and stopping a running server.
@@ -127,11 +150,48 @@ impl ServerHandle {
     pub fn protocol_errors(&self) -> u64 {
         self.shared.metrics.protocol_errors()
     }
+
+    /// Sessions currently connected.
+    pub fn active_sessions(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// `Run` requests answered from the idempotency memo so far.
+    pub fn idem_replays(&self) -> u64 {
+        self.shared.metrics.idem_replays()
+    }
+
+    /// The arbiter's current epoch.
+    pub fn arbiter_epoch(&self) -> u64 {
+        self.shared.arbiter.lock().epoch()
+    }
+
+    /// `|global cap − Σ budgets|`, which the arbiter keeps at exactly zero
+    /// (the chaos tests assert this after every injected disconnect).
+    pub fn budget_conservation_error_w(&self) -> f64 {
+        self.shared.arbiter.lock().conservation_error_w()
+    }
+
+    /// What journal replay reconstructed at bind time, if a journal was
+    /// configured.
+    pub fn recovery(&self) -> Option<Recovery> {
+        self.shared.recovery.clone()
+    }
+
+    /// Die like a SIGKILL: stop every session *without* journaling their
+    /// `Leave` entries, so the journal ends exactly as a crashed process
+    /// would leave it. In-process stand-in for the out-of-process kill in
+    /// `bench_recovery` (tests cannot SIGKILL themselves).
+    pub fn simulate_crash(&self) {
+        self.shared.crashed.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
 }
 
 /// SIGINT plumbing: the handler only sets a flag the accept loop polls.
+/// `pub(crate)` so the chaos proxy's accept loop shares the same flag.
 #[cfg(unix)]
-mod sig {
+pub(crate) mod sig {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     pub static SIGINT: AtomicBool = AtomicBool::new(false);
@@ -157,7 +217,7 @@ mod sig {
 }
 
 #[cfg(not(unix))]
-mod sig {
+pub(crate) mod sig {
     pub fn install() {}
     pub fn pending() -> bool {
         false
@@ -185,13 +245,46 @@ impl Server {
             .map_err(|e| ServeError::Bind { addr: requested, detail: e.to_string() })?;
         listener.set_nonblocking(true).map_err(|e| ServeError::Io(e.to_string()))?;
         let model = Arc::new(model);
+
+        // Crash recovery: open the journal, replay its valid prefix into a
+        // fresh arbiter (orphaned sessions removed, next node id resumed),
+        // and re-warm the profile cache with the journaled miss keys. The
+        // miss hook is installed only *after* warm-up, so replayed keys are
+        // not journaled a second time.
+        let (journal, recovery, arbiter, next_node) = match &config.journal {
+            Some(path) => {
+                let (journal, entries) =
+                    Journal::open(path).map_err(|e| ServeError::Journal(e.to_string()))?;
+                let (arbiter, recovery) = replay(&entries, config.global_cap_w, config.policy)
+                    .map_err(|e| ServeError::Journal(e.to_string()))?;
+                let next_node = recovery.next_node;
+                (Some(Arc::new(journal)), Some(recovery), arbiter, next_node)
+            }
+            None => (None, None, Arbiter::new(config.global_cap_w, config.policy), 1),
+        };
+        let engine = Engine::new(Arc::clone(&model), Machine::new(config.seed));
+        if let Some(recovery) = &recovery {
+            for kernel_id in &recovery.warm_kernels {
+                let _ = engine.profile(kernel_id);
+            }
+        }
+        if let Some(journal) = &journal {
+            let sink = Arc::clone(journal);
+            engine.set_miss_hook(Box::new(move |kernel_id| {
+                let _ = sink.append(&JournalEntry::CacheKey { kernel_id: kernel_id.to_string() });
+            }));
+        }
+
         let shared = Arc::new(Shared {
-            engine: Engine::new(Arc::clone(&model), Machine::new(config.seed)),
-            arbiter: Mutex::new(Arbiter::new(config.global_cap_w, config.policy)),
+            engine,
+            arbiter: Mutex::new(arbiter),
             metrics: Metrics::new(),
             shutdown: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
             active: AtomicUsize::new(0),
-            next_node: AtomicU64::new(1),
+            next_node: AtomicU64::new(next_node),
+            journal,
+            recovery,
             model,
             config,
         });
@@ -262,7 +355,14 @@ fn run_session(shared: Arc<Shared>, mut stream: TcpStream, node_id: u64) {
     let _ = stream.set_read_timeout(Some(SESSION_READ_TIMEOUT));
     let _ = stream.set_nodelay(true);
 
-    let budget_w = shared.arbiter.lock().join(node_id);
+    // (mutation, epoch) pairs are journaled under the arbiter lock so the
+    // recorded epoch is exactly the one this operation produced.
+    let budget_w = {
+        let mut arbiter = shared.arbiter.lock();
+        let budget_w = arbiter.join(node_id);
+        journal_append(&shared, &JournalEntry::Admit { node_id, epoch: arbiter.epoch() });
+        budget_w
+    };
     let mut rt = CappedRuntime::guarded(
         Machine::new(shared.config.seed),
         (*shared.model).clone(),
@@ -318,7 +418,14 @@ fn run_session(shared: Arc<Shared>, mut stream: TcpStream, node_id: u64) {
         }
     }
 
-    shared.arbiter.lock().leave(node_id);
+    // A simulated crash skips the clean leave: the journal must end the way
+    // a SIGKILLed process leaves it, with this session still admitted (the
+    // restarted server's replay then removes it as an orphan).
+    if !shared.crashed.load(Ordering::SeqCst) {
+        let mut arbiter = shared.arbiter.lock();
+        arbiter.leave(node_id);
+        journal_append(&shared, &JournalEntry::Leave { node_id, epoch: arbiter.epoch() });
+    }
     shared.active.fetch_sub(1, Ordering::SeqCst);
 }
 
@@ -361,7 +468,16 @@ fn handle_request(
             }
             (Response::BatchSelected { selections }, false)
         }
-        Request::Run { kernel_id, iterations } => {
+        Request::Run { kernel_id, iterations, idem } => {
+            // A retry carrying a known idempotency key replays the first
+            // successful execution's exact response instead of running the
+            // kernel again (exactly-once in effect).
+            if let Some(key) = idem {
+                if let Some(memo) = shared.engine.idem_lookup(key) {
+                    shared.metrics.record_idem_replay();
+                    return (memo, false);
+                }
+            }
             let Some(kernel) = shared.engine.kernel(&kernel_id).cloned() else {
                 return (engine_error(EngineError::UnknownKernel(kernel_id)), false);
             };
@@ -389,20 +505,31 @@ fn handle_request(
                 .map(|h| h.tier.label())
                 .unwrap_or_else(|| "model".to_string());
             shared.metrics.record_rung(&tier);
-            (
-                Response::Ran {
-                    kernel_id,
-                    iterations,
-                    avg_power_w: power_sum / iterations as f64,
-                    total_time_s,
-                    config: last_config.expect("at least one iteration ran"),
-                    tier,
-                },
-                false,
-            )
+            let response = Response::Ran {
+                kernel_id,
+                iterations,
+                avg_power_w: power_sum / iterations as f64,
+                total_time_s,
+                config: last_config.expect("at least one iteration ran"),
+                tier,
+            };
+            // Only successful executions are memoized: a retried failure
+            // should re-execute, not replay the error.
+            if let Some(key) = idem {
+                shared.engine.idem_store(key, &response);
+            }
+            (response, false)
         }
         Request::Report { residual_w } => {
-            let budget = shared.arbiter.lock().report(node_id, residual_w);
+            let budget = {
+                let mut arbiter = shared.arbiter.lock();
+                let budget = arbiter.report(node_id, residual_w);
+                journal_append(
+                    shared,
+                    &JournalEntry::Report { node_id, residual_w, epoch: arbiter.epoch() },
+                );
+                budget
+            };
             // Apply our own new budget immediately; other sessions pick
             // the reshuffle up at their next poll via the epoch counter.
             let budget_w = budget.unwrap_or_else(|| rt.cap_w());

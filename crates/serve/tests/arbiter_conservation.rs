@@ -1,0 +1,79 @@
+//! Property tests for the arbiter's budget-conservation invariant: after
+//! every join, leave, or report — in any order, under either policy, at
+//! any cap — the per-node budgets sum back to the global cap (the
+//! rounding remainder is folded onto the lowest node id), every budget
+//! stays strictly positive, and the whole trajectory is deterministic.
+
+use acs_serve::{Arbiter, ArbiterPolicy};
+use proptest::prelude::*;
+
+fn policy_from(n: u8) -> ArbiterPolicy {
+    if n.is_multiple_of(2) {
+        ArbiterPolicy::EqualShare
+    } else {
+        ArbiterPolicy::DemandProportional
+    }
+}
+
+/// Apply one encoded op; 0 = join, 1 = leave, anything else = report.
+fn apply(a: &mut Arbiter, op: u8, id: u64, w: f64) {
+    match op % 3 {
+        0 => {
+            a.join(id);
+        }
+        1 => a.leave(id),
+        _ => {
+            a.report(id, w);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Budgets sum to the cap — exactly, up to at most one ulp of
+    /// re-rounding — after every operation in a random churn sequence.
+    #[test]
+    fn budgets_are_conserved_under_random_churn(
+        policy in 0u8..2,
+        cap_milli in 1u64..1_000_000, // 1 mW .. 1 kW
+        ops in prop::collection::vec((0u8..3, 0u64..16, -50.0..50.0f64), 1..200),
+    ) {
+        let cap = cap_milli as f64 / 1000.0;
+        let mut a = Arbiter::new(cap, policy_from(policy));
+        for (i, &(op, id, w)) in ops.iter().enumerate() {
+            apply(&mut a, op, id, w);
+            let err = a.conservation_error_w();
+            prop_assert!(
+                err <= cap * f64::EPSILON,
+                "op {} ({},{},{}): {} nodes sum to {} under a {} W cap (err {:e})",
+                i, op, id, w, a.node_count(), a.budget_sum_w(), cap, err
+            );
+            for id in a.node_ids() {
+                let b = a.budget_of(id).unwrap();
+                prop_assert!(b > 0.0, "node {} holds a non-positive budget {}", id, b);
+            }
+        }
+    }
+
+    /// The same op sequence replays to bit-identical budgets: the
+    /// remainder assignment is deterministic, not dependent on map
+    /// iteration luck or accumulated state.
+    #[test]
+    fn churn_replays_to_bit_identical_budgets(
+        policy in 0u8..2,
+        ops in prop::collection::vec((0u8..3, 0u64..8, -20.0..20.0f64), 1..64),
+    ) {
+        let run = || {
+            let mut a = Arbiter::new(77.7, policy_from(policy));
+            for &(op, id, w) in &ops {
+                apply(&mut a, op, id, w);
+            }
+            a.node_ids()
+                .into_iter()
+                .map(|id| (id, a.budget_of(id).unwrap().to_bits()))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

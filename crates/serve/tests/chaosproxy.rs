@@ -1,0 +1,258 @@
+//! Chaos hardening tests: every injected wire fault maps to a typed
+//! protocol error or a clean session drop — never a panic, and never a
+//! poisoned arbiter (budget conservation is asserted after every drop).
+//!
+//! Two layers: a deterministic sweep that tears one frame at *every*
+//! byte offset straight against the server, and randomized runs through
+//! the seeded [`ChaosProxy`] across many seeds.
+
+use acs_core::{train, KernelProfile, TrainedModel, TrainingParams};
+use acs_serve::{
+    ChaosPlan, ChaosProxy, Client, Request, Response, ServeConfig, Server, ServerHandle,
+};
+use acs_sim::Machine;
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn model() -> TrainedModel {
+    static MODEL: OnceLock<TrainedModel> = OnceLock::new();
+    MODEL
+        .get_or_init(|| {
+            let machine = Machine::new(2014);
+            let profiles: Vec<KernelProfile> = acs_kernels::all_kernel_instances()
+                .iter()
+                .take(12)
+                .map(|k| KernelProfile::collect(&machine, k))
+                .collect();
+            train(&profiles, TrainingParams::default()).expect("training succeeds")
+        })
+        .clone()
+}
+
+fn spawn(config: ServeConfig) -> (String, ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(config, model()).expect("bind succeeds");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server runs"));
+    (addr, handle, join)
+}
+
+/// A raw frame for one request, exactly as the protocol writes it.
+fn frame_bytes(request: &Request) -> Vec<u8> {
+    let body = serde_json::to_string(request).unwrap().into_bytes();
+    let mut bytes = (body.len() as u32).to_be_bytes().to_vec();
+    bytes.extend_from_slice(&body);
+    bytes
+}
+
+/// The server must still be fully alive: a fresh session gets a Welcome.
+fn assert_alive(addr: &str) {
+    let mut probe = Client::connect(addr).expect("server still accepts");
+    match probe.call(&Request::Hello) {
+        Ok(Response::Welcome { .. }) => {}
+        other => panic!("server unhealthy after chaos: {other:?}"),
+    }
+}
+
+#[test]
+fn torn_frame_at_every_offset_is_typed_or_a_clean_drop() {
+    let (addr, handle, join) = spawn(ServeConfig { max_sessions: 64, ..ServeConfig::default() });
+    let whole =
+        frame_bytes(&Request::Select { kernel_id: acs_kernels::all_kernel_instances()[0].id() });
+
+    for cut in 0..whole.len() {
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream.write_all(&whole[..cut]).unwrap();
+        stream.flush().unwrap();
+        stream.shutdown(Shutdown::Write).unwrap();
+
+        // The session must answer with a typed error frame (truncated
+        // header/body) or close cleanly (an empty prefix is just EOF) —
+        // and nothing else. A panic would surface as a connection reset
+        // plus a dead accept loop, caught below by assert_alive.
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        match acs_serve::read_frame_blocking::<_, Response>(&mut stream) {
+            Ok(None) => assert_eq!(cut, 0, "only an empty prefix may drop without a frame"),
+            Ok(Some(Response::Error { code, .. })) => {
+                assert_eq!(code, "truncated", "cut at {cut}/{}", whole.len());
+            }
+            other => panic!("cut at {cut}: expected typed error or EOF, got {other:?}"),
+        }
+        // No torn frame may poison the arbiter.
+        assert_eq!(handle.budget_conservation_error_w(), 0.0, "cut at {cut}");
+    }
+    assert!(handle.protocol_errors() >= (whole.len() - 1) as u64);
+    assert_alive(&addr);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn corrupt_byte_at_every_offset_is_typed() {
+    let (addr, handle, join) = spawn(ServeConfig { max_sessions: 64, ..ServeConfig::default() });
+    let whole =
+        frame_bytes(&Request::Select { kernel_id: acs_kernels::all_kernel_instances()[0].id() });
+
+    // Flip every *payload* byte to 0xFF (never valid UTF-8), one at a time.
+    for at in 4..whole.len() {
+        let mut bytes = whole.clone();
+        bytes[at] = 0xFF;
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream.write_all(&bytes).unwrap();
+        stream.flush().unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        match acs_serve::read_frame_blocking::<_, Response>(&mut stream) {
+            Ok(Some(Response::Error { code, .. })) => {
+                assert_eq!(code, "invalid-utf8", "corrupt byte at {at}");
+            }
+            other => panic!("corrupt byte at {at}: expected typed error, got {other:?}"),
+        }
+        assert_eq!(handle.budget_conservation_error_w(), 0.0, "corrupt byte at {at}");
+    }
+    assert_alive(&addr);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn quiet_proxy_is_byte_transparent() {
+    let (addr, handle, join) = spawn(ServeConfig::default());
+    let proxy = ChaosProxy::bind("127.0.0.1:0", &addr, ChaosPlan::quiet(1)).unwrap();
+    let proxy_addr = proxy.local_addr().to_string();
+    let proxy_handle = proxy.handle();
+    let proxy_join = std::thread::spawn(move || proxy.run().unwrap());
+
+    let kernel_id = acs_kernels::all_kernel_instances()[0].id();
+    let requests = [
+        Request::Select { kernel_id: kernel_id.clone() },
+        Request::Run { kernel_id: kernel_id.clone(), iterations: 2, idem: Some(77) },
+        Request::Report { residual_w: 3.0 },
+        Request::Select { kernel_id },
+    ];
+
+    let via_proxy: Vec<String> = {
+        let mut c = Client::connect(&proxy_addr).unwrap();
+        requests.iter().map(|r| serde_json::to_string(&c.call(r).unwrap()).unwrap()).collect()
+    };
+    let direct: Vec<String> = {
+        let mut c = Client::connect(&addr).unwrap();
+        requests.iter().map(|r| serde_json::to_string(&c.call(r).unwrap()).unwrap()).collect()
+    };
+    // The Run carries an idem key, so the second (direct) execution
+    // replays the first's memoized bytes: the logs match exactly.
+    assert_eq!(via_proxy, direct, "a quiet proxy must be invisible");
+
+    let stats = proxy_handle.stats();
+    assert_eq!(stats.faults(), 0);
+    assert_eq!(stats.frames, requests.len() as u64);
+
+    proxy_handle.shutdown();
+    proxy_join.join().unwrap();
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn seeded_chaos_never_panics_and_never_poisons_the_arbiter() {
+    let (addr, handle, join) = spawn(ServeConfig { max_sessions: 64, ..ServeConfig::default() });
+    let kernel_ids: Vec<String> =
+        acs_kernels::all_kernel_instances().iter().take(4).map(|k| k.id()).collect();
+
+    for seed in 0..10u64 {
+        let plan = ChaosPlan {
+            seed,
+            disconnect_p: 0.10,
+            tear_p: 0.10,
+            corrupt_p: 0.10,
+            delay_p: 0.05,
+            delay_ms: 2,
+            dup_p: 0.10,
+        };
+        let proxy = ChaosProxy::bind("127.0.0.1:0", &addr, plan).unwrap();
+        let proxy_addr = proxy.local_addr().to_string();
+        let proxy_handle = proxy.handle();
+        let proxy_join = std::thread::spawn(move || proxy.run().unwrap());
+
+        // Closed-loop sessions through the proxy. Any call may fail (the
+        // proxy tears/drops at will) — the contract is that failures are
+        // clean, the server stays alive, and the arbiter stays conserved.
+        for conn in 0..6u64 {
+            let Ok(mut client) = Client::connect(&proxy_addr) else { continue };
+            let _ = client.stream_mut().set_read_timeout(Some(Duration::from_secs(5)));
+            for i in 0..6u64 {
+                let request = match i % 3 {
+                    0 => Request::Select {
+                        kernel_id: kernel_ids[(conn + i) as usize % kernel_ids.len()].clone(),
+                    },
+                    1 => Request::Run {
+                        kernel_id: kernel_ids[(conn + i) as usize % kernel_ids.len()].clone(),
+                        iterations: 1,
+                        idem: Some(seed * 1000 + conn * 10 + i),
+                    },
+                    _ => Request::Report { residual_w: (i * 3) as f64 },
+                };
+                match client.call(&request) {
+                    Ok(_) => {}
+                    Err(_) => break, // injected fault: the drop must be clean
+                }
+            }
+            // After every connection — dropped mid-batch or not — the
+            // global cap is still split exactly.
+            assert_eq!(
+                handle.budget_conservation_error_w(),
+                0.0,
+                "conservation violated at seed {seed}, conn {conn}"
+            );
+        }
+
+        proxy_handle.shutdown();
+        proxy_join.join().unwrap();
+        let stats = proxy_handle.stats();
+        assert!(stats.frames > 0, "seed {seed} drove no frames");
+    }
+
+    // Sessions the proxy killed must have left the arbiter; only the
+    // probe below may remain. Overall: alive, conserved, typed.
+    assert_alive(&addr);
+    assert_eq!(handle.budget_conservation_error_w(), 0.0);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn duplicated_frames_do_not_double_execute_keyed_runs() {
+    // A dup-only plan: every frame has a 100% duplicate probability would
+    // desync a closed-loop client, so inject on exactly one frame by
+    // sending one keyed Run through a dup-heavy proxy and counting server
+    // executions via the idempotency replay metric.
+    let (addr, handle, join) = spawn(ServeConfig::default());
+    let plan = ChaosPlan { dup_p: 1.0, ..ChaosPlan::quiet(3) };
+    let proxy = ChaosProxy::bind("127.0.0.1:0", &addr, plan).unwrap();
+    let proxy_addr = proxy.local_addr().to_string();
+    let proxy_handle = proxy.handle();
+    let proxy_join = std::thread::spawn(move || proxy.run().unwrap());
+
+    let kernel_id = acs_kernels::all_kernel_instances()[0].id();
+    let mut client = Client::connect(&proxy_addr).unwrap();
+    let first = client
+        .call(&Request::Run { kernel_id, iterations: 2, idem: Some(404) })
+        .expect("the first response of the duplicated pair");
+    assert!(matches!(first, Response::Ran { .. }));
+    // The server saw the frame twice; the duplicate was answered from the
+    // idempotency memo, not executed again.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while handle.idem_replays() == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(handle.idem_replays(), 1, "the duplicated Run must replay, not re-execute");
+    assert_eq!(proxy_handle.stats().duplicated, 1);
+
+    proxy_handle.shutdown();
+    proxy_join.join().unwrap();
+    handle.shutdown();
+    join.join().unwrap();
+}

@@ -23,7 +23,11 @@ fn request_from(variant: u8, n: u64, w: f64, extra: &[u64]) -> Request {
         0 => Request::Hello,
         1 => Request::Select { kernel_id: kernel_id(n) },
         2 => Request::Batch { kernel_ids: extra.iter().map(|&e| kernel_id(e)).collect() },
-        3 => Request::Run { kernel_id: kernel_id(n), iterations: n % 17 },
+        3 => Request::Run {
+            kernel_id: kernel_id(n),
+            iterations: n % 17,
+            idem: if n.is_multiple_of(2) { Some(n.wrapping_mul(31)) } else { None },
+        },
         4 => Request::Report { residual_w: w },
         5 => Request::Stats,
         6 => Request::Bye,

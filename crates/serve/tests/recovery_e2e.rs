@@ -1,0 +1,240 @@
+//! Kill-and-restart end-to-end tests for the recovery journal.
+//!
+//! The crash is in-process ([`ServerHandle::simulate_crash`]): a test
+//! cannot SIGKILL itself, and `simulate_crash` reproduces exactly what a
+//! SIGKILL leaves behind — sessions die without journaling `Leave`, so
+//! the journal's tail still shows them admitted. (`bench_recovery` does
+//! the real out-of-process SIGKILL; this file is the deterministic gate.)
+//!
+//! The central assertion: a client that drove half its request stream,
+//! lost the server, and finished the stream against a restarted server
+//! with `--journal` sees **byte-identical** responses to a client that
+//! drove the whole stream against one uninterrupted server.
+
+use acs_core::{train, KernelProfile, TrainedModel, TrainingParams};
+use acs_serve::{
+    ArbiterPolicy, Client, Journal, JournalEntry, Request, Response, ServeConfig, ServeError,
+    Server, ServerHandle,
+};
+use acs_sim::Machine;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+fn model() -> TrainedModel {
+    static MODEL: OnceLock<TrainedModel> = OnceLock::new();
+    MODEL
+        .get_or_init(|| {
+            let machine = Machine::new(2014);
+            let profiles: Vec<KernelProfile> = acs_kernels::all_kernel_instances()
+                .iter()
+                .take(16)
+                .map(|k| KernelProfile::collect(&machine, k))
+                .collect();
+            train(&profiles, TrainingParams::default()).expect("training succeeds")
+        })
+        .clone()
+}
+
+fn spawn(config: ServeConfig) -> (String, ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(config, model()).expect("bind succeeds");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server runs"));
+    (addr, handle, join)
+}
+
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("acs-recovery-{test}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config(journal: Option<PathBuf>) -> ServeConfig {
+    ServeConfig {
+        policy: ArbiterPolicy::DemandProportional,
+        global_cap_w: 90.0,
+        journal,
+        ..ServeConfig::default()
+    }
+}
+
+/// The deterministic request stream both runs drive: selections over six
+/// kernels with a residual report after every other one. `Run` requests
+/// are excluded on purpose — their responses depend on per-session
+/// runtime noise state, which a reconnect legitimately resets; the
+/// recovery contract covers *selections and budgets* (DESIGN.md §12).
+fn request_stream() -> Vec<Request> {
+    let ids: Vec<String> =
+        acs_kernels::all_kernel_instances().iter().take(6).map(|k| k.id()).collect();
+    let mut stream = Vec::new();
+    for (i, id) in ids.iter().enumerate() {
+        stream.push(Request::Select { kernel_id: id.clone() });
+        if i % 2 == 1 {
+            stream.push(Request::Report { residual_w: 4.0 + i as f64 });
+        }
+        if i % 3 == 2 {
+            stream.push(Request::Select { kernel_id: ids[0].clone() }); // revisit: warm path
+        }
+    }
+    stream
+}
+
+fn drive(client: &mut Client, requests: &[Request]) -> Vec<String> {
+    requests.iter().map(|r| serde_json::to_string(&client.call(r).unwrap()).unwrap()).collect()
+}
+
+#[test]
+fn kill_and_restart_resumes_byte_identical_selections() {
+    let dir = scratch("byteident");
+    let stream = request_stream();
+    let half = stream.len() / 2;
+
+    // Reference: the whole stream against one uninterrupted server.
+    let reference = {
+        let (addr, handle, join) = spawn(config(None));
+        let mut client = Client::connect(&addr).unwrap();
+        let log = drive(&mut client, &stream);
+        handle.shutdown();
+        join.join().unwrap();
+        log
+    };
+
+    // Interrupted: half the stream, then a crash that skips every clean
+    // leave — the journal must end the way SIGKILL leaves it.
+    let journal_path = dir.join("serve.journal");
+    let mut log = {
+        let (addr, handle, join) = spawn(config(Some(journal_path.clone())));
+        let mut client = Client::connect(&addr).unwrap();
+        let log = drive(&mut client, &stream[..half]);
+        handle.simulate_crash();
+        join.join().unwrap();
+        log
+    };
+
+    // Restart on the same journal and finish the stream.
+    let (addr, handle, join) = spawn(config(Some(journal_path)));
+    let recovery = handle.recovery().expect("a journaled server reports its recovery");
+    assert!(recovery.replayed > 0, "the first run journaled entries");
+    assert_eq!(recovery.orphaned_sessions.len(), 1, "the crashed session is an orphan");
+    assert!(!recovery.warm_kernels.is_empty(), "phase-1 misses were journaled");
+    assert_eq!(
+        handle.budget_conservation_error_w(),
+        0.0,
+        "replay + orphan cleanup conserves the cap exactly"
+    );
+
+    let mut client = Client::connect(&addr).unwrap();
+    // The restarted cache is warm: phase-1 kernels are hits, so the miss
+    // counter stays at what warm-up recomputed.
+    let warmed = recovery.warm_kernels.len() as u64;
+    log.extend(drive(&mut client, &stream[half..]));
+    match client.call(&Request::Stats).unwrap() {
+        Response::Stats(s) => {
+            assert!(
+                s.cache_misses >= warmed,
+                "warm-up itself recomputes ({} < {warmed})",
+                s.cache_misses
+            );
+            assert!(
+                s.cache_hits > 0,
+                "phase-2 selects on phase-1 kernels must hit the re-warmed cache"
+            );
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+    handle.shutdown();
+    join.join().unwrap();
+
+    assert_eq!(log, reference, "post-recovery selections/budgets must be byte-identical");
+}
+
+#[test]
+fn restart_never_reuses_node_ids_and_conserves_budgets() {
+    let dir = scratch("nodeids");
+    let journal_path = dir.join("serve.journal");
+
+    // Two sessions, both killed by the crash.
+    {
+        let (addr, handle, join) = spawn(config(Some(journal_path.clone())));
+        let mut a = Client::connect(&addr).unwrap();
+        let mut b = Client::connect(&addr).unwrap();
+        let id_of = |c: &mut Client| match c.call(&Request::Hello).unwrap() {
+            Response::Welcome { node_id, .. } => node_id,
+            other => panic!("expected Welcome, got {other:?}"),
+        };
+        assert_eq!((id_of(&mut a), id_of(&mut b)), (1, 2));
+        handle.simulate_crash();
+        join.join().unwrap();
+    }
+
+    let (addr, handle, join) = spawn(config(Some(journal_path)));
+    let recovery = handle.recovery().unwrap();
+    assert_eq!(recovery.orphaned_sessions, vec![1, 2]);
+    assert_eq!(recovery.next_node, 3, "burned ids stay burned");
+
+    let mut c = Client::connect(&addr).unwrap();
+    match c.call(&Request::Hello).unwrap() {
+        Response::Welcome { node_id, budget_w } => {
+            assert_eq!(node_id, 3, "a restarted server never reuses a journaled node id");
+            assert!((budget_w - 90.0).abs() < 1e-12, "sole live session owns the whole cap");
+        }
+        other => panic!("expected Welcome, got {other:?}"),
+    }
+    assert_eq!(handle.budget_conservation_error_w(), 0.0);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn divergent_journal_is_a_typed_bind_error() {
+    let dir = scratch("divergent");
+    let journal_path = dir.join("serve.journal");
+    // A well-formed line whose recorded epoch cannot be recomputed: replay
+    // must refuse with a typed error, not guess at budgets.
+    let (journal, _) = Journal::open(&journal_path).unwrap();
+    journal.append(&JournalEntry::Admit { node_id: 1, epoch: 42 }).unwrap();
+    drop(journal);
+
+    match Server::bind(config(Some(journal_path)), model()) {
+        Err(ServeError::Journal(detail)) => {
+            assert!(detail.contains("diverged"), "unhelpful detail: {detail}");
+        }
+        Ok(_) => panic!("bind accepted a divergent journal"),
+        Err(other) => panic!("expected ServeError::Journal, got {other}"),
+    }
+}
+
+#[test]
+fn crash_during_phase_two_recovers_again() {
+    // Two consecutive crashes against the same journal: recovery composes.
+    let dir = scratch("twice");
+    let journal_path = dir.join("serve.journal");
+    let stream = request_stream();
+    let third = stream.len() / 3;
+
+    let reference = {
+        let (addr, handle, join) = spawn(config(None));
+        let mut client = Client::connect(&addr).unwrap();
+        let log = drive(&mut client, &stream);
+        handle.shutdown();
+        join.join().unwrap();
+        log
+    };
+
+    let mut log = Vec::new();
+    for (phase, range) in
+        [&stream[..third], &stream[third..2 * third], &stream[2 * third..]].iter().enumerate()
+    {
+        let (addr, handle, join) = spawn(config(Some(journal_path.clone())));
+        let mut client = Client::connect(&addr).unwrap();
+        log.extend(drive(&mut client, range));
+        if phase < 2 {
+            handle.simulate_crash();
+        } else {
+            handle.shutdown();
+        }
+        join.join().unwrap();
+    }
+    assert_eq!(log, reference, "double recovery still replays byte-identically");
+}

@@ -62,7 +62,7 @@ fn hello_select_run_stats_bye() {
         other => panic!("expected Selected, got {other:?}"),
     }
 
-    match client.call(&Request::Run { kernel_id: id.clone(), iterations: 3 }).unwrap() {
+    match client.call(&Request::Run { kernel_id: id.clone(), iterations: 3, idem: None }).unwrap() {
         Response::Ran { kernel_id, iterations, avg_power_w, total_time_s, tier, .. } => {
             assert_eq!(&kernel_id, id);
             assert_eq!(iterations, 3);
