@@ -253,13 +253,13 @@ fn run_chaos_smoke(model: TrainedModel) -> ChaosSmokeResult {
     // session's remaining allotment. Delays are harmless to completion
     // and carry most of the injection volume.
     let plan = ChaosPlan {
-        seed: acs_bench::EXPERIMENT_SEED,
         disconnect_p: 0.002,
         tear_p: 0.002,
         corrupt_p: 0.001,
         delay_p: 0.03,
         delay_ms: 1,
         dup_p: 0.0, // a dup desyncs the closed-loop loadgen's log pairing
+        ..ChaosPlan::quiet(acs_bench::EXPERIMENT_SEED)
     };
     let proxy = ChaosProxy::bind("127.0.0.1:0", &addr, plan).expect("proxy bind");
     let proxy_addr = proxy.local_addr().to_string();

@@ -69,13 +69,13 @@ fn resilient_client_finishes_a_run_sequence_under_chaos() {
     // certainty. No corruption: a corrupted *request* is a typed
     // permanent failure, not a retriable transient.
     let plan = ChaosPlan {
-        seed: 11,
         disconnect_p: 0.15,
         tear_p: 0.10,
         corrupt_p: 0.0,
         delay_p: 0.10,
         delay_ms: 2,
         dup_p: 0.0,
+        ..ChaosPlan::quiet(11)
     };
     let proxy = ChaosProxy::bind("127.0.0.1:0", &addr, plan).unwrap();
     let proxy_addr = proxy.local_addr().to_string();

@@ -81,16 +81,32 @@ COMMANDS:
         [--max-batch N] [--seed N]        via the arbiter, prints the bound
         [--timeline-cap N]                address (--port 0 = ephemeral), and
         [--journal FILE]                  serves until SIGINT or a Shutdown
-                                          poison request; --journal makes
-                                          admissions/budgets/cache keys durable
-                                          so a restart resumes where a crash
-                                          stopped (DESIGN.md §12)
+        [--journal-sync true]             poison request; --journal makes
+        [--coordinator HOST:PORT]         admissions/budgets/cache keys durable
+        [--shard-id N] [--renew-ms MS]    so a restart resumes where a crash
+        [--lease-floor W]                 stopped (DESIGN.md §12);
+                                          --journal-sync upgrades appends to
+                                          fdatasync; --coordinator turns the
+                                          server into a fleet shard that leases
+                                          its cap (--global-cap becomes its
+                                          demand, --lease-floor its degraded-
+                                          mode reserve; DESIGN.md §13)
+  coordinator [--host H] [--port P]       fleet power coordinator: owns the
+              [--cap W] [--floor W]       global budget and leases time-bounded
+              [--policy equal|demand]     slices to shards; silent shards decay
+              [--ttl-ticks N]             to the floor encumbrance and are
+              [--tick-ms MS]              re-adopted on return; --journal makes
+              [--journal FILE]            every grant/renew/revoke durable so a
+              [--journal-sync true]       SIGKILLed coordinator replays to the
+                                          exact lease table (DESIGN.md §13)
   chaosproxy --upstream HOST:PORT         seeded fault-injecting TCP proxy in
              [--listen HOST:PORT]         front of the server: tears frames,
              [--chaos-seed N]             corrupts bytes, delays, duplicates,
-             [--disconnect P] [--tear P]  and disconnects mid-batch, each with
-             [--corrupt P] [--delay P]    its own probability (defaults are
-             [--delay-ms MS] [--dup P]    mild; 0 disables a fault)
+             [--disconnect P] [--tear P]  disconnects mid-batch, and opens
+             [--corrupt P] [--delay P]    bidirectional partition windows,
+             [--delay-ms MS] [--dup P]    each with its own probability
+             [--partition P]              (defaults are mild; 0 disables a
+             [--partition-ms MS]          fault)
   loadgen --addr HOST:PORT                seeded closed-loop load generator:
           [--requests N] [--seed N]       drives the selection server, prints
           [--sessions N] [--run-every N]  throughput/latency and the server's
@@ -112,6 +128,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "chaos" => cmd_chaos(args, out),
         "verify" => cmd_verify(args, out),
         "serve" => cmd_serve(args, out),
+        "coordinator" => cmd_coordinator(args, out),
         "chaosproxy" => cmd_chaosproxy(args, out),
         "loadgen" => cmd_loadgen(args, out),
         "help" => {
@@ -526,6 +543,14 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         max_batch: args.get_or("max-batch", 256)?,
         timeline_capacity: args.get_or("timeline-cap", 4096)?,
         journal: args.get("journal").map(std::path::PathBuf::from),
+        journal_sync: args.get_or("journal-sync", false)?,
+        coordinator: args.get("coordinator").map(str::to_string),
+        shard_id: match args.get("shard-id") {
+            Some(_) => Some(args.require_parsed("shard-id")?),
+            None => None,
+        },
+        lease_floor_w: args.get_or("lease-floor", 5.0)?,
+        renew_ms: args.get_or("renew-ms", 200)?,
     };
     let model = serve_model(args)?;
     let server = Server::bind(config, model).map_err(|e| CliError::Domain(e.to_string()))?;
@@ -547,6 +572,50 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     server.run().map_err(|e| CliError::Domain(e.to_string()))
 }
 
+fn cmd_coordinator(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use acs_serve::{Coordinator, CoordinatorConfig};
+
+    let global_cap_w: f64 = args.get_or("cap", 120.0)?;
+    if global_cap_w.is_nan() || global_cap_w <= 0.0 {
+        return Err(CliError::Domain(format!(
+            "--cap must be a positive wattage, got {global_cap_w}"
+        )));
+    }
+    let floor_w: f64 = args.get_or("floor", 5.0)?;
+    if !(floor_w > 0.0 && floor_w < global_cap_w) {
+        return Err(CliError::Domain(format!(
+            "--floor must be in (0, cap), got {floor_w} against cap {global_cap_w}"
+        )));
+    }
+    let config = CoordinatorConfig {
+        host: args.get("host").unwrap_or("127.0.0.1").to_string(),
+        port: args.get_or("port", 4015)?,
+        global_cap_w,
+        policy: args.get("policy").unwrap_or("demand").parse().map_err(CliError::Domain)?,
+        ttl_ticks: args.get_or("ttl-ticks", 20)?,
+        tick_ms: args.get_or("tick-ms", 50)?,
+        floor_w,
+        journal: args.get("journal").map(std::path::PathBuf::from),
+        journal_sync: args.get_or("journal-sync", false)?,
+    };
+    let coordinator = Coordinator::bind(config).map_err(|e| CliError::Domain(e.to_string()))?;
+    // Both lines are a contract: `--port 0` callers parse the address, and
+    // `bench_fleet` parses the `recovered:` line after a restart.
+    if let Some(recovery) = coordinator.handle().recovery() {
+        writeln!(
+            out,
+            "recovered: {} entries replayed, {} live lease(s), {} encumbered",
+            recovery.replayed,
+            recovery.live_leases.len(),
+            recovery.encumbered_leases.len()
+        )
+        .map_err(io_err)?;
+    }
+    writeln!(out, "listening on {}", coordinator.local_addr()).map_err(io_err)?;
+    out.flush().map_err(io_err)?;
+    coordinator.run().map_err(|e| CliError::Domain(e.to_string()))
+}
+
 fn cmd_chaosproxy(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     use acs_serve::{ChaosPlan, ChaosProxy};
 
@@ -560,6 +629,8 @@ fn cmd_chaosproxy(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         delay_p: args.get_or("delay", ChaosPlan::default().delay_p)?,
         delay_ms: args.get_or("delay-ms", ChaosPlan::default().delay_ms)?,
         dup_p: args.get_or("dup", ChaosPlan::default().dup_p)?,
+        partition_p: args.get_or("partition", ChaosPlan::default().partition_p)?,
+        partition_ms: args.get_or("partition-ms", ChaosPlan::default().partition_ms)?,
     };
     let proxy =
         ChaosProxy::bind(&listen, &upstream, plan).map_err(|e| CliError::Domain(e.to_string()))?;

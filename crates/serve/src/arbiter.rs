@@ -27,6 +27,28 @@ use std::collections::BTreeMap;
 /// Minimum budget change, W, that counts as a reshuffle.
 const RESHUFFLE_EPS_W: f64 = 1e-9;
 
+/// Fold the floating-point remainder of a split onto the first share so
+/// the shares sum back to `target` *exactly*. f64 splits do not sum back
+/// to the target in general (`cap/n * n ≠ cap`), and the drift compounds
+/// across rebalances into a violated conservation invariant. Each fold
+/// re-rounds, so iterate until the re-summed total lands exactly on the
+/// target (one or two passes in practice; the bound guards the
+/// pathological case where the remainder is below one ulp of the first
+/// share and the fold cannot make progress). Shared by the per-process
+/// arbiter and the fleet lease table — both conservation gates ride on it.
+pub(crate) fn fold_exact_sum(target: f64, shares: &mut [f64]) {
+    if shares.is_empty() {
+        return;
+    }
+    for _ in 0..4 {
+        let residual = target - shares.iter().sum::<f64>();
+        if residual == 0.0 {
+            break;
+        }
+        shares[0] += residual;
+    }
+}
+
 /// How the global cap is split across nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ArbiterPolicy {
@@ -86,6 +108,20 @@ impl Arbiter {
     /// The global cap, W.
     pub fn global_cap_w(&self) -> f64 {
         self.global_cap_w
+    }
+
+    /// Replace the global cap and re-partition. This is the lease binding:
+    /// a shard's arbiter runs *inside* its coordinator lease, so a granted,
+    /// renewed, or degraded lease budget lands here and every session picks
+    /// the reshuffle up through the epoch counter. Non-positive or
+    /// non-finite caps are ignored (a lease can shrink, never vanish), and
+    /// an unchanged cap does not bump the epoch.
+    pub fn set_global_cap(&mut self, cap_w: f64) {
+        if !cap_w.is_finite() || cap_w <= 0.0 || cap_w == self.global_cap_w {
+            return;
+        }
+        self.global_cap_w = cap_w;
+        self.rebalance();
     }
 
     /// The active policy.
@@ -198,21 +234,9 @@ impl Arbiter {
                 }
             }
         };
-        // f64 splits do not sum back to the cap exactly (`cap/n * n ≠ cap`
-        // in general), and the drift compounds across rebalances into a
-        // violated conservation invariant. Fold the rounding remainder
-        // onto the lowest node id — deterministic, and at most a few ulp.
-        // Each fold re-rounds, so iterate until the re-summed total lands
-        // exactly on the cap (one or two passes in practice; the bound
-        // guards the pathological case where the remainder is below one
-        // ulp of the first share and the fold cannot make progress).
-        for _ in 0..4 {
-            let residual = self.global_cap_w - shares.iter().sum::<f64>();
-            if residual == 0.0 {
-                break;
-            }
-            shares[0] += residual;
-        }
+        // Fold the rounding remainder onto the lowest node id —
+        // deterministic, and at most a few ulp.
+        fold_exact_sum(self.global_cap_w, &mut shares);
         let mut changed = false;
         for (state, share) in self.nodes.values_mut().zip(shares) {
             if (state.budget_w - share).abs() > RESHUFFLE_EPS_W {
@@ -360,6 +384,28 @@ mod tests {
         let r = a.rebalances();
         a.report(1, 25.0);
         assert!(a.rebalances() > r, "a demand swing must count as a rebalance");
+    }
+
+    #[test]
+    fn set_global_cap_rebalances_exactly() {
+        let mut a = Arbiter::new(100.0, ArbiterPolicy::DemandProportional);
+        for id in 0..3 {
+            a.join(id);
+        }
+        let e = a.epoch();
+        a.set_global_cap(61.3);
+        assert!(a.epoch() > e, "a real cap change is a reshuffle");
+        assert_eq!(a.global_cap_w(), 61.3);
+        assert_eq!(a.budget_sum_w(), 61.3);
+        assert_eq!(a.conservation_error_w(), 0.0);
+        // Unchanged, non-positive, and non-finite caps are all ignored.
+        let e = a.epoch();
+        a.set_global_cap(61.3);
+        a.set_global_cap(0.0);
+        a.set_global_cap(-4.0);
+        a.set_global_cap(f64::NAN);
+        assert_eq!(a.epoch(), e);
+        assert_eq!(a.global_cap_w(), 61.3);
     }
 
     #[test]

@@ -17,10 +17,17 @@
 //! - **delay**: hold the frame for `delay_ms` before forwarding,
 //! - **duplicate**: forward the frame twice (the server answers twice;
 //!   a naive closed-loop client desyncs, which is the point),
+//! - **partition**: open a proxy-wide blackhole window for
+//!   `partition_ms`: both directions silently swallow bytes while every
+//!   connection *stays open* — the network-partition shape (distinct from
+//!   disconnect, which the peer observes immediately as EOF). Lease
+//!   renewals crossing the window time out, which is what drives a shard
+//!   into degraded mode.
 //!
 //! or forward it untouched. The server→client direction is a transparent
-//! byte pump: the contract under test is the *server's* hardening, and
-//! asymmetric injection keeps every fault attributable.
+//! byte pump (except during a partition window): the contract under test
+//! is the *server's* hardening, and asymmetric injection keeps every
+//! fault attributable.
 //!
 //! The hardening contract (checked by `tests/chaosproxy.rs` and the
 //! `bench_recovery` smoke): every injected fault maps to a typed
@@ -34,7 +41,7 @@ use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Accept-loop poll interval, matching the server's.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
@@ -61,6 +68,11 @@ pub struct ChaosPlan {
     pub delay_ms: u64,
     /// P(forward the frame twice).
     pub dup_p: f64,
+    /// P(open a proxy-wide partition window: both directions blackhole
+    /// for `partition_ms` while connections stay open).
+    pub partition_p: f64,
+    /// Partition-window length, ms.
+    pub partition_ms: u64,
 }
 
 impl Default for ChaosPlan {
@@ -73,6 +85,8 @@ impl Default for ChaosPlan {
             delay_p: 0.05,
             delay_ms: 20,
             dup_p: 0.02,
+            partition_p: 0.0,
+            partition_ms: 0,
         }
     }
 }
@@ -88,6 +102,8 @@ impl ChaosPlan {
             delay_p: 0.0,
             dup_p: 0.0,
             delay_ms: 0,
+            partition_p: 0.0,
+            partition_ms: 0,
         }
     }
 
@@ -99,6 +115,7 @@ impl ChaosPlan {
             ("corrupt", self.corrupt_p),
             ("delay", self.delay_p),
             ("dup", self.dup_p),
+            ("partition", self.partition_p),
         ];
         for (name, p) in ps {
             if !(0.0..=1.0).contains(&p) {
@@ -132,12 +149,22 @@ pub struct ChaosStats {
     pub delayed: u64,
     /// Duplicated frames injected.
     pub duplicated: u64,
+    /// Partition windows opened.
+    pub partitions: u64,
+    /// Frames and byte chunks silently swallowed inside partition windows.
+    pub blackholed: u64,
 }
 
 impl ChaosStats {
-    /// Total faults injected.
+    /// Total faults injected (blackholed traffic is a consequence of a
+    /// partition window, not a separate injection).
     pub fn faults(&self) -> u64 {
-        self.disconnects + self.torn + self.corrupted + self.delayed + self.duplicated
+        self.disconnects
+            + self.torn
+            + self.corrupted
+            + self.delayed
+            + self.duplicated
+            + self.partitions
     }
 }
 
@@ -145,6 +172,12 @@ struct ProxyShared {
     upstream: String,
     plan: ChaosPlan,
     shutdown: AtomicBool,
+    /// When the proxy started; partition deadlines are ms since this.
+    started: Instant,
+    /// End of the current partition window, ms since `started` (0 = none).
+    /// Proxy-wide on purpose: a network partition severs every connection
+    /// crossing it at once, not one frame stream.
+    partition_until_ms: AtomicU64,
     connections: AtomicU64,
     frames: AtomicU64,
     forwarded: AtomicU64,
@@ -153,6 +186,23 @@ struct ProxyShared {
     corrupted: AtomicU64,
     delayed: AtomicU64,
     duplicated: AtomicU64,
+    partitions: AtomicU64,
+    blackholed: AtomicU64,
+}
+
+impl ProxyShared {
+    /// Whether a partition window is currently open.
+    fn partition_active(&self) -> bool {
+        let now_ms = self.started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
+        now_ms < self.partition_until_ms.load(Ordering::SeqCst)
+    }
+
+    /// Open (or extend) a partition window of `ms` from now.
+    fn open_partition(&self, ms: u64) {
+        let now_ms = self.started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
+        self.partition_until_ms.fetch_max(now_ms.saturating_add(ms), Ordering::SeqCst);
+        self.partitions.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Observe and stop a running proxy from another thread.
@@ -179,7 +229,20 @@ impl ChaosProxyHandle {
             corrupted: s.corrupted.load(Ordering::Relaxed),
             delayed: s.delayed.load(Ordering::Relaxed),
             duplicated: s.duplicated.load(Ordering::Relaxed),
+            partitions: s.partitions.load(Ordering::Relaxed),
+            blackholed: s.blackholed.load(Ordering::Relaxed),
         }
+    }
+
+    /// Force a partition window of `ms` open right now (the benches and
+    /// tests use this for a deterministic partition instead of a roll).
+    pub fn partition(&self, ms: u64) {
+        self.shared.open_partition(ms);
+    }
+
+    /// Whether a partition window is currently open.
+    pub fn partition_active(&self) -> bool {
+        self.shared.partition_active()
     }
 }
 
@@ -208,6 +271,8 @@ impl ChaosProxy {
                 upstream: upstream.to_string(),
                 plan,
                 shutdown: AtomicBool::new(false),
+                started: Instant::now(),
+                partition_until_ms: AtomicU64::new(0),
                 connections: AtomicU64::new(0),
                 frames: AtomicU64::new(0),
                 forwarded: AtomicU64::new(0),
@@ -216,6 +281,8 @@ impl ChaosProxy {
                 corrupted: AtomicU64::new(0),
                 delayed: AtomicU64::new(0),
                 duplicated: AtomicU64::new(0),
+                partitions: AtomicU64::new(0),
+                blackholed: AtomicU64::new(0),
             }),
         })
     }
@@ -309,6 +376,13 @@ fn pump_bytes(mut from: TcpStream, mut to: TcpStream, shared: &ProxyShared) {
         match from.read(&mut buf) {
             Ok(0) => break,
             Ok(n) => {
+                // Inside a partition window the bytes vanish: the sender
+                // saw a successful write, the receiver sees silence, and
+                // the connection stays open — unlike a disconnect.
+                if shared.partition_active() {
+                    shared.blackholed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
                 if to.write_all(&buf[..n]).is_err() {
                     break;
                 }
@@ -393,8 +467,22 @@ fn inject_frames(
             continue;
         }
 
+        // A frame arriving inside a partition window is swallowed whole —
+        // no fault roll, no forwarding, connection intact.
+        if shared.partition_active() {
+            shared.blackholed.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+
         let roll = next_f64(&mut rng);
-        let mut edge = plan.disconnect_p;
+        let mut edge = plan.partition_p;
+        if roll < edge {
+            // Open the window and swallow the triggering frame with it.
+            shared.open_partition(plan.partition_ms);
+            shared.blackholed.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        edge += plan.disconnect_p;
         if roll < edge {
             shared.disconnects.fetch_add(1, Ordering::Relaxed);
             close_both(&server);
@@ -493,7 +581,51 @@ mod tests {
             corrupted: 1,
             delayed: 1,
             duplicated: 1,
+            partitions: 1,
+            blackholed: 3,
         };
-        assert_eq!(s.faults(), 5);
+        assert_eq!(s.faults(), 6);
+    }
+
+    #[test]
+    fn partition_probability_participates_in_validation() {
+        let plan = ChaosPlan { partition_p: 1.5, ..ChaosPlan::quiet(1) };
+        assert!(plan.validate().unwrap_err().contains("partition"));
+        let plan =
+            ChaosPlan { disconnect_p: 0.5, tear_p: 0.3, partition_p: 0.3, ..ChaosPlan::quiet(1) };
+        assert!(plan.validate().unwrap_err().contains("sum"));
+    }
+
+    #[test]
+    fn partition_windows_open_extend_and_close() {
+        let shared = ProxyShared {
+            upstream: String::new(),
+            plan: ChaosPlan::quiet(1),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            partition_until_ms: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            forwarded: AtomicU64::new(0),
+            disconnects: AtomicU64::new(0),
+            torn: AtomicU64::new(0),
+            corrupted: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+            partitions: AtomicU64::new(0),
+            blackholed: AtomicU64::new(0),
+        };
+        assert!(!shared.partition_active());
+        shared.open_partition(60_000);
+        assert!(shared.partition_active());
+        assert_eq!(shared.partitions.load(Ordering::Relaxed), 1);
+        // A second window only ever extends the deadline.
+        let before = shared.partition_until_ms.load(Ordering::SeqCst);
+        shared.open_partition(1);
+        assert!(shared.partition_until_ms.load(Ordering::SeqCst) >= before);
+        // Forcing the deadline into the past closes the window.
+        shared.partition_until_ms.store(1, Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(!shared.partition_active());
     }
 }

@@ -1,0 +1,647 @@
+//! The `acs coordinator` process: owner of the fleet power budget.
+//!
+//! One coordinator serves many `acs serve` shards. Shards acquire
+//! time-bounded leases on slices of the global cap over the same
+//! length-prefixed JSON transport the selection protocol uses
+//! ([`CoordRequest`]/[`CoordResponse`]); the lease state machine itself —
+//! grant, renew, expiry, encumbrance, fencing — lives in [`crate::lease`]
+//! and is pure, so this module is only plumbing: the listener, the
+//! logical clock, and the journal.
+//!
+//! ## Clock
+//!
+//! Lease expiry is defined in *logical ticks*; the coordinator maps them
+//! to wall clock as `tick = base + elapsed_ms / tick_ms`. `base` resumes
+//! from the replayed journal's last recorded tick, so a restarted
+//! coordinator never steps time backwards (leases that should have
+//! expired during the outage expire on the first operation after
+//! restart, not retroactively mid-replay).
+//!
+//! ## Crash failover
+//!
+//! Every applied grant/renew/release/revoke is journaled *under the
+//! table lock* with the tick it was applied at and the post-op epoch
+//! (the same PR 5 journal: CRC framing, torn-tail truncation, optional
+//! `--journal-sync` durability). A SIGKILLed coordinator therefore
+//! replays to the exact lease table and **re-adopts** still-live shards:
+//! their fences survive, so their next renewal just works, and a
+//! re-lease after a partition lands on the same lease id instead of a
+//! double grant. There is nothing to skip on crash — unlike sessions,
+//! leases are *supposed* to outlive the process.
+
+use crate::journal::Journal;
+use crate::lease::{
+    replay_coordinator, CoordJournalEntry, CoordRecovery, CoordRequest, CoordResponse, CoordStats,
+    LeaseTable,
+};
+use crate::protocol::{read_frame, write_frame, ProtocolError, ReadOutcome};
+use crate::server::{sig, ServeError};
+use crate::ArbiterPolicy;
+use parking_lot::Mutex;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Per-connection read timeout; bounds how long a connection takes to
+/// observe the shutdown flag.
+const CONN_READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Interface to bind.
+    pub host: String,
+    /// Port to bind; `0` asks the OS for an ephemeral port.
+    pub port: u16,
+    /// The fleet-wide power cap, W.
+    pub global_cap_w: f64,
+    /// How lease targets split the pool (equal, or demand-proportional).
+    pub policy: ArbiterPolicy,
+    /// Lease TTL in logical ticks.
+    pub ttl_ticks: u64,
+    /// Wall-clock milliseconds per logical tick.
+    pub tick_ms: u64,
+    /// Degraded-mode floor, W: what an expired lease stays encumbered at,
+    /// and what its silent shard clamps itself to.
+    pub floor_w: f64,
+    /// Lease-journal path. `Some` makes every grant/renew/release/revoke
+    /// durable: a restarted coordinator replays to the exact lease table
+    /// and re-adopts still-live shards.
+    pub journal: Option<std::path::PathBuf>,
+    /// `sync_data` every journal append (the `--journal-sync` trade-off:
+    /// the tail survives machine power loss, at a disk round trip per
+    /// append).
+    pub journal_sync: bool,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        Self {
+            host: "127.0.0.1".into(),
+            port: 0,
+            global_cap_w: 120.0,
+            policy: ArbiterPolicy::DemandProportional,
+            ttl_ticks: 20,
+            tick_ms: 50,
+            floor_w: 5.0,
+            journal: None,
+            journal_sync: false,
+        }
+    }
+}
+
+impl CoordinatorConfig {
+    /// The lease TTL in wall-clock milliseconds (what `Granted` carries
+    /// so shards can run their own expiry clocks).
+    pub fn ttl_ms(&self) -> u64 {
+        self.ttl_ticks * self.tick_ms
+    }
+}
+
+/// State shared by the accept loop and every connection.
+struct CoordShared {
+    config: CoordinatorConfig,
+    table: Mutex<LeaseTable>,
+    journal: Option<Arc<Journal<CoordJournalEntry>>>,
+    recovery: Option<CoordRecovery>,
+    shutdown: AtomicBool,
+    started: Instant,
+    base_tick: u64,
+}
+
+impl CoordShared {
+    /// The current logical tick (never behind the replayed journal).
+    fn now_tick(&self) -> u64 {
+        self.base_tick + self.started.elapsed().as_millis() as u64 / self.config.tick_ms.max(1)
+    }
+
+    /// Best-effort journal append (mirrors the serve shard: append
+    /// failures degrade durability, not availability).
+    fn journal_append(&self, entry: &CoordJournalEntry) {
+        if let Some(journal) = &self.journal {
+            let _ = journal.append(entry);
+        }
+    }
+
+    fn stats(&self) -> CoordStats {
+        let table = self.table.lock();
+        CoordStats {
+            tick: table.tick(),
+            epoch: table.epoch(),
+            global_cap_w: table.global_cap_w(),
+            floor_w: table.floor_w(),
+            live_leases: table.live_ids().len() as u64,
+            encumbered_leases: table.encumbered_ids().len() as u64,
+            live_committed_w: table.live_committed_w(),
+            encumbered_w: table.encumbered_w(),
+            pool_w: table.pool_w(),
+            overshoot_w: table.overshoot_w(),
+            grants: table.grants(),
+            renews: table.renews(),
+            expirations: table.expirations(),
+            revocations: table.revocations(),
+            journal_appends: self.journal.as_ref().map_or(0, |j| j.appended_entries()),
+            journal_replayed: self.recovery.as_ref().map_or(0, |r| r.replayed),
+        }
+    }
+}
+
+/// A cheap handle for observing and stopping a running coordinator.
+#[derive(Clone)]
+pub struct CoordinatorHandle {
+    shared: Arc<CoordShared>,
+}
+
+impl CoordinatorHandle {
+    /// Request shutdown; the accept loop and connections drain within
+    /// their next poll interval.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Die abruptly. For the coordinator this is the same as shutdown —
+    /// every applied operation was already journaled under the table
+    /// lock, so there is no clean-exit bookkeeping for a crash to skip;
+    /// the alias exists so kill-and-restart tests read like the serve
+    /// shard's.
+    pub fn simulate_crash(&self) {
+        self.shutdown();
+    }
+
+    /// A coordinator metrics snapshot.
+    pub fn stats(&self) -> CoordStats {
+        self.shared.stats()
+    }
+
+    /// The conservation gate: live commitments above the pool, W. Must be
+    /// exactly zero at every observable instant.
+    pub fn overshoot_w(&self) -> f64 {
+        self.shared.table.lock().overshoot_w()
+    }
+
+    /// Everything the fleet could be drawing per the lease table, W
+    /// (live commitments plus encumbered reserves); never above the cap.
+    pub fn fleet_committed_w(&self) -> f64 {
+        self.shared.table.lock().fleet_committed_w()
+    }
+
+    /// What journal replay reconstructed at bind time, if a journal was
+    /// configured.
+    pub fn recovery(&self) -> Option<CoordRecovery> {
+        self.shared.recovery.clone()
+    }
+}
+
+/// A bound, not-yet-running coordinator.
+pub struct Coordinator {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<CoordShared>,
+}
+
+impl Coordinator {
+    /// Bind the configured address, replaying the lease journal if one is
+    /// configured. Divergent journals are a typed bind error, never a
+    /// guess at who holds which watts.
+    pub fn bind(config: CoordinatorConfig) -> Result<Self, ServeError> {
+        let requested = format!("{}:{}", config.host, config.port);
+        let listener = TcpListener::bind(&requested)
+            .map_err(|e| ServeError::Bind { addr: requested.clone(), detail: e.to_string() })?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Bind { addr: requested, detail: e.to_string() })?;
+        listener.set_nonblocking(true).map_err(|e| ServeError::Io(e.to_string()))?;
+
+        let (journal, recovery, table) = match &config.journal {
+            Some(path) => {
+                let (journal, entries) = Journal::open_with_sync(path, config.journal_sync)
+                    .map_err(|e| ServeError::Journal(e.to_string()))?;
+                let (table, recovery) = replay_coordinator(
+                    &entries,
+                    config.global_cap_w,
+                    config.policy,
+                    config.ttl_ticks,
+                    config.floor_w,
+                )
+                .map_err(|e| ServeError::Journal(e.to_string()))?;
+                (Some(Arc::new(journal)), Some(recovery), table)
+            }
+            None => (
+                None,
+                None,
+                LeaseTable::new(
+                    config.global_cap_w,
+                    config.policy,
+                    config.ttl_ticks,
+                    config.floor_w,
+                ),
+            ),
+        };
+        let base_tick = table.tick();
+        let shared = Arc::new(CoordShared {
+            config,
+            table: Mutex::new(table),
+            journal,
+            recovery,
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            base_tick,
+        });
+        Ok(Self { listener, addr, shared })
+    }
+
+    /// The address actually bound (resolves `--port 0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle usable from other threads while [`run`](Self::run) blocks.
+    pub fn handle(&self) -> CoordinatorHandle {
+        CoordinatorHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Serve until SIGINT or a `Shutdown` request, then drain.
+    pub fn run(self) -> Result<(), ServeError> {
+        sig::install();
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if sig::pending() {
+                self.shared.shutdown.store(true, Ordering::SeqCst);
+            }
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    conns.push(std::thread::spawn(move || run_conn(shared, stream)));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(ServeError::Io(e.to_string())),
+            }
+        }
+        for handle in conns {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+/// One shard (or operator) connection.
+fn run_conn(shared: Arc<CoordShared>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(CONN_READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let request = match read_frame::<_, CoordRequest>(&mut stream) {
+            Ok(ReadOutcome::Frame(req)) => req,
+            Ok(ReadOutcome::Idle) => continue,
+            Ok(ReadOutcome::Eof) => break,
+            Err(err) => {
+                let _ = write_frame(
+                    &mut stream,
+                    &CoordResponse::Error { code: err.code().into(), detail: err.to_string() },
+                );
+                break;
+            }
+        };
+        let (response, done) = handle_request(&shared, request);
+        if write_frame(&mut stream, &response).is_err() {
+            break;
+        }
+        if done {
+            break;
+        }
+    }
+}
+
+/// Serve one request. Every mutation advances the logical clock, applies
+/// the operation, and journals it — all under the table lock, so the
+/// recorded tick and epoch are exactly the ones the operation produced.
+fn handle_request(shared: &CoordShared, request: CoordRequest) -> (CoordResponse, bool) {
+    match request {
+        CoordRequest::Lease { shard_id, demand_w } => {
+            // Sanitize before journaling: the entry must hold the value
+            // grant() actually used (and NaN does not survive JSON).
+            let demand_w = if demand_w.is_finite() { demand_w.max(0.0) } else { 0.0 };
+            let mut table = shared.table.lock();
+            table.advance_to(shared.now_tick());
+            match table.grant(shard_id, demand_w) {
+                Ok(o) => {
+                    shared.journal_append(&CoordJournalEntry::Grant {
+                        lease_id: o.lease_id,
+                        shard_id: o.shard_id,
+                        demand_w,
+                        tick: table.tick(),
+                        epoch: o.epoch,
+                    });
+                    (
+                        CoordResponse::Granted {
+                            lease_id: o.lease_id,
+                            shard_id: o.shard_id,
+                            epoch: o.epoch,
+                            budget_w: o.budget_w,
+                            expires_tick: o.expires_tick,
+                            ttl_ms: shared.config.ttl_ms(),
+                        },
+                        false,
+                    )
+                }
+                Err(e) => (
+                    CoordResponse::Rejected { code: e.code().into(), detail: e.to_string() },
+                    false,
+                ),
+            }
+        }
+        CoordRequest::Renew { lease_id, epoch, demand_w } => {
+            let demand_w = if demand_w.is_finite() { demand_w.max(0.0) } else { 0.0 };
+            let mut table = shared.table.lock();
+            table.advance_to(shared.now_tick());
+            match table.renew(lease_id, epoch, demand_w) {
+                Ok(o) => {
+                    shared.journal_append(&CoordJournalEntry::Renew {
+                        lease_id,
+                        demand_w,
+                        tick: table.tick(),
+                        epoch: o.epoch,
+                    });
+                    (
+                        CoordResponse::Renewed {
+                            lease_id,
+                            epoch: o.epoch,
+                            budget_w: o.budget_w,
+                            expires_tick: o.expires_tick,
+                        },
+                        false,
+                    )
+                }
+                Err(e) => (
+                    CoordResponse::Rejected { code: e.code().into(), detail: e.to_string() },
+                    false,
+                ),
+            }
+        }
+        CoordRequest::Release { lease_id } => {
+            let mut table = shared.table.lock();
+            table.advance_to(shared.now_tick());
+            match table.release(lease_id) {
+                Ok(()) => {
+                    shared.journal_append(&CoordJournalEntry::Release {
+                        lease_id,
+                        tick: table.tick(),
+                        epoch: table.epoch(),
+                    });
+                    (CoordResponse::Released, false)
+                }
+                Err(e) => (
+                    CoordResponse::Rejected { code: e.code().into(), detail: e.to_string() },
+                    false,
+                ),
+            }
+        }
+        CoordRequest::Revoke { lease_id } => {
+            let mut table = shared.table.lock();
+            table.advance_to(shared.now_tick());
+            match table.revoke(lease_id) {
+                Ok(()) => {
+                    shared.journal_append(&CoordJournalEntry::Revoke {
+                        lease_id,
+                        tick: table.tick(),
+                        epoch: table.epoch(),
+                    });
+                    (CoordResponse::Revoked, false)
+                }
+                Err(e) => (
+                    CoordResponse::Rejected { code: e.code().into(), detail: e.to_string() },
+                    false,
+                ),
+            }
+        }
+        CoordRequest::Stats => (CoordResponse::Stats(shared.stats()), false),
+        CoordRequest::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            (CoordResponse::ShuttingDown, true)
+        }
+    }
+}
+
+/// A blocking client for the coordinator protocol (the shard lease
+/// client, `acs coordinator --stats`, benches, tests).
+pub struct CoordClient {
+    stream: TcpStream,
+}
+
+impl CoordClient {
+    /// Connect to a coordinator.
+    pub fn connect(addr: &str) -> Result<Self, ProtocolError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Connect with a timeout on both the connect and later calls — the
+    /// lease client uses this so a partitioned coordinator surfaces as a
+    /// miss within one renewal interval, not a hung thread.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> Result<Self, ProtocolError> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Self { stream })
+    }
+
+    /// Send one request and wait for its response.
+    pub fn call(&mut self, request: &CoordRequest) -> Result<CoordResponse, ProtocolError> {
+        write_frame(&mut self.stream, request)?;
+        match read_frame(&mut self.stream)? {
+            ReadOutcome::Frame(resp) => Ok(resp),
+            ReadOutcome::Eof => Err(ProtocolError::Io(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "coordinator closed mid-call",
+            ))),
+            ReadOutcome::Idle => Err(ProtocolError::Io(std::io::Error::new(
+                ErrorKind::TimedOut,
+                "coordinator call timed out",
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(test: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("acs-coord-{test}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn spawn(
+        config: CoordinatorConfig,
+    ) -> (String, CoordinatorHandle, std::thread::JoinHandle<()>) {
+        let coord = Coordinator::bind(config).expect("bind succeeds");
+        let addr = coord.local_addr().to_string();
+        let handle = coord.handle();
+        let join = std::thread::spawn(move || coord.run().expect("coordinator runs"));
+        (addr, handle, join)
+    }
+
+    fn config(journal: Option<PathBuf>) -> CoordinatorConfig {
+        CoordinatorConfig {
+            global_cap_w: 100.0,
+            floor_w: 5.0,
+            // Slow ticks so nothing expires under the test.
+            tick_ms: 60_000,
+            ttl_ticks: 10,
+            journal,
+            ..CoordinatorConfig::default()
+        }
+    }
+
+    #[test]
+    fn grant_renew_release_over_the_wire() {
+        let (addr, handle, join) = spawn(config(None));
+        let mut c = CoordClient::connect(&addr).unwrap();
+
+        let (lease_id, epoch) =
+            match c.call(&CoordRequest::Lease { shard_id: None, demand_w: 10.0 }).unwrap() {
+                CoordResponse::Granted { lease_id, shard_id, epoch, budget_w, ttl_ms, .. } => {
+                    assert_eq!(shard_id, lease_id);
+                    assert_eq!(budget_w, 100.0, "sole shard owns the pool");
+                    assert_eq!(ttl_ms, 10 * 60_000);
+                    (lease_id, epoch)
+                }
+                other => panic!("expected Granted, got {other:?}"),
+            };
+
+        match c.call(&CoordRequest::Renew { lease_id, epoch, demand_w: 12.0 }).unwrap() {
+            CoordResponse::Renewed { budget_w, .. } => assert_eq!(budget_w, 100.0),
+            other => panic!("expected Renewed, got {other:?}"),
+        }
+
+        match c.call(&CoordRequest::Stats).unwrap() {
+            CoordResponse::Stats(s) => {
+                assert_eq!((s.live_leases, s.grants, s.renews), (1, 1, 1));
+                assert_eq!(s.overshoot_w, 0.0);
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+
+        match c.call(&CoordRequest::Release { lease_id }).unwrap() {
+            CoordResponse::Released => {}
+            other => panic!("expected Released, got {other:?}"),
+        }
+        match c.call(&CoordRequest::Renew { lease_id, epoch, demand_w: 0.0 }).unwrap() {
+            CoordResponse::Rejected { code, .. } => assert_eq!(code, "unknown-lease"),
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+
+        handle.shutdown();
+        join.join().unwrap();
+        assert_eq!(handle.fleet_committed_w(), 0.0);
+    }
+
+    #[test]
+    fn restart_replays_the_lease_table_and_readopts() {
+        let dir = scratch("restart");
+        let journal_path = dir.join("coord.journal");
+
+        let (lease_id, epoch) = {
+            let (addr, handle, join) = spawn(config(Some(journal_path.clone())));
+            let mut c = CoordClient::connect(&addr).unwrap();
+            let out = match c.call(&CoordRequest::Lease { shard_id: None, demand_w: 10.0 }).unwrap()
+            {
+                CoordResponse::Granted { lease_id, epoch, .. } => (lease_id, epoch),
+                other => panic!("expected Granted, got {other:?}"),
+            };
+            // Abrupt death: no Release, no drain.
+            handle.simulate_crash();
+            join.join().unwrap();
+            out
+        };
+
+        let (addr, handle, join) = spawn(config(Some(journal_path)));
+        let recovery = handle.recovery().expect("a journaled coordinator reports recovery");
+        assert_eq!(recovery.replayed, 1);
+        assert_eq!(recovery.live_leases, vec![lease_id]);
+        assert_eq!(handle.overshoot_w(), 0.0);
+
+        // The shard's fence survived the restart: its next renewal just
+        // works — no re-lease, no double grant.
+        let mut c = CoordClient::connect(&addr).unwrap();
+        match c.call(&CoordRequest::Renew { lease_id, epoch, demand_w: 10.0 }).unwrap() {
+            CoordResponse::Renewed { lease_id: id, .. } => assert_eq!(id, lease_id),
+            other => panic!("expected Renewed, got {other:?}"),
+        }
+        // And a full re-lease (e.g. the shard reconnected after a
+        // partition that outlived the coordinator) re-adopts the same id.
+        match c.call(&CoordRequest::Lease { shard_id: Some(lease_id), demand_w: 10.0 }).unwrap() {
+            CoordResponse::Granted { lease_id: id, .. } => assert_eq!(id, lease_id),
+            other => panic!("expected Granted, got {other:?}"),
+        }
+        match c.call(&CoordRequest::Stats).unwrap() {
+            CoordResponse::Stats(s) => {
+                assert_eq!(s.live_leases, 1, "re-adoption never duplicates a lease");
+                assert_eq!(s.journal_replayed, 1);
+                assert!(s.journal_appends >= 2, "the renewal and re-adoption were journaled");
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        handle.shutdown();
+        join.join().unwrap();
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn revoke_frees_a_dead_shards_encumbrance() {
+        // Fast ticks so the lease actually expires under the test.
+        let mut cfg = config(None);
+        cfg.tick_ms = 1;
+        cfg.ttl_ticks = 5;
+        let (addr, handle, join) = spawn(cfg);
+        let mut c = CoordClient::connect(&addr).unwrap();
+        let lease_id = match c.call(&CoordRequest::Lease { shard_id: None, demand_w: 0.0 }).unwrap()
+        {
+            CoordResponse::Granted { lease_id, .. } => lease_id,
+            other => panic!("expected Granted, got {other:?}"),
+        };
+        // Let the lease expire, then poke the clock with a Stats-adjacent
+        // mutation (a denied grant advances time too; Stats alone does not
+        // mutate, so drive an op).
+        std::thread::sleep(Duration::from_millis(20));
+        let _ = c.call(&CoordRequest::Lease { shard_id: None, demand_w: 0.0 });
+        match c.call(&CoordRequest::Stats).unwrap() {
+            CoordResponse::Stats(s) => {
+                assert!(s.encumbered_leases >= 1, "the silent shard is encumbered");
+                assert!(s.encumbered_w > 0.0);
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        match c.call(&CoordRequest::Revoke { lease_id }).unwrap() {
+            CoordResponse::Revoked => {}
+            other => panic!("expected Revoked, got {other:?}"),
+        }
+        match c.call(&CoordRequest::Stats).unwrap() {
+            CoordResponse::Stats(s) => {
+                assert_eq!(s.encumbered_w, 0.0, "revocation frees the reserve");
+                assert_eq!(s.revocations, 1);
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        handle.shutdown();
+        join.join().unwrap();
+    }
+}

@@ -29,11 +29,17 @@
 //! ## Durability
 //!
 //! Appends go straight to the OS (`File` is unbuffered) and are flushed,
-//! not fsynced: the journal survives process death — including SIGKILL,
-//! which is what the kill-and-restart e2e and `bench_recovery` exercise —
-//! while a whole-machine power loss may drop the OS-buffered tail, which
-//! the next open then cleanly truncates away. Per-entry fsync would put a
-//! disk round trip on every request; crash-only semantics do not need it.
+//! not fsynced, by default: the journal survives process death — including
+//! SIGKILL, which is what the kill-and-restart e2e and `bench_recovery`
+//! exercise — while a whole-machine power loss may drop the OS-buffered
+//! tail, which the next open then cleanly truncates away. Per-entry fsync
+//! would put a disk round trip on every request; crash-only semantics do
+//! not need it. For deployments where the crash window must also cover
+//! power loss, [`Journal::open_with_sync`] (the `--journal-sync` flag)
+//! upgrades every append batch to `File::sync_data`, trading a disk round
+//! trip per append for a zero-loss tail. Replay is byte-for-byte
+//! equivalent in both modes — sync changes *when* bytes are durable,
+//! never what is written.
 //!
 //! ## Replay verification
 //!
@@ -85,6 +91,17 @@ pub enum JournalEntry {
         /// The profiled kernel id.
         kernel_id: String,
     },
+    /// The shard's lease budget changed (grant, renewal, or degraded-mode
+    /// decay): the arbiter's *global cap* moved. Without this entry a
+    /// leased shard's journal could not replay — cap changes bump the
+    /// arbiter epoch between Admit/Report entries, and replay would
+    /// declare an [`JournalError::EpochDivergence`].
+    Cap {
+        /// The new shard-wide cap (the lease budget), W.
+        cap_w: f64,
+        /// Arbiter epoch after the cap change.
+        epoch: u64,
+    },
 }
 
 /// Typed journal failures.
@@ -111,6 +128,14 @@ pub enum JournalError {
         /// The unknown node id.
         node_id: u64,
     },
+    /// Coordinator replay recomputed different lease state than the
+    /// journal recorded (epoch, lease id, or an op on a dead lease).
+    LeaseDivergence {
+        /// Index of the diverging entry.
+        index: usize,
+        /// What disagreed.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for JournalError {
@@ -126,6 +151,11 @@ impl std::fmt::Display for JournalError {
             JournalError::UnknownNode { index, node_id } => write!(
                 f,
                 "journal entry {index} references node {node_id}, which was never admitted \
+                 (delete the journal to start cold)"
+            ),
+            JournalError::LeaseDivergence { index, detail } => write!(
+                f,
+                "coordinator journal replay diverged at entry {index}: {detail} \
                  (delete the journal to start cold)"
             ),
         }
@@ -145,16 +175,22 @@ struct Inner {
     next_seq: u64,
 }
 
-/// An open, append-only recovery journal.
-pub struct Journal {
+/// An open, append-only recovery journal over entry type `E` — the serve
+/// shard journals [`JournalEntry`], the fleet coordinator journals
+/// [`CoordJournalEntry`](crate::lease::CoordJournalEntry); both get the
+/// same CRC framing, torn-tail truncation, and durability knobs.
+pub struct Journal<E = JournalEntry> {
     inner: Mutex<Inner>,
     path: PathBuf,
     truncated_tail_bytes: u64,
+    recovered: u64,
+    sync: bool,
+    _entry: std::marker::PhantomData<fn() -> E>,
 }
 
 /// Parse one journal line; `None` means the line is damaged (bad UTF-8,
 /// bad CRC, wrong sequence number, or unparseable entry).
-fn parse_line(line: &[u8], expected_seq: u64) -> Option<JournalEntry> {
+fn parse_line<E: serde::Deserialize>(line: &[u8], expected_seq: u64) -> Option<E> {
     let line = std::str::from_utf8(line).ok()?;
     let (crc_hex, body) = line.split_once(' ')?;
     if u32::from_str_radix(crc_hex, 16).ok()? != crc32(body.as_bytes()) {
@@ -167,12 +203,24 @@ fn parse_line(line: &[u8], expected_seq: u64) -> Option<JournalEntry> {
     serde_json::from_str(json).ok()
 }
 
-impl Journal {
+impl<E: serde::Serialize + serde::Deserialize> Journal<E> {
+    /// Open (or create) the journal at `path` in the default flush-only
+    /// durability mode (survives process death; a machine power loss may
+    /// drop the OS-buffered tail, truncated away on the next open).
+    pub fn open(path: impl AsRef<Path>) -> Result<(Self, Vec<E>), JournalError> {
+        Self::open_with_sync(path, false)
+    }
+
     /// Open (or create) the journal at `path`, validating every recorded
     /// line. The valid prefix is returned for [`replay`]; a torn or
     /// damaged tail is physically truncated so future appends extend a
-    /// clean log.
-    pub fn open(path: impl AsRef<Path>) -> Result<(Self, Vec<JournalEntry>), JournalError> {
+    /// clean log. With `sync`, every append batch is `sync_data`ed, so
+    /// the tail also survives machine power loss at the cost of a disk
+    /// round trip per append.
+    pub fn open_with_sync(
+        path: impl AsRef<Path>,
+        sync: bool,
+    ) -> Result<(Self, Vec<E>), JournalError> {
         let path = path.as_ref().to_path_buf();
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
@@ -202,6 +250,9 @@ impl Journal {
                 inner: Mutex::new(Inner { file, next_seq: entries.len() as u64 }),
                 path,
                 truncated_tail_bytes,
+                recovered: entries.len() as u64,
+                sync,
+                _entry: std::marker::PhantomData,
             },
             entries,
         ))
@@ -210,6 +261,11 @@ impl Journal {
     /// The journal's on-disk path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Whether appends are `sync_data`ed (the `--journal-sync` mode).
+    pub fn synced(&self) -> bool {
+        self.sync
     }
 
     /// Bytes of crash debris discarded when this journal was opened.
@@ -223,16 +279,31 @@ impl Journal {
         self.inner.lock().next_seq
     }
 
+    /// Entries recovered from disk when this journal was opened (the
+    /// STATS `journal_replayed` counter).
+    pub fn recovered_entries(&self) -> u64 {
+        self.recovered
+    }
+
+    /// Entries appended through this handle since open (the STATS
+    /// `journal_appends` counter).
+    pub fn appended_entries(&self) -> u64 {
+        self.inner.lock().next_seq - self.recovered
+    }
+
     /// Append one entry. The sequence number and checksum are assigned
     /// under the journal lock, so concurrent appenders serialize and the
     /// log stays gapless.
-    pub fn append(&self, entry: &JournalEntry) -> Result<(), JournalError> {
+    pub fn append(&self, entry: &E) -> Result<(), JournalError> {
         let json = serde_json::to_string(entry).map_err(|e| JournalError::Format(e.to_string()))?;
         let mut inner = self.inner.lock();
         let body = format!("{} {}", inner.next_seq, json);
         let line = format!("{:08x} {}\n", crc32(body.as_bytes()), body);
         inner.file.write_all(line.as_bytes())?;
         inner.file.flush()?;
+        if self.sync {
+            inner.file.sync_data()?;
+        }
         inner.next_seq += 1;
         Ok(())
     }
@@ -294,6 +365,10 @@ pub fn replay(
                     warm_kernels.push(kernel_id.clone());
                 }
             }
+            JournalEntry::Cap { cap_w, epoch } => {
+                arbiter.set_global_cap(*cap_w);
+                check(index, *epoch, &arbiter)?;
+            }
         }
     }
     let orphaned_sessions = arbiter.node_ids();
@@ -346,7 +421,7 @@ mod tests {
         assert_eq!(journal.entries(), 7);
         drop(journal);
 
-        let (reopened, entries) = Journal::open(&path).unwrap();
+        let (reopened, entries) = Journal::<JournalEntry>::open(&path).unwrap();
         assert_eq!(entries.len(), 7);
         assert_eq!(reopened.entries(), 7);
         assert_eq!(reopened.truncated_tail_bytes(), 0);
@@ -377,7 +452,7 @@ mod tests {
         // The log keeps extending cleanly after the truncation.
         reopened.append(&JournalEntry::CacheKey { kernel_id: "k".into() }).unwrap();
         drop(reopened);
-        let (_, entries) = Journal::open(&path).unwrap();
+        let (_, entries) = Journal::<JournalEntry>::open(&path).unwrap();
         assert_eq!(entries.len(), 8);
         std::fs::remove_dir_all(dir).unwrap();
     }
@@ -406,7 +481,7 @@ mod tests {
         rewritten.push('\n');
         std::fs::write(&path, rewritten).unwrap();
 
-        let (reopened, entries) = Journal::open(&path).unwrap();
+        let (reopened, entries) = Journal::<JournalEntry>::open(&path).unwrap();
         assert_eq!(entries.len(), 2, "valid prefix before the flipped byte");
         assert!(reopened.truncated_tail_bytes() > 0);
         std::fs::remove_dir_all(dir).unwrap();
@@ -428,7 +503,7 @@ mod tests {
             acs_core::crc32(body2.as_bytes())
         );
         std::fs::write(&path, text).unwrap();
-        let (_, entries) = Journal::open(&path).unwrap();
+        let (_, entries) = Journal::<JournalEntry>::open(&path).unwrap();
         assert_eq!(entries.len(), 1);
         std::fs::remove_dir_all(dir).unwrap();
     }
@@ -454,6 +529,62 @@ mod tests {
         assert_eq!(recovery.warm_kernels, vec!["LU/Small/lud", "SMC/Large/acc"]);
         assert_eq!(rebuilt.conservation_error_w(), 0.0);
         std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn sync_and_flush_modes_write_and_replay_equivalently() {
+        // `--journal-sync` changes when bytes become durable, never what
+        // is written: the same history must produce byte-identical files,
+        // and replay must reconstruct the same arbiter either way.
+        let dir = scratch("syncmode");
+        let flush_path = dir.join("flush.journal");
+        let sync_path = dir.join("sync.journal");
+        let (flush, _) = Journal::open_with_sync(&flush_path, false).unwrap();
+        let (sync, _) = Journal::open_with_sync(&sync_path, true).unwrap();
+        assert!(!flush.synced());
+        assert!(sync.synced());
+        let mut a = Arbiter::new(100.0, ArbiterPolicy::DemandProportional);
+        journal_some_history(&flush, &mut a);
+        let mut b = Arbiter::new(100.0, ArbiterPolicy::DemandProportional);
+        journal_some_history(&sync, &mut b);
+        assert_eq!(flush.appended_entries(), sync.appended_entries());
+        drop((flush, sync));
+
+        let flush_bytes = std::fs::read(&flush_path).unwrap();
+        let sync_bytes = std::fs::read(&sync_path).unwrap();
+        assert_eq!(flush_bytes, sync_bytes, "sync mode must not change the format");
+
+        let (_, fe): (Journal, Vec<JournalEntry>) = Journal::open(&flush_path).unwrap();
+        let (_, se): (Journal, Vec<JournalEntry>) = Journal::open(&sync_path).unwrap();
+        let (fa, fr) = replay(&fe, 100.0, ArbiterPolicy::DemandProportional).unwrap();
+        let (sa, sr) = replay(&se, 100.0, ArbiterPolicy::DemandProportional).unwrap();
+        assert_eq!(fr, sr);
+        assert_eq!(fa.epoch(), sa.epoch());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn replay_applies_cap_entries_as_lease_budgets() {
+        // A leased shard journals every cap move; replay must land on the
+        // same shrunken cap and verify the epochs the moves produced.
+        let mut live = Arbiter::new(100.0, ArbiterPolicy::EqualShare);
+        let mut entries = Vec::new();
+        live.join(1);
+        entries.push(JournalEntry::Admit { node_id: 1, epoch: live.epoch() });
+        live.set_global_cap(64.0);
+        entries.push(JournalEntry::Cap { cap_w: 64.0, epoch: live.epoch() });
+        live.join(2);
+        entries.push(JournalEntry::Admit { node_id: 2, epoch: live.epoch() });
+        let (rebuilt, recovery) = replay(&entries, 100.0, ArbiterPolicy::EqualShare).unwrap();
+        assert_eq!(rebuilt.global_cap_w(), 64.0);
+        assert_eq!(recovery.orphaned_sessions, vec![1, 2]);
+
+        // A cap entry with an impossible epoch refuses to replay.
+        let bogus = vec![JournalEntry::Cap { cap_w: 50.0, epoch: 99 }];
+        assert!(matches!(
+            replay(&bogus, 100.0, ArbiterPolicy::EqualShare),
+            Err(JournalError::EpochDivergence { .. })
+        ));
     }
 
     #[test]

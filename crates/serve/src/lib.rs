@@ -22,7 +22,14 @@
 //! - [`journal`] — append-only recovery journal; a restarted server
 //!   replays it and resumes with identical budgets and a warm cache
 //! - [`chaosproxy`] — seeded fault-injecting TCP proxy for hardening
-//!   tests (torn frames, corruption, delays, duplicates, disconnects)
+//!   tests (torn frames, corruption, delays, duplicates, disconnects,
+//!   partitions)
+//! - [`lease`] — the fleet layer's state machines: the coordinator's
+//!   lease table (epoch-fenced, encumbrance-at-floor expiry, exact-sum
+//!   conservation) and the shard's degraded-mode cap
+//! - [`coordinator`] — the `acs coordinator` process: owns the global
+//!   budget, leases slices to shards, journals every grant/renew for
+//!   crash failover
 //!
 //! Determinism contract (DESIGN.md §11): for a single-session client, a
 //! fixed seed and a recorded request stream replay to a byte-identical
@@ -32,17 +39,24 @@
 
 pub mod arbiter;
 pub mod chaosproxy;
+pub mod coordinator;
 pub mod engine;
 pub mod journal;
+pub mod lease;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use arbiter::{Arbiter, ArbiterPolicy};
 pub use chaosproxy::{ChaosPlan, ChaosProxy, ChaosProxyHandle, ChaosStats};
+pub use coordinator::{CoordClient, Coordinator, CoordinatorConfig, CoordinatorHandle};
 pub use engine::{Engine, EngineError};
 pub use journal::{replay, Journal, JournalEntry, JournalError, Recovery};
-pub use metrics::{Metrics, StatsSnapshot};
+pub use lease::{
+    replay_coordinator, CoordJournalEntry, CoordRecovery, CoordRequest, CoordResponse, CoordStats,
+    GrantOutcome, LeaseError, LeaseState, LeaseTable, ShardLease, ShardLeaseState,
+};
+pub use metrics::{LeaseReport, Metrics, StatsSnapshot};
 pub use protocol::{
     read_frame, read_frame_blocking, write_frame, ProtocolError, ReadOutcome, Request, Response,
     Selection, MAX_FRAME_LEN,

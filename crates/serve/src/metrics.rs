@@ -51,6 +51,52 @@ pub struct StatsSnapshot {
     /// Requests served per degradation-ladder rung label (PR-1 ladder:
     /// `model`, `model+fl(1)`, ..., `safe-min`).
     pub degradation_tallies: BTreeMap<String, u64>,
+    /// Shard lease state: `standalone` (no coordinator configured),
+    /// `unleased`, `leased`, or `degraded`.
+    pub lease_state: String,
+    /// The cap the shard currently enforces (its lease budget, or the
+    /// configured global cap when standalone).
+    pub lease_budget_w: f64,
+    /// Times the shard has *entered* degraded mode (missed-renewal decay).
+    pub degraded_entries: u64,
+    /// Successful lease renewals against the coordinator.
+    pub lease_renews: u64,
+    /// Median renew round-trip latency, µs (0 when standalone).
+    pub p50_renew_latency_us: u64,
+    /// 99th-percentile renew round-trip latency, µs.
+    pub p99_renew_latency_us: u64,
+    /// Entries appended to the recovery journal by *this* process.
+    pub journal_appends: u64,
+    /// Entries replayed from the journal at startup.
+    pub journal_replayed: u64,
+}
+
+/// Snapshot inputs that live outside the registry: the shard lease state
+/// machine (guarded by its own lock) and the recovery-journal counters.
+#[derive(Debug, Clone)]
+pub struct LeaseReport {
+    /// `standalone`, `unleased`, `leased`, or `degraded`.
+    pub lease_state: String,
+    /// The cap the shard currently enforces.
+    pub lease_budget_w: f64,
+    /// Times the shard entered degraded mode.
+    pub degraded_entries: u64,
+    /// Journal entries appended by this process.
+    pub journal_appends: u64,
+    /// Journal entries replayed at startup.
+    pub journal_replayed: u64,
+}
+
+impl Default for LeaseReport {
+    fn default() -> Self {
+        Self {
+            lease_state: "standalone".into(),
+            lease_budget_w: 0.0,
+            degraded_entries: 0,
+            journal_appends: 0,
+            journal_replayed: 0,
+        }
+    }
 }
 
 /// Thread-safe metric registry shared by all sessions.
@@ -65,6 +111,9 @@ pub struct Metrics {
     reselections: AtomicU64,
     idem_replays: AtomicU64,
     degradation: Mutex<BTreeMap<String, u64>>,
+    lease_renews: AtomicU64,
+    renew_latencies_us: Mutex<Vec<u64>>,
+    renew_next_slot: AtomicU64,
 }
 
 impl Metrics {
@@ -116,6 +165,23 @@ impl Metrics {
         *self.degradation.lock().entry(label.to_string()).or_insert(0) += 1;
     }
 
+    /// Record one successful lease renewal and its round-trip latency.
+    pub fn record_renew(&self, latency_us: u64) {
+        self.lease_renews.fetch_add(1, Ordering::Relaxed);
+        let mut lat = self.renew_latencies_us.lock();
+        if lat.len() < LATENCY_RESERVOIR {
+            lat.push(latency_us);
+        } else {
+            let slot = self.renew_next_slot.fetch_add(1, Ordering::Relaxed) as usize;
+            lat[slot % LATENCY_RESERVOIR] = latency_us;
+        }
+    }
+
+    /// Successful lease renewals so far.
+    pub fn lease_renews(&self) -> u64 {
+        self.lease_renews.load(Ordering::Relaxed)
+    }
+
     /// Wire-protocol failures so far.
     pub fn protocol_errors(&self) -> u64 {
         self.protocol_errors.load(Ordering::Relaxed)
@@ -128,8 +194,10 @@ impl Metrics {
         cache_counts: (u64, u64),
         active_sessions: u64,
         arbiter_rebalances: u64,
+        lease: &LeaseReport,
     ) -> StatsSnapshot {
         let (p50, p99) = self.latency_quantiles();
+        let (renew_p50, renew_p99) = self.renew_quantiles();
         let (cache_hits, cache_misses) = cache_counts;
         let looked_up = cache_hits + cache_misses;
         StatsSnapshot {
@@ -147,11 +215,28 @@ impl Metrics {
             idem_replays: self.idem_replays.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             degradation_tallies: self.degradation.lock().clone(),
+            lease_state: lease.lease_state.clone(),
+            lease_budget_w: lease.lease_budget_w,
+            degraded_entries: lease.degraded_entries,
+            lease_renews: self.lease_renews.load(Ordering::Relaxed),
+            p50_renew_latency_us: renew_p50,
+            p99_renew_latency_us: renew_p99,
+            journal_appends: lease.journal_appends,
+            journal_replayed: lease.journal_replayed,
         }
     }
 
     fn latency_quantiles(&self) -> (u64, u64) {
         let mut lat = self.latencies_us.lock().clone();
+        if lat.is_empty() {
+            return (0, 0);
+        }
+        lat.sort_unstable();
+        (quantile(&lat, 0.50), quantile(&lat, 0.99))
+    }
+
+    fn renew_quantiles(&self) -> (u64, u64) {
+        let mut lat = self.renew_latencies_us.lock().clone();
         if lat.is_empty() {
             return (0, 0);
         }
@@ -178,7 +263,7 @@ mod tests {
             m.record_request("select", us);
         }
         m.record_request("stats", 1000);
-        let s = m.snapshot((30, 70), 2, 5);
+        let s = m.snapshot((30, 70), 2, 5, &LeaseReport::default());
         assert_eq!(s.requests_total, 101);
         assert_eq!(s.requests_by_kind["select"], 100);
         assert_eq!(s.requests_by_kind["stats"], 1);
@@ -192,11 +277,38 @@ mod tests {
 
     #[test]
     fn empty_registry_snapshots_cleanly() {
-        let s = Metrics::new().snapshot((0, 0), 0, 0);
+        let s = Metrics::new().snapshot((0, 0), 0, 0, &LeaseReport::default());
         assert_eq!(s.p50_latency_us, 0);
         assert_eq!(s.p99_latency_us, 0);
         assert_eq!(s.cache_hit_rate, 0.0);
         assert!(s.degradation_tallies.is_empty());
+        assert_eq!(s.lease_state, "standalone");
+        assert_eq!(s.lease_renews, 0);
+        assert_eq!(s.p50_renew_latency_us, 0);
+    }
+
+    #[test]
+    fn lease_fields_flow_into_the_snapshot() {
+        let m = Metrics::new();
+        for us in [100u64, 200, 300] {
+            m.record_renew(us);
+        }
+        let report = LeaseReport {
+            lease_state: "degraded".into(),
+            lease_budget_w: 7.5,
+            degraded_entries: 2,
+            journal_appends: 11,
+            journal_replayed: 4,
+        };
+        let s = m.snapshot((0, 0), 1, 0, &report);
+        assert_eq!(s.lease_state, "degraded");
+        assert_eq!(s.lease_budget_w, 7.5);
+        assert_eq!(s.degraded_entries, 2);
+        assert_eq!(s.lease_renews, 3);
+        assert_eq!(s.p50_renew_latency_us, 200);
+        assert_eq!(s.p99_renew_latency_us, 300);
+        assert_eq!(s.journal_appends, 11);
+        assert_eq!(s.journal_replayed, 4);
     }
 
     #[test]
@@ -214,7 +326,7 @@ mod tests {
         m.record_rung("model");
         m.record_rung("model");
         m.record_rung("safe-min");
-        let s = m.snapshot((0, 0), 0, 0);
+        let s = m.snapshot((0, 0), 0, 0, &LeaseReport::default());
         assert_eq!(s.degradation_tallies["model"], 2);
         assert_eq!(s.degradation_tallies["safe-min"], 1);
     }
@@ -224,7 +336,7 @@ mod tests {
         let m = Metrics::new();
         m.record_request("select", 10);
         m.record_rung("model");
-        let s = m.snapshot((1, 1), 1, 0);
+        let s = m.snapshot((1, 1), 1, 0, &LeaseReport::default());
         let json = serde_json::to_string(&s).unwrap();
         let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);

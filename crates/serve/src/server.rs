@@ -11,15 +11,17 @@
 //! buffers unboundedly — see DESIGN.md §11.
 
 use crate::arbiter::{Arbiter, ArbiterPolicy};
+use crate::coordinator::CoordClient;
 use crate::engine::{Engine, EngineError};
 use crate::journal::{replay, Journal, JournalEntry, Recovery};
-use crate::metrics::Metrics;
+use crate::lease::{CoordRequest, CoordResponse, ShardLease};
+use crate::metrics::{LeaseReport, Metrics};
 use crate::protocol::{read_frame, write_frame, ProtocolError, ReadOutcome, Request, Response};
 use acs_core::{CappedRuntime, GuardPolicy, TrainedModel};
 use acs_sim::Machine;
 use parking_lot::Mutex;
 use std::io::ErrorKind;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -54,6 +56,23 @@ pub struct ServeConfig {
     /// and first-time cache misses durable: a restarted server replays the
     /// journal and resumes with identical budgets and a warm cache.
     pub journal: Option<std::path::PathBuf>,
+    /// `true` upgrades journal durability from flush-per-append to
+    /// `sync_data()`-per-append (the `--journal-sync` flag).
+    pub journal_sync: bool,
+    /// Coordinator address (`host:port`). `Some` turns this server into a
+    /// fleet shard: `global_cap_w` becomes its *demand*, and the cap it
+    /// actually enforces is whatever its lease grants (starting from
+    /// `lease_floor_w` until the first grant lands).
+    pub coordinator: Option<String>,
+    /// Stable shard identity to present when (re-)leasing, so a restarted
+    /// shard is re-adopted instead of double-granted. `None` lets the
+    /// coordinator assign one.
+    pub shard_id: Option<u64>,
+    /// Degraded-mode floor, W: the cap a partitioned shard decays toward
+    /// and the pre-lease reserve it runs at before its first grant.
+    pub lease_floor_w: f64,
+    /// Lease renewal interval, ms.
+    pub renew_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +87,11 @@ impl Default for ServeConfig {
             max_batch: 256,
             timeline_capacity: 4096,
             journal: None,
+            journal_sync: false,
+            coordinator: None,
+            shard_id: None,
+            lease_floor_w: 5.0,
+            renew_ms: 200,
         }
     }
 }
@@ -117,6 +141,9 @@ struct Shared {
     next_node: AtomicU64,
     journal: Option<Arc<Journal>>,
     recovery: Option<Recovery>,
+    /// The shard-side lease state machine; `Some` iff a coordinator is
+    /// configured. The lease client thread mutates it; `Stats` reads it.
+    lease: Option<Mutex<ShardLease>>,
 }
 
 /// Best-effort journal append. Append failures (disk full, journal file
@@ -176,6 +203,34 @@ impl ServerHandle {
     /// configured.
     pub fn recovery(&self) -> Option<Recovery> {
         self.shared.recovery.clone()
+    }
+
+    /// The shard's lease state name (`standalone` when no coordinator is
+    /// configured).
+    pub fn lease_state(&self) -> String {
+        match &self.shared.lease {
+            Some(lease) => lease.lock().state().name().to_string(),
+            None => "standalone".to_string(),
+        }
+    }
+
+    /// The cap the shard currently enforces: its lease budget, or the
+    /// configured global cap when standalone.
+    pub fn lease_cap_w(&self) -> f64 {
+        match &self.shared.lease {
+            Some(lease) => lease.lock().cap_w(),
+            None => self.shared.config.global_cap_w,
+        }
+    }
+
+    /// Times the shard has entered degraded mode.
+    pub fn degraded_entries(&self) -> u64 {
+        self.shared.lease.as_ref().map(|l| l.lock().degraded_entries()).unwrap_or(0)
+    }
+
+    /// Successful lease renewals against the coordinator.
+    pub fn lease_renews(&self) -> u64 {
+        self.shared.metrics.lease_renews()
     }
 
     /// Die like a SIGKILL: stop every session *without* journaling their
@@ -251,16 +306,33 @@ impl Server {
         // and re-warm the profile cache with the journaled miss keys. The
         // miss hook is installed only *after* warm-up, so replayed keys are
         // not journaled a second time.
-        let (journal, recovery, arbiter, next_node) = match &config.journal {
+        let (journal, recovery, mut arbiter, next_node) = match &config.journal {
             Some(path) => {
-                let (journal, entries) =
-                    Journal::open(path).map_err(|e| ServeError::Journal(e.to_string()))?;
+                let (journal, entries) = Journal::open_with_sync(path, config.journal_sync)
+                    .map_err(|e| ServeError::Journal(e.to_string()))?;
                 let (arbiter, recovery) = replay(&entries, config.global_cap_w, config.policy)
                     .map_err(|e| ServeError::Journal(e.to_string()))?;
                 let next_node = recovery.next_node;
                 (Some(Arc::new(journal)), Some(recovery), arbiter, next_node)
             }
             None => (None, None, Arbiter::new(config.global_cap_w, config.policy), 1),
+        };
+        // A coordinator-bound shard must not exceed its pre-lease reserve
+        // (the floor) until its first grant lands, whatever cap the journal
+        // replayed — the coordinator only encumbers the floor for a silent
+        // shard, so anything above it would break fleet conservation.
+        let lease = if config.coordinator.is_some() {
+            let shard = ShardLease::new(config.lease_floor_w);
+            arbiter.set_global_cap(shard.cap_w());
+            if let Some(journal) = &journal {
+                let _ = journal.append(&JournalEntry::Cap {
+                    cap_w: arbiter.global_cap_w(),
+                    epoch: arbiter.epoch(),
+                });
+            }
+            Some(Mutex::new(shard))
+        } else {
+            None
         };
         let engine = Engine::new(Arc::clone(&model), Machine::new(config.seed));
         if let Some(recovery) = &recovery {
@@ -285,6 +357,7 @@ impl Server {
             next_node: AtomicU64::new(next_node),
             journal,
             recovery,
+            lease,
             model,
             config,
         });
@@ -305,6 +378,10 @@ impl Server {
     /// join every session.
     pub fn run(self) -> Result<(), ServeError> {
         sig::install();
+        let lease_thread = self.shared.config.coordinator.clone().map(|target| {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || run_lease_client(shared, target))
+        });
         let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
         loop {
             if sig::pending() {
@@ -345,8 +422,159 @@ impl Server {
         for handle in sessions {
             let _ = handle.join();
         }
+        if let Some(handle) = lease_thread {
+            let _ = handle.join();
+        }
         Ok(())
     }
+}
+
+/// The shard's lease client: one thread, one renewal per `renew_ms`.
+///
+/// Each round sends `Renew` (or `Lease` when unleased) and folds the
+/// outcome into the [`ShardLease`] state machine; the resulting cap is
+/// applied to the arbiter and journaled as a [`JournalEntry::Cap`] so a
+/// restarted shard replays to the same budgets. Connection failures and
+/// timeouts are *misses* (degraded-mode decay), and when the shard's own
+/// clock says the lease TTL has passed without contact, the cap clamps to
+/// the coordinator's encumbered reserve — `min(floor, last grant)` — so a
+/// fully partitioned fleet still sums below the global cap.
+fn run_lease_client(shared: Arc<Shared>, target: String) {
+    let lease_mutex = shared.lease.as_ref().expect("lease client requires lease state");
+    let renew_every = Duration::from_millis(shared.config.renew_ms.max(10));
+    let mut client: Option<CoordClient> = None;
+    // (instant of last successful contact, lease TTL) — shard-local expiry.
+    let mut contact: Option<(Instant, Duration)> = None;
+    'rounds: loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let started = Instant::now();
+        let request = {
+            let lease = lease_mutex.lock();
+            match lease.lease_id() {
+                Some(lease_id) => CoordRequest::Renew {
+                    lease_id,
+                    epoch: lease.epoch(),
+                    demand_w: shared.config.global_cap_w,
+                },
+                None => CoordRequest::Lease {
+                    shard_id: shared.config.shard_id.or(lease.shard_id()),
+                    demand_w: shared.config.global_cap_w,
+                },
+            }
+        };
+        let response = lease_call(&mut client, &target, renew_every, &request);
+        let latency_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let cap_w = {
+            let mut lease = lease_mutex.lock();
+            match response {
+                Ok(CoordResponse::Granted {
+                    lease_id, shard_id, epoch, budget_w, ttl_ms, ..
+                }) => {
+                    contact = Some((Instant::now(), Duration::from_millis(ttl_ms)));
+                    shared.metrics.record_renew(latency_us);
+                    lease.on_granted(lease_id, shard_id, epoch, budget_w)
+                }
+                Ok(CoordResponse::Renewed { epoch, budget_w, .. }) => {
+                    if let Some((at, _)) = &mut contact {
+                        *at = Instant::now();
+                    }
+                    shared.metrics.record_renew(latency_us);
+                    lease.on_renewed(epoch, budget_w)
+                }
+                Ok(CoordResponse::Rejected { code, .. }) => {
+                    match code.as_str() {
+                        // The lease is gone on the coordinator's side:
+                        // clamp to the floor and re-lease next round with
+                        // the remembered shard id (re-adoption, not a
+                        // double grant).
+                        "expired" | "fenced" | "unknown-lease" => {
+                            contact = None;
+                            lease.on_released();
+                        }
+                        // "denied" and anything else: stay unleased at the
+                        // floor and keep asking.
+                        _ => {}
+                    }
+                    lease.cap_w()
+                }
+                Ok(_) => lease.cap_w(),
+                Err(_) => {
+                    client = None;
+                    let mut cap_w = lease.on_miss();
+                    if let Some((at, ttl)) = contact {
+                        if at.elapsed() >= ttl {
+                            cap_w = lease.on_expired();
+                            contact = None;
+                        }
+                    }
+                    cap_w
+                }
+            }
+        };
+        apply_lease_cap(&shared, cap_w);
+        let deadline = started + renew_every;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break 'rounds;
+            }
+            std::thread::sleep(ACCEPT_POLL.min(deadline - now));
+        }
+    }
+    // Clean shutdown releases the lease so the coordinator frees the full
+    // encumbrance immediately; a simulated crash must not (the journal and
+    // the coordinator should both see a SIGKILL-shaped ending).
+    if !shared.crashed.load(Ordering::SeqCst) {
+        let lease_id = lease_mutex.lock().lease_id();
+        if let Some(lease_id) = lease_id {
+            let _ =
+                lease_call(&mut client, &target, renew_every, &CoordRequest::Release { lease_id });
+        }
+    }
+}
+
+/// One lease-protocol round trip, (re)connecting as needed. The caller
+/// resets `client` on error so the next round reconnects.
+fn lease_call(
+    client: &mut Option<CoordClient>,
+    target: &str,
+    timeout: Duration,
+    request: &CoordRequest,
+) -> Result<CoordResponse, ProtocolError> {
+    if client.is_none() {
+        let addr = target.to_socket_addrs()?.next().ok_or_else(|| {
+            ProtocolError::Io(std::io::Error::new(
+                ErrorKind::AddrNotAvailable,
+                format!("coordinator address {target} resolved to nothing"),
+            ))
+        })?;
+        *client = Some(CoordClient::connect_timeout(&addr, timeout)?);
+    }
+    let result = client.as_mut().expect("connected above").call(request);
+    if result.is_err() {
+        *client = None;
+    }
+    result
+}
+
+/// Apply a lease-derived cap to the shard's arbiter. The mutation and its
+/// journal entry happen under the arbiter lock so the recorded epoch is
+/// exactly the one this cap change produced.
+fn apply_lease_cap(shared: &Shared, cap_w: f64) {
+    let mut arbiter = shared.arbiter.lock();
+    if (arbiter.global_cap_w() - cap_w).abs() <= 1e-9 {
+        return;
+    }
+    arbiter.set_global_cap(cap_w);
+    journal_append(
+        shared,
+        &JournalEntry::Cap { cap_w: arbiter.global_cap_w(), epoch: arbiter.epoch() },
+    );
 }
 
 /// One connection: a node in the arbiter's cluster with its own capped,
@@ -541,6 +769,7 @@ fn handle_request(
                 shared.engine.cache_counts(),
                 shared.active.load(Ordering::SeqCst) as u64,
                 shared.arbiter.lock().rebalances(),
+                &lease_report(shared),
             );
             (Response::Stats(snapshot), false)
         }
@@ -549,6 +778,24 @@ fn handle_request(
             shared.shutdown.store(true, Ordering::SeqCst);
             (Response::ShuttingDown, true)
         }
+    }
+}
+
+/// Assemble the lease/journal side of a `Stats` snapshot.
+fn lease_report(shared: &Shared) -> LeaseReport {
+    let (lease_state, lease_budget_w, degraded_entries) = match &shared.lease {
+        Some(lease) => {
+            let lease = lease.lock();
+            (lease.state().name().to_string(), lease.cap_w(), lease.degraded_entries())
+        }
+        None => ("standalone".to_string(), shared.config.global_cap_w, 0),
+    };
+    LeaseReport {
+        lease_state,
+        lease_budget_w,
+        degraded_entries,
+        journal_appends: shared.journal.as_ref().map(|j| j.appended_entries()).unwrap_or(0),
+        journal_replayed: shared.recovery.as_ref().map(|r| r.replayed).unwrap_or(0),
     }
 }
 

@@ -171,6 +171,7 @@ fn seeded_chaos_never_panics_and_never_poisons_the_arbiter() {
             delay_p: 0.05,
             delay_ms: 2,
             dup_p: 0.10,
+            ..ChaosPlan::quiet(seed)
         };
         let proxy = ChaosProxy::bind("127.0.0.1:0", &addr, plan).unwrap();
         let proxy_addr = proxy.local_addr().to_string();

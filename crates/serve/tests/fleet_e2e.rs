@@ -1,0 +1,348 @@
+//! Fleet end-to-end tests: real shard servers leasing their power caps
+//! from a real coordinator over TCP, with the failure modes the lease
+//! protocol exists for — a SIGKILLed coordinator restarting from its
+//! journal, a SIGKILLed shard decaying to its floor encumbrance, and a
+//! network partition (injected by the chaos proxy) driving a shard into
+//! degraded mode and back out.
+//!
+//! The invariant checked throughout, at every sampled instant: the sum of
+//! the caps the shards actually enforce never exceeds the coordinator's
+//! global cap. Crashes are in-process (`simulate_crash`), mirroring
+//! `recovery_e2e.rs`; `bench_fleet` does the real out-of-process SIGKILL.
+
+use acs_core::{train, KernelProfile, TrainedModel, TrainingParams};
+use acs_serve::{
+    ArbiterPolicy, ChaosPlan, ChaosProxy, Client, Coordinator, CoordinatorConfig,
+    CoordinatorHandle, Request, Response, ServeConfig, Server, ServerHandle,
+};
+use acs_sim::Machine;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+fn model() -> TrainedModel {
+    static MODEL: OnceLock<TrainedModel> = OnceLock::new();
+    MODEL
+        .get_or_init(|| {
+            let machine = Machine::new(2014);
+            let profiles: Vec<KernelProfile> = acs_kernels::all_kernel_instances()
+                .iter()
+                .take(16)
+                .map(|k| KernelProfile::collect(&machine, k))
+                .collect();
+            train(&profiles, TrainingParams::default()).expect("training succeeds")
+        })
+        .clone()
+}
+
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("acs-fleet-{test}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const GLOBAL_CAP_W: f64 = 90.0;
+const FLOOR_W: f64 = 2.0;
+
+fn coordinator_config(journal: Option<PathBuf>) -> CoordinatorConfig {
+    CoordinatorConfig {
+        host: "127.0.0.1".into(),
+        port: 0,
+        global_cap_w: GLOBAL_CAP_W,
+        policy: ArbiterPolicy::DemandProportional,
+        ttl_ticks: 20,
+        tick_ms: 25, // TTL = 500 ms of silence
+        floor_w: FLOOR_W,
+        journal,
+        journal_sync: false,
+    }
+}
+
+fn spawn_coordinator(
+    config: CoordinatorConfig,
+) -> (String, CoordinatorHandle, std::thread::JoinHandle<()>) {
+    let coordinator = Coordinator::bind(config).expect("coordinator binds");
+    let addr = coordinator.local_addr().to_string();
+    let handle = coordinator.handle();
+    let join = std::thread::spawn(move || coordinator.run().expect("coordinator runs"));
+    (addr, handle, join)
+}
+
+fn spawn_shard(
+    coordinator: &str,
+    demand_w: f64,
+) -> (String, ServerHandle, std::thread::JoinHandle<()>) {
+    let config = ServeConfig {
+        global_cap_w: demand_w,
+        policy: ArbiterPolicy::EqualShare,
+        coordinator: Some(coordinator.to_string()),
+        lease_floor_w: FLOOR_W,
+        renew_ms: 25,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(config, model()).expect("shard binds");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("shard runs"));
+    (addr, handle, join)
+}
+
+/// Poll `check` until it holds or `timeout` passes.
+fn wait_until(timeout: Duration, mut check: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if check() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn fleet_cap_w(shards: &[ServerHandle]) -> f64 {
+    shards.iter().map(|s| s.lease_cap_w()).sum()
+}
+
+#[test]
+fn three_shards_converge_to_the_global_cap_without_ever_exceeding_it() {
+    let (addr, coord, coord_join) = spawn_coordinator(coordinator_config(None));
+    let shards: Vec<_> = (0..3).map(|_| spawn_shard(&addr, 60.0)).collect();
+    let handles: Vec<ServerHandle> = shards.iter().map(|(_, h, _)| h.clone()).collect();
+
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            handles.iter().all(|h| h.lease_state() == "leased")
+        }),
+        "all shards lease within the deadline"
+    );
+    // Commit-on-contact ramping converges to the full pool at quiescence;
+    // conservation holds at every instant on the way there.
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            (fleet_cap_w(&handles) - GLOBAL_CAP_W).abs() < 1e-6
+        }),
+        "fleet converges to the global cap, got {} W",
+        fleet_cap_w(&handles)
+    );
+    for _ in 0..20 {
+        assert!(fleet_cap_w(&handles) <= GLOBAL_CAP_W + 1e-9);
+        let stats = coord.stats();
+        assert_eq!(stats.overshoot_w, 0.0);
+        assert!(stats.live_committed_w + stats.encumbered_w <= GLOBAL_CAP_W + 1e-9);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = coord.stats();
+    assert_eq!(stats.live_leases, 3);
+    assert!(stats.grants >= 3);
+    assert!(stats.renews >= 3);
+
+    // The lease shows up in the shard's own STATS frame: state, budget,
+    // renew counters, and renew latency quantiles.
+    let mut client = Client::connect(&shards[0].0).unwrap();
+    match client.call(&Request::Stats).unwrap() {
+        Response::Stats(s) => {
+            assert_eq!(s.lease_state, "leased");
+            assert!(s.lease_budget_w > FLOOR_W && s.lease_budget_w <= GLOBAL_CAP_W);
+            assert_eq!(s.degraded_entries, 0);
+            assert!(s.lease_renews >= 1);
+            assert!(s.p99_renew_latency_us >= s.p50_renew_latency_us);
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+    drop(client);
+
+    // Clean shard shutdown releases the leases; the pool refills.
+    for (_, handle, join) in shards {
+        handle.shutdown();
+        join.join().unwrap();
+    }
+    assert!(
+        wait_until(Duration::from_secs(5), || coord.stats().live_leases == 0),
+        "released leases leave the table"
+    );
+    let stats = coord.stats();
+    assert_eq!(stats.live_committed_w + stats.encumbered_w, 0.0);
+    coord.shutdown();
+    coord_join.join().unwrap();
+}
+
+#[test]
+fn coordinator_sigkill_and_restart_readopts_shards_without_double_granting() {
+    let dir = scratch("failover");
+    let journal = dir.join("coordinator.journal");
+    let (addr, coord, coord_join) = spawn_coordinator(CoordinatorConfig {
+        journal: Some(journal.clone()),
+        ..coordinator_config(None)
+    });
+    let port: u16 = addr.rsplit(':').next().unwrap().parse().unwrap();
+
+    let shards: Vec<_> = (0..2).map(|_| spawn_shard(&addr, 60.0)).collect();
+    let handles: Vec<ServerHandle> = shards.iter().map(|(_, h, _)| h.clone()).collect();
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            handles.iter().all(|h| h.lease_state() == "leased")
+                && (fleet_cap_w(&handles) - GLOBAL_CAP_W).abs() < 1e-6
+        }),
+        "fleet converges before the crash"
+    );
+
+    // SIGKILL the coordinator. The shards keep running: every missed
+    // renewal decays their caps, so the fleet sum can only fall.
+    coord.simulate_crash();
+    coord_join.join().unwrap();
+    let mut max_during_outage: f64 = 0.0;
+    for _ in 0..30 {
+        max_during_outage = max_during_outage.max(fleet_cap_w(&handles));
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        max_during_outage <= GLOBAL_CAP_W + 1e-9,
+        "fleet sum {} W exceeded the cap during the outage",
+        max_during_outage
+    );
+    assert!(
+        handles.iter().any(|h| h.degraded_entries() >= 1),
+        "missed renewals drive shards into degraded mode"
+    );
+
+    // Restart on the same port from the journal: the replayed table holds
+    // the same leases, so returning shards are re-adopted, not granted
+    // fresh budget on top of the old (which would double-spend the pool).
+    let (addr2, coord, coord_join) = spawn_coordinator(CoordinatorConfig {
+        port,
+        journal: Some(journal),
+        ..coordinator_config(None)
+    });
+    assert_eq!(addr2, addr);
+    let recovery = coord.recovery().expect("journal replayed");
+    assert!(recovery.replayed >= 2, "the grants were journaled");
+
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            handles.iter().all(|h| h.lease_state() == "leased")
+                && (fleet_cap_w(&handles) - GLOBAL_CAP_W).abs() < 1e-6
+        }),
+        "fleet re-converges after failover, got {} W across states {:?}",
+        fleet_cap_w(&handles),
+        handles.iter().map(|h| h.lease_state()).collect::<Vec<_>>()
+    );
+    let stats = coord.stats();
+    assert_eq!(stats.live_leases, 2);
+    assert_eq!(stats.overshoot_w, 0.0);
+    assert!(stats.journal_replayed >= 2);
+
+    for (_, handle, join) in shards {
+        handle.shutdown();
+        join.join().unwrap();
+    }
+    coord.shutdown();
+    coord_join.join().unwrap();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn a_sigkilled_shards_lease_expires_to_the_floor_and_frees_the_rest() {
+    let (addr, coord, coord_join) = spawn_coordinator(coordinator_config(None));
+    let (_, alive, alive_join) = spawn_shard(&addr, 60.0);
+    let (_, victim, victim_join) = spawn_shard(&addr, 60.0);
+
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            alive.lease_state() == "leased" && victim.lease_state() == "leased"
+        }),
+        "both shards lease"
+    );
+
+    // SIGKILL the victim: no Release frame, its lease just goes silent.
+    victim.simulate_crash();
+    victim_join.join().unwrap();
+
+    // After the TTL the coordinator expires the lease down to the floor
+    // encumbrance and hands the freed watts to the survivor.
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            let stats = coord.stats();
+            stats.live_leases == 1 && stats.encumbered_leases == 1
+        }),
+        "the silent lease expires"
+    );
+    let stats = coord.stats();
+    assert!(stats.encumbered_w <= FLOOR_W + 1e-9);
+    assert!(stats.live_committed_w + stats.encumbered_w <= GLOBAL_CAP_W + 1e-9);
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            alive.lease_cap_w() >= GLOBAL_CAP_W - FLOOR_W - 1e-6
+        }),
+        "the survivor absorbs the freed budget, got {} W",
+        alive.lease_cap_w()
+    );
+
+    alive.shutdown();
+    alive_join.join().unwrap();
+    coord.shutdown();
+    coord_join.join().unwrap();
+}
+
+#[test]
+fn a_partitioned_shard_degrades_below_its_last_grant_and_recovers() {
+    let (coord_addr, coord, coord_join) = spawn_coordinator(coordinator_config(None));
+
+    // The shard reaches its coordinator through the chaos proxy, which
+    // can blackhole both directions while keeping connections open.
+    let proxy =
+        ChaosProxy::bind("127.0.0.1:0", &coord_addr, ChaosPlan::quiet(7)).expect("proxy binds");
+    let proxy_addr = proxy.local_addr().to_string();
+    let proxy_handle = proxy.handle();
+    let proxy_join = std::thread::spawn(move || proxy.run().expect("proxy runs"));
+
+    let (_, shard, shard_join) = spawn_shard(&proxy_addr, 60.0);
+    assert!(
+        wait_until(Duration::from_secs(10), || shard.lease_state() == "leased"),
+        "the shard leases through the quiet proxy"
+    );
+    let last_grant = shard.lease_cap_w();
+    assert!(last_grant > FLOOR_W);
+
+    // Partition for ~32 renewal intervals: every renewal inside the
+    // window times out, so the cap decays — but never above the last
+    // grant, and never below min(floor, last grant).
+    proxy_handle.partition(800);
+    assert!(
+        wait_until(Duration::from_secs(5), || shard.lease_state() == "degraded"),
+        "missed renewals enter degraded mode"
+    );
+    assert!(
+        wait_until(Duration::from_millis(600), || shard.lease_cap_w() < last_grant - 1e-9),
+        "the cap decays during the partition, still {} W",
+        shard.lease_cap_w()
+    );
+    let deadline = Instant::now() + Duration::from_millis(150);
+    while Instant::now() < deadline {
+        let cap = shard.lease_cap_w();
+        assert!(cap <= last_grant + 1e-9, "degraded cap {cap} exceeds last grant {last_grant}");
+        assert!(cap >= FLOOR_W.min(last_grant) - 1e-9, "degraded cap {cap} fell below the floor");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(shard.degraded_entries() >= 1);
+
+    // The window closes; renewals flow again and the lease recovers.
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            shard.lease_state() == "leased" && (shard.lease_cap_w() - GLOBAL_CAP_W).abs() < 1e-6
+        }),
+        "the shard recovers after the partition, state {} cap {} W",
+        shard.lease_state(),
+        shard.lease_cap_w()
+    );
+    assert!(proxy_handle.stats().blackholed > 0, "the partition actually swallowed traffic");
+
+    shard.shutdown();
+    shard_join.join().unwrap();
+    proxy_handle.shutdown();
+    proxy_join.join().unwrap();
+    coord.shutdown();
+    coord_join.join().unwrap();
+}

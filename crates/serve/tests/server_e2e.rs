@@ -81,6 +81,15 @@ fn hello_select_run_stats_bye() {
             assert_eq!(s.active_sessions, 1);
             assert_eq!(s.degradation_tallies["model"], 1);
             assert_eq!(s.protocol_errors, 0);
+            // No coordinator configured: the lease side of the snapshot
+            // reports standalone, with the configured cap and no journal.
+            assert_eq!(s.lease_state, "standalone");
+            assert_eq!(s.lease_budget_w, 120.0);
+            assert_eq!(s.degraded_entries, 0);
+            assert_eq!(s.lease_renews, 0);
+            assert_eq!(s.p50_renew_latency_us, 0);
+            assert_eq!(s.journal_appends, 0);
+            assert_eq!(s.journal_replayed, 0);
         }
         other => panic!("expected Stats, got {other:?}"),
     }
