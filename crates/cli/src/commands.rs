@@ -71,15 +71,22 @@ COMMANDS:
   verify [--quick true] [--bless true]    differential-test every method
          [--golden-dir DIR]               against the exhaustive oracle, check
          [--cache-dir DIR]                metamorphic invariants, and diff (or,
-                                          with --bless, regenerate) the golden
+         [--transfer true] [--out FILE]   with --bless, regenerate) the golden
                                           traces; --cache-dir caches oracle
-                                          frontiers between runs
+                                          frontiers between runs; --transfer
+                                          instead trains on every machine
+                                          family and serves every other,
+                                          gating the cross-architecture
+                                          transfer-regret matrix and writing
+                                          it to results/BENCH_transfer.json
+                                          (--out overrides; --bless pins the
+                                          quantized matrix as a golden)
   serve [--model FILE] [--host H]         long-running selection server: loads
         [--port P] [--global-cap W]       the model once (or trains in-process
         [--policy equal|demand]           when --model is omitted), splits the
         [--max-sessions N]                global cap across connected sessions
         [--max-batch N] [--seed N]        via the arbiter, prints the bound
-        [--timeline-cap N]                address (--port 0 = ephemeral), and
+        [--family F] [--timeline-cap N]   address (--port 0 = ephemeral), and
         [--journal FILE]                  serves until SIGINT or a Shutdown
         [--journal-sync true]             poison request; --journal makes
         [--coordinator HOST:PORT]         admissions/budgets/cache keys durable
@@ -425,6 +432,97 @@ scheduling timeline:"
     Ok(())
 }
 
+/// Parse `--family` (default Trinity), with the valid names in the error.
+fn family_arg(args: &Args) -> Result<acs_sim::FamilyId, CliError> {
+    match args.get("family") {
+        Some(s) => acs_sim::FamilyId::parse(s).ok_or_else(|| {
+            CliError::Domain(format!(
+                "unknown machine family '{s}' (expected trinity|bigcore|lowpower|accel)"
+            ))
+        }),
+        None => Ok(acs_sim::FamilyId::Trinity),
+    }
+}
+
+/// `acs verify --transfer`: the cross-architecture differential. Trains a
+/// model on every machine family, serves every other family with it, and
+/// gates the resulting transfer-regret matrix; the full matrix is written
+/// as a benchmark artifact and its quantized summary can be blessed as a
+/// golden snapshot.
+fn cmd_verify_transfer(
+    args: &Args,
+    out: &mut dyn Write,
+    golden_dir: &std::path::Path,
+) -> Result<(), CliError> {
+    use acs_verify::{run_transfer, GridParams, ScenarioGrid, TransferThresholds};
+
+    let params = if args.get_or("quick", false)? {
+        GridParams::transfer_quick()
+    } else {
+        GridParams::transfer()
+    };
+    let grid = ScenarioGrid::generate(params);
+    writeln!(
+        out,
+        "transfer grid: {} scenarios across {} machine families",
+        grid.len(),
+        grid.machines.len()
+    )
+    .map_err(io_err)?;
+
+    let matrix = run_transfer(&grid, TrainingParams::default())
+        .map_err(|e| CliError::Domain(e.to_string()))?;
+    write!(out, "{}", matrix.render()).map_err(io_err)?;
+
+    // The benchmark artifact: the full matrix, pair by pair.
+    let artifact = match args.get("out") {
+        Some(path) => std::path::PathBuf::from(path),
+        None => std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../results/BENCH_transfer.json"),
+    };
+    if let Some(parent) = artifact.parent() {
+        std::fs::create_dir_all(parent).map_err(io_err)?;
+    }
+    let json = serde_json::to_string_pretty(&matrix).map_err(io_err)?;
+    std::fs::write(&artifact, json).map_err(io_err)?;
+    writeln!(out, "wrote {}", artifact.display()).map_err(io_err)?;
+
+    // The golden snapshot: the quantized summary, byte-exact once blessed.
+    let snapshot_path = golden_dir.join("transfer-matrix.json");
+    let snapshot = serde_json::to_string_pretty(&matrix.golden_summary()).map_err(io_err)?;
+    if args.get_or("bless", false)? {
+        std::fs::create_dir_all(golden_dir).map_err(io_err)?;
+        std::fs::write(&snapshot_path, &snapshot).map_err(io_err)?;
+        writeln!(out, "blessed {}", snapshot_path.display()).map_err(io_err)?;
+        return Ok(());
+    }
+
+    let mut failures = matrix.check(&TransferThresholds::default());
+    match std::fs::read_to_string(&snapshot_path) {
+        Ok(blessed) if blessed == snapshot => {
+            writeln!(out, "transfer golden: ok").map_err(io_err)?;
+        }
+        Ok(_) => failures.push(format!(
+            "transfer matrix deviates from blessed snapshot {} \
+             (re-bless with `acs verify --transfer true --bless true` if intended)",
+            snapshot_path.display()
+        )),
+        // No snapshot blessed (or a different grid resolution was blessed):
+        // the thresholds are still the primary gate, so this is a note.
+        Err(_) => {
+            writeln!(out, "transfer golden: no blessed snapshot (thresholds only)")
+                .map_err(io_err)?;
+        }
+    }
+
+    if failures.is_empty() {
+        writeln!(out, "verify --transfer: PASS").map_err(io_err)?;
+        Ok(())
+    } else {
+        Err(CliError::Domain(format!("verify --transfer: FAIL\n  {}", failures.join("\n  "))))
+    }
+}
+
 fn cmd_verify(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     use acs_verify::{golden, metamorphic, run_differential, GridParams, ScenarioGrid, Thresholds};
 
@@ -432,6 +530,10 @@ fn cmd_verify(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         .get("golden-dir")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(golden::default_golden_dir);
+
+    if args.get_or("transfer", false)? {
+        return cmd_verify_transfer(args, out, &golden_dir);
+    }
 
     // Blessing regenerates the reference traces and stops — no gates run
     // against files that were just rewritten.
@@ -511,12 +613,14 @@ fn cmd_verify(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 /// The model for `serve`: loaded from `--model`, or trained in-process on
 /// the full suite at `--seed` when the flag is omitted (a few seconds;
 /// convenient for smoke tests and CI, where no model file exists yet).
-fn serve_model(args: &Args) -> Result<TrainedModel, CliError> {
+/// In-process training characterizes on the *served* family, so a
+/// heterogeneous shard's model is native to the hardware it schedules.
+fn serve_model(args: &Args, family: acs_sim::FamilyId) -> Result<TrainedModel, CliError> {
     if let Some(path) = args.get("model") {
         return TrainedModel::load(path).map_err(io_err);
     }
     let seed: u64 = args.get_or("seed", 2014)?;
-    let machine = Machine::new(seed);
+    let machine = Machine::from_family(family, seed);
     let profiles: Vec<KernelProfile> = acs_kernels::all_kernel_instances()
         .iter()
         .map(|k| KernelProfile::collect(&machine, k))
@@ -533,10 +637,12 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             "--global-cap must be a positive wattage, got {global_cap_w}"
         )));
     }
+    let family = family_arg(args)?;
     let config = ServeConfig {
         host: args.get("host").unwrap_or("127.0.0.1").to_string(),
         port: args.get_or("port", 4014)?,
         seed: args.get_or("seed", 2014)?,
+        family,
         global_cap_w,
         policy: args.get("policy").unwrap_or("equal").parse().map_err(CliError::Domain)?,
         max_sessions: args.get_or("max-sessions", 8)?,
@@ -552,7 +658,7 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         lease_floor_w: args.get_or("lease-floor", 5.0)?,
         renew_ms: args.get_or("renew-ms", 200)?,
     };
-    let model = serve_model(args)?;
+    let model = serve_model(args, family)?;
     let server = Server::bind(config, model).map_err(|e| CliError::Domain(e.to_string()))?;
     // The bound address line is a contract: `--port 0` callers (CI, the
     // e2e tests) parse it to find the ephemeral port. So is the
@@ -853,7 +959,7 @@ mod tests {
         let dir = tmp("golden-dir");
         let _ = std::fs::remove_dir_all(&dir);
         let out = run_str(&format!("verify --bless true --golden-dir {dir}")).unwrap();
-        assert!(out.contains("3 golden trace(s) regenerated"), "{out}");
+        assert!(out.contains("6 golden trace(s) regenerated"), "{out}");
 
         let out = run_str(&format!("verify --quick true --golden-dir {dir}")).unwrap();
         assert!(out.contains("scenario grid:"), "{out}");
@@ -887,6 +993,59 @@ mod tests {
         assert!(out.contains("oracle cache: 22 frontiers"), "{out}");
         let files = std::fs::read_dir(&cache).unwrap().count();
         assert_eq!(files, 22);
+    }
+
+    #[test]
+    fn verify_transfer_scores_every_pair_and_pins_a_snapshot() {
+        let dir = tmp("golden-transfer");
+        let _ = std::fs::remove_dir_all(&dir);
+        let artifact = tmp("BENCH_transfer.json");
+
+        // Bless the quantized snapshot first.
+        let out = run_str(&format!(
+            "verify --transfer true --bless true --quick true --golden-dir {dir} --out {artifact}"
+        ))
+        .unwrap();
+        assert!(out.contains("transfer regret matrix"), "{out}");
+        assert!(out.contains("blessed"), "{out}");
+
+        // A scoring run covers every family pair, matches the snapshot,
+        // clears the thresholds, and rewrites the benchmark artifact.
+        let out = run_str(&format!(
+            "verify --transfer true --quick true --golden-dir {dir} --out {artifact}"
+        ))
+        .unwrap();
+        for family in ["trinity", "bigcore", "lowpower", "accel"] {
+            assert!(out.contains(family), "{family} missing from {out}");
+        }
+        assert!(out.contains("transfer golden: ok"), "{out}");
+        assert!(out.contains("verify --transfer: PASS"), "{out}");
+        let json = std::fs::read_to_string(&artifact).unwrap();
+        assert!(json.contains("transfer_regret"), "{json}");
+
+        // A tampered snapshot is a hard failure with a re-bless hint.
+        let snapshot = std::path::Path::new(&dir).join("transfer-matrix.json");
+        let mut text = std::fs::read_to_string(&snapshot).unwrap();
+        text.push(' ');
+        std::fs::write(&snapshot, text).unwrap();
+        match run_str(&format!(
+            "verify --transfer true --quick true --golden-dir {dir} --out {artifact}"
+        )) {
+            Err(CliError::Domain(msg)) => {
+                assert!(msg.contains("deviates from blessed snapshot"), "{msg}")
+            }
+            other => panic!("expected snapshot mismatch failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_rejects_unknown_family() {
+        match run_str("serve --family pentium") {
+            Err(CliError::Domain(msg)) => {
+                assert!(msg.contains("unknown machine family"), "{msg}")
+            }
+            other => panic!("expected domain error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::lease::{CoordRequest, CoordResponse, ShardLease};
 use crate::metrics::{LeaseReport, Metrics};
 use crate::protocol::{read_frame, write_frame, ProtocolError, ReadOutcome, Request, Response};
 use acs_core::{CappedRuntime, GuardPolicy, TrainedModel};
-use acs_sim::Machine;
+use acs_sim::{FamilyId, Machine};
 use parking_lot::Mutex;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -42,6 +42,9 @@ pub struct ServeConfig {
     pub port: u16,
     /// Machine noise seed (each session simulates its own node machine).
     pub seed: u64,
+    /// Machine family every session node (and the shared profile engine)
+    /// instantiates — a heterogeneous fleet runs one server per family.
+    pub family: FamilyId,
     /// Global cluster power cap, W, partitioned by the arbiter.
     pub global_cap_w: f64,
     /// Budget-partition policy.
@@ -81,6 +84,7 @@ impl Default for ServeConfig {
             host: "127.0.0.1".into(),
             port: 0,
             seed: 2014,
+            family: FamilyId::Trinity,
             global_cap_w: 120.0,
             policy: ArbiterPolicy::EqualShare,
             max_sessions: 8,
@@ -334,7 +338,8 @@ impl Server {
         } else {
             None
         };
-        let engine = Engine::new(Arc::clone(&model), Machine::new(config.seed));
+        let engine =
+            Engine::new(Arc::clone(&model), Machine::from_family(config.family, config.seed));
         if let Some(recovery) = &recovery {
             for kernel_id in &recovery.warm_kernels {
                 let _ = engine.profile(kernel_id);
@@ -592,7 +597,7 @@ fn run_session(shared: Arc<Shared>, mut stream: TcpStream, node_id: u64) {
         budget_w
     };
     let mut rt = CappedRuntime::guarded(
-        Machine::new(shared.config.seed),
+        Machine::from_family(shared.config.family, shared.config.seed),
         (*shared.model).clone(),
         budget_w,
         GuardPolicy::default(),

@@ -15,7 +15,7 @@ use acs_serve::{
     ArbiterPolicy, ChaosPlan, ChaosProxy, Client, Coordinator, CoordinatorConfig,
     CoordinatorHandle, Request, Response, ServeConfig, Server, ServerHandle,
 };
-use acs_sim::Machine;
+use acs_sim::{FamilyId, Machine};
 use std::path::PathBuf;
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
@@ -69,11 +69,13 @@ fn spawn_coordinator(
     (addr, handle, join)
 }
 
-fn spawn_shard(
+fn spawn_shard_on(
+    family: FamilyId,
     coordinator: &str,
     demand_w: f64,
 ) -> (String, ServerHandle, std::thread::JoinHandle<()>) {
     let config = ServeConfig {
+        family,
         global_cap_w: demand_w,
         policy: ArbiterPolicy::EqualShare,
         coordinator: Some(coordinator.to_string()),
@@ -86,6 +88,13 @@ fn spawn_shard(
     let handle = server.handle();
     let join = std::thread::spawn(move || server.run().expect("shard runs"));
     (addr, handle, join)
+}
+
+fn spawn_shard(
+    coordinator: &str,
+    demand_w: f64,
+) -> (String, ServerHandle, std::thread::JoinHandle<()>) {
+    spawn_shard_on(FamilyId::Trinity, coordinator, demand_w)
 }
 
 /// Poll `check` until it holds or `timeout` passes.
@@ -165,6 +174,91 @@ fn three_shards_converge_to_the_global_cap_without_ever_exceeding_it() {
     );
     let stats = coord.stats();
     assert_eq!(stats.live_committed_w + stats.encumbered_w, 0.0);
+    coord.shutdown();
+    coord_join.join().unwrap();
+}
+
+#[test]
+fn heterogeneous_family_shards_share_one_budget_and_warm_their_own_caches() {
+    // One coordinator arbitrating three shards that each serve a
+    // *different* machine family. The fleet budget invariant is
+    // family-blind — watts are watts — but every shard profiles kernels
+    // on its own family's machine, so each keeps a private profile
+    // cache and its selections reflect its own hardware.
+    let (addr, coord, coord_join) = spawn_coordinator(coordinator_config(None));
+    let families = [FamilyId::BigCore, FamilyId::LowPower, FamilyId::AccelHybrid];
+    let shards: Vec<_> = families.iter().map(|&f| spawn_shard_on(f, &addr, 60.0)).collect();
+    let handles: Vec<ServerHandle> = shards.iter().map(|(_, h, _)| h.clone()).collect();
+
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            handles.iter().all(|h| h.lease_state() == "leased")
+        }),
+        "all family shards lease within the deadline"
+    );
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            (fleet_cap_w(&handles) - GLOBAL_CAP_W).abs() < 1e-6
+        }),
+        "the heterogeneous fleet converges to the global cap, got {} W",
+        fleet_cap_w(&handles)
+    );
+    // Conservation at sampled instants, exactly as in the homogeneous
+    // case: heterogeneity must not open any overshoot window.
+    for _ in 0..20 {
+        assert!(fleet_cap_w(&handles) <= GLOBAL_CAP_W + 1e-9);
+        let stats = coord.stats();
+        assert_eq!(stats.overshoot_w, 0.0);
+        assert!(stats.live_committed_w + stats.encumbered_w <= GLOBAL_CAP_W + 1e-9);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(coord.stats().live_leases, 3);
+
+    // Drive the same kernel through every shard: the first Select is a
+    // profile-cache miss (collected on that shard's family machine),
+    // the repeats are hits. STATS reports the per-shard hit rate.
+    let kernel_id = acs_kernels::all_kernel_instances()[0].id();
+    let mut predicted = Vec::new();
+    for (shard_addr, _, _) in &shards {
+        let mut client = Client::connect(shard_addr).unwrap();
+        let mut last = None;
+        for _ in 0..4 {
+            match client.call(&Request::Select { kernel_id: kernel_id.clone() }).unwrap() {
+                Response::Selected(s) => {
+                    assert_eq!(s.kernel_id, kernel_id);
+                    assert!(s.predicted_power_w > 0.0 && s.predicted_perf > 0.0);
+                    last = Some(s);
+                }
+                other => panic!("expected Selected, got {other:?}"),
+            }
+        }
+        predicted.push(last.unwrap());
+        match client.call(&Request::Stats).unwrap() {
+            Response::Stats(s) => {
+                assert_eq!(s.lease_state, "leased");
+                assert_eq!(s.cache_misses, 1, "first Select profiles the kernel");
+                assert_eq!(s.cache_hits, 3, "repeat Selects hit the shard's cache");
+                assert!((s.cache_hit_rate - 0.75).abs() < 1e-12);
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+    // The shards are genuinely heterogeneous: the same kernel under the
+    // same arbitration does not predict identically on every family.
+    let all_same = predicted.iter().all(|s| {
+        s.predicted_power_w == predicted[0].predicted_power_w
+            && s.predicted_perf == predicted[0].predicted_perf
+    });
+    assert!(!all_same, "family machines must differentiate the predictions: {predicted:?}");
+
+    for (_, handle, join) in shards {
+        handle.shutdown();
+        join.join().unwrap();
+    }
+    assert!(
+        wait_until(Duration::from_secs(5), || coord.stats().live_leases == 0),
+        "released leases leave the table"
+    );
     coord.shutdown();
     coord_join.join().unwrap();
 }

@@ -8,8 +8,8 @@
 //! front-end and FPU), and memory-bandwidth saturation.
 
 use crate::config::Configuration;
+use crate::family::{FamilyId, MachineFamily};
 use crate::kernel::KernelCharacteristics;
-use crate::pstate::CPU_REF_FREQ_GHZ;
 
 /// Breakdown of a CPU execution, useful for counters and power activity.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -39,35 +39,76 @@ pub fn shared_core_fraction(threads: u8) -> f64 {
 /// threads for a given kernel: Amdahl-style scaling damped by module
 /// sharing and synchronization overhead.
 pub fn effective_compute_threads(kernel: &KernelCharacteristics, threads: u8) -> f64 {
+    effective_compute_threads_on(FamilyId::Trinity.descriptor(), kernel, threads)
+}
+
+/// Family-parameterized [`effective_compute_threads`]: only physically
+/// backed threads contribute throughput (oversubscription adds nothing),
+/// module-sharing loss follows the family's topology, and synchronization
+/// overhead follows the *software* thread count — oversubscribed threads
+/// still synchronize.
+pub fn effective_compute_threads_on(
+    family: &MachineFamily,
+    kernel: &KernelCharacteristics,
+    threads: u8,
+) -> f64 {
     let t = f64::from(threads);
-    let sharing_loss = kernel.module_sharing_penalty * shared_core_fraction(threads);
+    let phys = f64::from(family.physical_threads(threads));
+    let sharing_loss = kernel.module_sharing_penalty * family.shared_core_fraction(threads);
     let sync = 1.0 + kernel.sync_overhead * (t - 1.0);
-    (t * (1.0 - sharing_loss)) / sync
+    (phys * (1.0 - sharing_loss)) / sync
 }
 
 /// Wall time of one kernel iteration at a CPU configuration, without noise.
 pub fn cpu_time(kernel: &KernelCharacteristics, config: &Configuration) -> CpuTiming {
-    cpu_time_at(kernel, config.cpu_pstate.freq_ghz(), config.threads)
+    cpu_time_on(FamilyId::Trinity.descriptor(), kernel, config)
+}
+
+/// [`cpu_time`] on an explicit machine family.
+pub fn cpu_time_on(
+    family: &MachineFamily,
+    kernel: &KernelCharacteristics,
+    config: &Configuration,
+) -> CpuTiming {
+    cpu_time_at_on(family, kernel, family.cpu_point(config.cpu_pstate).freq_ghz, config.threads)
 }
 
 /// Wall time at an arbitrary core frequency (GHz) — the P-state table does
 /// not constrain this entry point, which the opportunistic-overclocking
 /// model uses for boost-blended effective frequencies.
 pub fn cpu_time_at(kernel: &KernelCharacteristics, freq_ghz: f64, threads: u8) -> CpuTiming {
-    let f_rel = freq_ghz / CPU_REF_FREQ_GHZ;
+    cpu_time_at_on(FamilyId::Trinity.descriptor(), kernel, freq_ghz, threads)
+}
+
+/// [`cpu_time_at`] on an explicit machine family. Kernel latents stay
+/// anchored at the *Trinity* single-thread reference; the family reshapes
+/// the response through its frequency anchor, IPC, core topology, and
+/// memory bandwidth. With the Trinity descriptor every scale factor is a
+/// bitwise-neutral `× 1.0` in unchanged operation order.
+pub fn cpu_time_at_on(
+    family: &MachineFamily,
+    kernel: &KernelCharacteristics,
+    freq_ghz: f64,
+    threads: u8,
+) -> CpuTiming {
+    let f_rel = (freq_ghz / family.cpu_ref_freq_ghz()) * family.ipc_scale;
 
     let serial = kernel.compute_time_s * (1.0 - kernel.parallel_fraction) / f_rel;
 
-    let eff = effective_compute_threads(kernel, threads).max(1.0 / f64::from(threads).max(1.0));
+    let eff = effective_compute_threads_on(family, kernel, threads)
+        .max(1.0 / f64::from(threads).max(1.0));
     let parallel = kernel.compute_time_s * kernel.parallel_fraction / (f_rel * eff.max(1e-9));
 
-    // DRAM time: parallelizes until bandwidth saturates, unaffected by DVFS.
-    let mem_speedup = f64::from(threads).min(kernel.bw_saturation_threads);
+    // DRAM time: parallelizes until bandwidth saturates (only physical
+    // threads issue memory streams), unaffected by DVFS.
+    let mem_speedup = f64::from(family.physical_threads(threads)).min(kernel.bw_saturation_threads)
+        * family.mem_bw_scale;
     let memory = kernel.memory_time_s / mem_speedup;
 
     let busy = serial + parallel;
     let total = busy + memory;
-    let single_thread_ref = kernel.compute_time_s / f_rel + kernel.memory_time_s;
+    let single_thread_ref =
+        kernel.compute_time_s / f_rel + kernel.memory_time_s / family.mem_bw_scale;
 
     CpuTiming { total_s: total, busy_s: busy, memory_s: memory, speedup: single_thread_ref / total }
 }

@@ -11,8 +11,8 @@
 //! GPU P-state.
 
 use crate::config::Configuration;
+use crate::family::{FamilyId, MachineFamily};
 use crate::kernel::KernelCharacteristics;
-use crate::pstate::{CPU_REF_FREQ_GHZ, GPU_REF_FREQ_GHZ};
 
 /// Breakdown of a GPU execution.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -42,24 +42,45 @@ pub fn effective_gpu_speedup(kernel: &KernelCharacteristics) -> f64 {
 
 /// Wall time of one kernel iteration at a GPU configuration, without noise.
 pub fn gpu_time(kernel: &KernelCharacteristics, config: &Configuration) -> GpuTiming {
-    let fc_rel = config.cpu_pstate.freq_ghz() / CPU_REF_FREQ_GHZ;
-    let fg_rel = config.gpu_pstate.freq_ghz() / GPU_REF_FREQ_GHZ;
+    gpu_time_on(FamilyId::Trinity.descriptor(), kernel, config)
+}
+
+/// [`gpu_time`] on an explicit machine family. The family reshapes the
+/// device through its GPU array width and memory bandwidth; an attached
+/// [`crate::family::Accelerator`] further scales regular-kernel speedup,
+/// punishes divergence, and adds a fixed offload cost to the host phase.
+/// With the Trinity descriptor every hook is a bitwise-neutral `× 1.0`.
+pub fn gpu_time_on(
+    family: &MachineFamily,
+    kernel: &KernelCharacteristics,
+    config: &Configuration,
+) -> GpuTiming {
+    let fc_rel = (family.cpu_point(config.cpu_pstate).freq_ghz / family.cpu_ref_freq_ghz())
+        * family.ipc_scale;
+    let fg_rel = family.gpu_point(config.gpu_pstate).freq_ghz / family.gpu_ref_freq_ghz();
 
     // Host work: the Amdahl-serial part cannot be offloaded, and launching
     // the kernel costs driver time; both run on the CPU.
     let serial = kernel.compute_time_s * (1.0 - kernel.parallel_fraction) / fc_rel;
-    let launch = kernel.launch_overhead_s / fc_rel;
-    let host = serial + launch;
+    let mut launch = kernel.launch_overhead_s / fc_rel;
 
     // Device compute: parallel work accelerated by the (derated) GPU
-    // speedup at the reference GPU frequency, scaled by GPU DVFS.
-    let speedup = effective_gpu_speedup(kernel).max(1e-3);
+    // speedup at the reference GPU frequency, scaled by GPU DVFS and the
+    // family's array width.
+    let mut raw_speedup = effective_gpu_speedup(kernel) * family.gpu_width_scale;
+    if let Some(acc) = family.accelerator {
+        raw_speedup *=
+            acc.speedup_scale * (1.0 - acc.divergence_penalty * kernel.branch_divergence).max(0.05);
+        launch += acc.offload_overhead_s / fc_rel;
+    }
+    let host = serial + launch;
+    let speedup = raw_speedup.max(1e-3);
     let compute = kernel.compute_time_s * kernel.parallel_fraction / (speedup * fg_rel);
 
     // Device memory: shares the APU memory controller with the CPU; GPU
     // coalescing gives a modest bandwidth advantage. Insensitive to GPU
     // core DVFS.
-    let memory = kernel.memory_time_s / kernel.gpu_bw_advantage.max(1e-3);
+    let memory = kernel.memory_time_s / (kernel.gpu_bw_advantage.max(1e-3) * family.mem_bw_scale);
 
     let device = compute.max(memory) + NON_OVERLAP * compute.min(memory);
 

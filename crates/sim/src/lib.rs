@@ -28,6 +28,7 @@ pub mod boost;
 pub mod config;
 pub mod counters;
 pub mod cpu;
+pub mod family;
 pub mod faults;
 pub mod governor;
 pub mod gpu;
@@ -43,6 +44,7 @@ pub use asymmetric::{asymmetric_cpu_power, asymmetric_cpu_time, AsymmetricCpuCon
 pub use boost::{boosted_cpu_run, BoostedRun, ThermalModel, BOOST_STATES};
 pub use config::{Configuration, Device, NUM_CPU_CORES, NUM_CPU_MODULES};
 pub use counters::{CounterSet, FEATURE_NAMES};
+pub use family::{Accelerator, FamilyId, MachineFamily};
 pub use faults::{ExecutionFault, Executor, FaultKind, FaultPlan, FaultStats, FaultyMachine};
 pub use governor::{GovernorAction, OndemandGovernor, TransitionModel};
 pub use kernel::KernelCharacteristics;
@@ -51,4 +53,4 @@ pub use noise::NoiseSource;
 pub use power::{PowerBreakdown, PowerCalibration};
 pub use pstate::{CpuPState, GpuPState, CPU_REF_FREQ_GHZ, GPU_REF_FREQ_GHZ};
 pub use sensor::PowerSensor;
-pub use trace::{trace_for, PowerTrace, TraceSegment};
+pub use trace::{trace_for, trace_for_on, PowerTrace, TraceSegment};

@@ -4,8 +4,9 @@
 
 use crate::config::{Configuration, Device};
 use crate::counters::{self, CounterInputs, CounterSet};
-use crate::cpu::cpu_time;
-use crate::gpu::gpu_time;
+use crate::cpu::cpu_time_on;
+use crate::family::{FamilyId, MachineFamily};
+use crate::gpu::gpu_time_on;
 use crate::kernel::KernelCharacteristics;
 use crate::noise::{NoiseSource, Stream};
 use crate::power::{PowerBreakdown, PowerCalibration};
@@ -56,6 +57,10 @@ impl KernelRun {
 pub struct Machine {
     /// Master noise seed.
     pub seed: u64,
+    /// Which machine family this node belongs to (defaults to Trinity, so
+    /// records serialized before families existed still deserialize).
+    #[serde(default)]
+    pub family: FamilyId,
     /// Power model calibration.
     pub power_cal: PowerCalibration,
     /// The on-chip power estimator.
@@ -67,11 +72,19 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// A machine with default calibration and the given seed.
+    /// A Trinity machine with default calibration and the given seed
+    /// (equivalent to `Machine::from_family(FamilyId::Trinity, seed)`).
     pub fn new(seed: u64) -> Self {
+        Self::from_family(FamilyId::Trinity, seed)
+    }
+
+    /// A machine of the given family, instantiated deterministically from
+    /// `seed`: same family + same seed ⇒ bit-identical observations.
+    pub fn from_family(family: FamilyId, seed: u64) -> Self {
         Self {
             seed,
-            power_cal: PowerCalibration::default(),
+            family,
+            power_cal: family.descriptor().power_cal.clone(),
             sensor: PowerSensor::default(),
             timing_sigma: 0.01,
             power_sigma: 0.01,
@@ -81,13 +94,25 @@ impl Machine {
     /// A noiseless machine: exact timing, exact power, ideal sensor.
     /// Useful for tests and for isolating model error in ablations.
     pub fn noiseless(seed: u64) -> Self {
+        Self::noiseless_from_family(FamilyId::Trinity, seed)
+    }
+
+    /// [`Machine::noiseless`] on an explicit family.
+    pub fn noiseless_from_family(family: FamilyId, seed: u64) -> Self {
         Self {
             seed,
-            power_cal: PowerCalibration::default(),
+            family,
+            power_cal: family.descriptor().power_cal.clone(),
             sensor: PowerSensor::ideal(),
             timing_sigma: 0.0,
             power_sigma: 0.0,
         }
+    }
+
+    /// The family descriptor this machine instantiates.
+    #[inline]
+    pub fn family_descriptor(&self) -> &'static MachineFamily {
+        self.family.descriptor()
     }
 
     /// Execute `kernel` at `config` (first iteration).
@@ -102,34 +127,35 @@ impl Machine {
         config: &Configuration,
         run: u64,
     ) -> KernelRun {
+        let fam = self.family.descriptor();
         let noise = NoiseSource::new(self.seed, &kernel.id(), config.index(), run);
         let t_jitter = noise.jitter(Stream::Timing, self.timing_sigma);
         let p_jitter = noise.jitter(Stream::Power, self.power_sigma);
 
         let (time_s, true_power, counter_inputs) = match config.device {
             Device::Cpu => {
-                let t = cpu_time(kernel, config);
-                let p = self.power_cal.cpu_run_power(kernel, config, &t);
+                let t = cpu_time_on(fam, kernel, config);
+                let p = self.power_cal.cpu_run_power_on(fam, kernel, config, &t);
                 let ci = CounterInputs {
                     device: Device::Cpu,
                     total_s: t.total_s * t_jitter,
                     host_busy_s: t.busy_s * t_jitter,
                     memory_s: t.memory_s * t_jitter,
                     threads: config.threads,
-                    cpu_freq_ghz: config.cpu_pstate.freq_ghz(),
+                    cpu_freq_ghz: fam.cpu_point(config.cpu_pstate).freq_ghz,
                 };
                 (t.total_s * t_jitter, p, ci)
             }
             Device::Gpu => {
-                let t = gpu_time(kernel, config);
-                let p = self.power_cal.gpu_run_power(kernel, config, &t);
+                let t = gpu_time_on(fam, kernel, config);
+                let p = self.power_cal.gpu_run_power_on(fam, kernel, config, &t);
                 let ci = CounterInputs {
                     device: Device::Gpu,
                     total_s: t.total_s * t_jitter,
                     host_busy_s: t.host_s * t_jitter,
                     memory_s: t.device_memory_s * t_jitter,
                     threads: 1,
-                    cpu_freq_ghz: config.cpu_pstate.freq_ghz(),
+                    cpu_freq_ghz: fam.cpu_point(config.cpu_pstate).freq_ghz,
                 };
                 (t.total_s * t_jitter, p, ci)
             }
@@ -145,7 +171,7 @@ impl Machine {
         // each plane through an independent accumulator, as the firmware
         // exposes them. Jitter applies to the waveform so the sensed and
         // true powers describe the same execution.
-        let mut trace = crate::trace::trace_for(kernel, config, &self.power_cal);
+        let mut trace = crate::trace::trace_for_on(fam, kernel, config, &self.power_cal);
         trace.scale_time(t_jitter);
         trace.scale_power(p_jitter);
         let plane_noise = NoiseSource::new(self.seed ^ 0xA5A5, &kernel.id(), config.index(), run);

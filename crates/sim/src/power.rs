@@ -7,8 +7,9 @@
 //! memory-bound kernels draw visibly different power than compute-bound
 //! ones at the same operating point.
 
-use crate::config::{Configuration, Device, NUM_CPU_MODULES};
+use crate::config::{Configuration, Device};
 use crate::cpu::CpuTiming;
+use crate::family::{FamilyId, MachineFamily};
 use crate::gpu::GpuTiming;
 use crate::kernel::KernelCharacteristics;
 use serde::{Deserialize, Serialize};
@@ -87,19 +88,37 @@ impl PowerBreakdown {
 
 impl PowerCalibration {
     /// CPU-plane power for `active` cores running at `v`/`f` with the given
-    /// effective activity, plus idle-core and gated-module overheads.
-    fn cpu_plane(&self, active_cores: u8, v: f64, f: f64, activity: f64) -> f64 {
-        let active_modules = active_cores.div_ceil(2).max(1);
-        let gated_modules = NUM_CPU_MODULES - active_modules;
-        let idle_cores = active_modules * 2 - active_cores;
+    /// effective activity, plus idle-core and gated-module overheads, on
+    /// `family`'s core/module topology. Threads beyond the family's
+    /// physical core count draw nothing extra — they time-share cores that
+    /// are already burning.
+    fn cpu_plane(
+        &self,
+        family: &MachineFamily,
+        active_cores: u8,
+        v: f64,
+        f: f64,
+        activity: f64,
+    ) -> f64 {
+        let per_module = family.cores_per_module.max(1);
+        let phys = family.physical_threads(active_cores);
+        let active_modules = phys.div_ceil(per_module).max(1);
+        let gated_modules = family.total_modules().saturating_sub(active_modules);
+        let idle_cores = active_modules * per_module - phys;
 
-        let dyn_w = self.k_cpu_dyn * v * v * f * activity * f64::from(active_cores);
+        let dyn_w = self.k_cpu_dyn * v * v * f * activity * f64::from(phys);
         let leak_w = self.k_cpu_leak_module * v * v * f64::from(active_modules);
         dyn_w
             + leak_w
             + self.cpu_idle_core_w * f64::from(idle_cores)
             + self.cpu_gated_module_w * f64::from(gated_modules)
             + self.cpu_uncore_w
+    }
+
+    /// DRAM-saturation share of `threads` software threads on `family`:
+    /// only physically backed threads issue memory streams.
+    fn dram_sat(family: &MachineFamily, kernel: &KernelCharacteristics, threads: u8) -> f64 {
+        (f64::from(family.physical_threads(threads)) / kernel.bw_saturation_threads).min(1.0)
     }
 
     /// GPU contribution to the NB+GPU plane at utilization `util`.
@@ -124,14 +143,25 @@ impl PowerCalibration {
         kernel: &KernelCharacteristics,
         config: &Configuration,
     ) -> (PowerBreakdown, PowerBreakdown) {
+        self.cpu_phase_powers_on(FamilyId::Trinity.descriptor(), kernel, config)
+    }
+
+    /// [`PowerCalibration::cpu_phase_powers`] on an explicit family.
+    pub fn cpu_phase_powers_on(
+        &self,
+        family: &MachineFamily,
+        kernel: &KernelCharacteristics,
+        config: &Configuration,
+    ) -> (PowerBreakdown, PowerBreakdown) {
         debug_assert_eq!(config.device, Device::Cpu);
-        let p = config.cpu_pstate.point();
-        let gp = config.gpu_pstate.point();
+        let p = family.cpu_point(config.cpu_pstate);
+        let gp = family.gpu_point(config.gpu_pstate);
         let gpu_idle = self.k_gpu_leak * gp.voltage_v * gp.voltage_v;
-        let sat = (f64::from(config.threads) / kernel.bw_saturation_threads).min(1.0);
+        let sat = Self::dram_sat(family, kernel, config.threads);
 
         let busy = PowerBreakdown {
             cpu_plane_w: self.cpu_plane(
+                family,
                 config.threads,
                 p.voltage_v,
                 p.freq_ghz,
@@ -141,6 +171,7 @@ impl PowerCalibration {
         };
         let stall = PowerBreakdown {
             cpu_plane_w: self.cpu_plane(
+                family,
                 config.threads,
                 p.voltage_v,
                 p.freq_ghz,
@@ -161,9 +192,20 @@ impl PowerCalibration {
         config: &Configuration,
         timing: &GpuTiming,
     ) -> (PowerBreakdown, PowerBreakdown) {
+        self.gpu_phase_powers_on(FamilyId::Trinity.descriptor(), kernel, config, timing)
+    }
+
+    /// [`PowerCalibration::gpu_phase_powers`] on an explicit family.
+    pub fn gpu_phase_powers_on(
+        &self,
+        family: &MachineFamily,
+        kernel: &KernelCharacteristics,
+        config: &Configuration,
+        timing: &GpuTiming,
+    ) -> (PowerBreakdown, PowerBreakdown) {
         debug_assert_eq!(config.device, Device::Gpu);
-        let cp = config.cpu_pstate.point();
-        let gp = config.gpu_pstate.point();
+        let cp = family.cpu_point(config.cpu_pstate);
+        let gp = family.gpu_point(config.gpu_pstate);
 
         let mem_share = if timing.device_s > 0.0 {
             (timing.device_memory_s / timing.device_s).clamp(0.0, 1.0)
@@ -174,7 +216,7 @@ impl PowerCalibration {
             kernel.gpu_activity * ((1.0 - mem_share) + self.mem_stall_activity * mem_share);
 
         let host = PowerBreakdown {
-            cpu_plane_w: self.cpu_plane(1, cp.voltage_v, cp.freq_ghz, kernel.cpu_activity),
+            cpu_plane_w: self.cpu_plane(family, 1, cp.voltage_v, cp.freq_ghz, kernel.cpu_activity),
             gpu_nb_plane_w: self.gpu_component(gp.voltage_v, gp.freq_ghz, gpu_activity, 0.0)
                 + self.nb_component(0.0),
         };
@@ -184,7 +226,13 @@ impl PowerCalibration {
             0.0
         };
         let device = PowerBreakdown {
-            cpu_plane_w: self.cpu_plane(1, cp.voltage_v, cp.freq_ghz, self.gpu_host_poll_activity),
+            cpu_plane_w: self.cpu_plane(
+                family,
+                1,
+                cp.voltage_v,
+                cp.freq_ghz,
+                self.gpu_host_poll_activity,
+            ),
             gpu_nb_plane_w: self.gpu_component(gp.voltage_v, gp.freq_ghz, gpu_activity, 1.0)
                 + self.nb_component(device_dram),
         };
@@ -198,22 +246,33 @@ impl PowerCalibration {
         config: &Configuration,
         timing: &CpuTiming,
     ) -> PowerBreakdown {
+        self.cpu_run_power_on(FamilyId::Trinity.descriptor(), kernel, config, timing)
+    }
+
+    /// [`PowerCalibration::cpu_run_power`] on an explicit family.
+    pub fn cpu_run_power_on(
+        &self,
+        family: &MachineFamily,
+        kernel: &KernelCharacteristics,
+        config: &Configuration,
+        timing: &CpuTiming,
+    ) -> PowerBreakdown {
         debug_assert_eq!(config.device, Device::Cpu);
-        let p = config.cpu_pstate.point();
+        let p = family.cpu_point(config.cpu_pstate);
 
         let busy_frac = if timing.total_s > 0.0 { timing.busy_s / timing.total_s } else { 0.0 };
         let activity =
             kernel.cpu_activity * (busy_frac + self.mem_stall_activity * (1.0 - busy_frac));
-        let cpu_plane_w = self.cpu_plane(config.threads, p.voltage_v, p.freq_ghz, activity);
+        let cpu_plane_w = self.cpu_plane(family, config.threads, p.voltage_v, p.freq_ghz, activity);
 
         // DRAM utilization: fraction of time on memory, scaled by how close
         // the thread count is to saturating bandwidth.
         let mem_frac = if timing.total_s > 0.0 { timing.memory_s / timing.total_s } else { 0.0 };
-        let sat = (f64::from(config.threads) / kernel.bw_saturation_threads).min(1.0);
+        let sat = Self::dram_sat(family, kernel, config.threads);
         let dram_util = mem_frac * sat;
 
         // GPU parked at its minimum P-state: leakage only.
-        let gp = config.gpu_pstate.point();
+        let gp = family.gpu_point(config.gpu_pstate);
         let gpu_idle = self.k_gpu_leak * gp.voltage_v * gp.voltage_v;
 
         PowerBreakdown { cpu_plane_w, gpu_nb_plane_w: gpu_idle + self.nb_component(dram_util) }
@@ -226,16 +285,27 @@ impl PowerCalibration {
         config: &Configuration,
         timing: &GpuTiming,
     ) -> PowerBreakdown {
+        self.gpu_run_power_on(FamilyId::Trinity.descriptor(), kernel, config, timing)
+    }
+
+    /// [`PowerCalibration::gpu_run_power`] on an explicit family.
+    pub fn gpu_run_power_on(
+        &self,
+        family: &MachineFamily,
+        kernel: &KernelCharacteristics,
+        config: &Configuration,
+        timing: &GpuTiming,
+    ) -> PowerBreakdown {
         debug_assert_eq!(config.device, Device::Gpu);
-        let cp = config.cpu_pstate.point();
-        let gp = config.gpu_pstate.point();
+        let cp = family.cpu_point(config.cpu_pstate);
+        let gp = family.gpu_point(config.gpu_pstate);
         let total = timing.total_s.max(1e-12);
 
         // Host core: busy for the host fraction, polling otherwise.
         let host_frac = (timing.host_s / total).clamp(0.0, 1.0);
         let host_activity =
             kernel.cpu_activity * host_frac + self.gpu_host_poll_activity * (1.0 - host_frac);
-        let cpu_plane_w = self.cpu_plane(1, cp.voltage_v, cp.freq_ghz, host_activity);
+        let cpu_plane_w = self.cpu_plane(family, 1, cp.voltage_v, cp.freq_ghz, host_activity);
 
         // GPU: active for the device fraction; activity derated when the
         // device is memory-stalled.

@@ -9,8 +9,9 @@
 //! error, exactly like hardware.
 
 use crate::config::{Configuration, Device};
-use crate::cpu::cpu_time;
-use crate::gpu::gpu_time;
+use crate::cpu::cpu_time_on;
+use crate::family::{FamilyId, MachineFamily};
+use crate::gpu::gpu_time_on;
 use crate::kernel::KernelCharacteristics;
 use crate::noise::{NoiseSource, Stream};
 use crate::power::{PowerBreakdown, PowerCalibration};
@@ -168,15 +169,25 @@ pub fn trace_for(
     config: &Configuration,
     cal: &PowerCalibration,
 ) -> PowerTrace {
+    trace_for_on(FamilyId::Trinity.descriptor(), kernel, config, cal)
+}
+
+/// [`trace_for`] on an explicit machine family.
+pub fn trace_for_on(
+    family: &MachineFamily,
+    kernel: &KernelCharacteristics,
+    config: &Configuration,
+    cal: &PowerCalibration,
+) -> PowerTrace {
     match config.device {
         Device::Cpu => {
-            let t = cpu_time(kernel, config);
-            let (busy, stall) = cal.cpu_phase_powers(kernel, config);
+            let t = cpu_time_on(family, kernel, config);
+            let (busy, stall) = cal.cpu_phase_powers_on(family, kernel, config);
             PowerTrace::interleaved((t.busy_s, busy), (t.memory_s, stall))
         }
         Device::Gpu => {
-            let t = gpu_time(kernel, config);
-            let (host, device) = cal.gpu_phase_powers(kernel, config, &t);
+            let t = gpu_time_on(family, kernel, config);
+            let (host, device) = cal.gpu_phase_powers_on(family, kernel, config, &t);
             PowerTrace::interleaved((t.host_s, host), (t.device_s, device))
         }
     }
@@ -215,6 +226,7 @@ impl PowerSensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cpu::cpu_time;
     use crate::pstate::{CpuPState, GpuPState};
 
     fn kernel() -> KernelCharacteristics {

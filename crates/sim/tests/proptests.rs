@@ -2,9 +2,25 @@
 //! must hold for *every* valid kernel, not just the shipped suite.
 
 use acs_sim::{
-    Configuration, CpuPState, Device, GpuPState, KernelCharacteristics, Machine, NoiseSource,
+    Configuration, CpuPState, Device, FamilyId, GpuPState, KernelCharacteristics, Machine,
+    NoiseSource,
 };
 use proptest::prelude::*;
+
+/// Strategy drawing one of the four machine families.
+fn family_strategy() -> impl Strategy<Value = FamilyId> {
+    (0usize..FamilyId::ALL.len()).prop_map(|i| FamilyId::ALL[i])
+}
+
+/// The sibling `.proptest-regressions` file must resolve from the test
+/// harness's working directory and parse both entry formats — otherwise
+/// persisted seeds would silently stop replaying in CI.
+#[test]
+fn persisted_regressions_resolve_and_parse() {
+    let seeds = proptest::persisted_seeds(file!());
+    assert_eq!(seeds.len(), 2, "expected both regression entries, got {seeds:?}");
+    assert!(seeds.contains(&0x134), "native 16-hex entry must parse: {seeds:?}");
+}
 
 /// Strategy producing arbitrary valid kernels across the latent space.
 fn kernel_strategy() -> impl Strategy<Value = KernelCharacteristics> {
@@ -44,7 +60,8 @@ fn kernel_strategy() -> impl Strategy<Value = KernelCharacteristics> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // `PROPTEST_CASES` (CI) overrides the local 64-case budget.
+    #![proptest_config(ProptestConfig::with_cases_env(64))]
 
     #[test]
     fn generated_kernels_validate(k in kernel_strategy()) {
@@ -188,6 +205,79 @@ proptest! {
                 Device::Cpu => prop_assert_eq!(r.config.device, Device::Cpu),
                 Device::Gpu => prop_assert_eq!(r.config.device, Device::Gpu),
             }
+        }
+    }
+
+    #[test]
+    fn family_instantiation_is_seed_deterministic(
+        k in kernel_strategy(),
+        family in family_strategy(),
+        seed in 0u64..100,
+    ) {
+        let a = Machine::from_family(family, seed);
+        let b = Machine::from_family(family, seed);
+        prop_assert_eq!(&a, &b);
+        for cfg in Configuration::enumerate() {
+            prop_assert_eq!(a.run(&k, &cfg), b.run(&k, &cfg));
+        }
+    }
+
+    #[test]
+    fn every_family_run_is_physical(
+        k in kernel_strategy(),
+        family in family_strategy(),
+        seed in 0u64..50,
+    ) {
+        let m = Machine::from_family(family, seed);
+        for cfg in Configuration::enumerate() {
+            let r = m.run(&k, &cfg);
+            prop_assert!(r.time_s > 0.0 && r.time_s.is_finite(), "{family} time {}", r.time_s);
+            prop_assert!(
+                r.power_w() > 0.0 && r.power_w() < 400.0,
+                "{family} power {}", r.power_w()
+            );
+            prop_assert!(r.true_power.cpu_plane_w > 0.0);
+            prop_assert!(r.true_power.gpu_nb_plane_w > 0.0);
+        }
+    }
+
+    #[test]
+    fn trinity_family_is_bit_identical_to_legacy_machine(
+        k in kernel_strategy(),
+        seed in 0u64..50,
+    ) {
+        // The family layer must be a pure generalization: routing Trinity
+        // through the descriptor reproduces the pre-family machine
+        // bit-for-bit (goldens depend on this).
+        let legacy = Machine::new(seed);
+        let fam = Machine::from_family(FamilyId::Trinity, seed);
+        for cfg in Configuration::enumerate() {
+            let a = legacy.run(&k, &cfg);
+            let b = fam.run(&k, &cfg);
+            prop_assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
+            prop_assert_eq!(
+                a.true_power.cpu_plane_w.to_bits(),
+                b.true_power.cpu_plane_w.to_bits()
+            );
+            prop_assert_eq!(
+                a.true_power.gpu_nb_plane_w.to_bits(),
+                b.true_power.gpu_nb_plane_w.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn family_cpu_time_monotone_in_frequency(
+        k in kernel_strategy(),
+        family in family_strategy(),
+        threads in 1u8..=4,
+    ) {
+        let m = Machine::noiseless_from_family(family, 0);
+        let mut prev = f64::INFINITY;
+        for p in CpuPState::all() {
+            let t = m.run(&k, &Configuration::cpu(threads, p)).time_s;
+            prop_assert!(t <= prev + 1e-15, "{family}: time must not rise with frequency");
+            prev = t;
         }
     }
 }

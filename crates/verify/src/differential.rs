@@ -174,7 +174,9 @@ pub fn run_differential(
 
 /// Aggregate one method's cases in a single pass (no intermediate
 /// per-category `Vec`s): every statistic is a running count or sum.
-fn summarize_method(cases: &[ScenarioCase], method: Method) -> MethodRegret {
+/// Shared with the transfer runner, which scores foreign-model cases
+/// with exactly the same statistics.
+pub(crate) fn summarize_method(cases: &[ScenarioCase], method: Method) -> MethodRegret {
     let mut scenarios = 0usize;
     let mut under = 0usize;
     let mut regret_sum = 0.0f64;

@@ -1,12 +1,15 @@
 //! Golden-trace snapshots: blessed reference outputs the test suite diffs
 //! every run against.
 //!
-//! Three canonical traces are pinned, chosen to cover the three layers a
+//! Six canonical traces are pinned, chosen to cover the layers a
 //! regression could hide in: the *unguarded* scheduler timeline (pure
 //! selection logic), the *guarded chaos* timeline (fault handling and the
-//! degradation ladder), and the *regret summary* (end-to-end selection
-//! quality vs. the oracle). All three are deterministic byte-for-byte, so
-//! comparison is exact string equality — no tolerance windows to rot.
+//! degradation ladder), the *regret summary* (end-to-end selection
+//! quality vs. the oracle), and one unguarded timeline per non-Trinity
+//! *machine family* (the parametric family descriptors — a drifting
+//! BigCore power curve shows up here even if Trinity is untouched). All
+//! are deterministic byte-for-byte, so comparison is exact string
+//! equality — no tolerance windows to rot.
 //!
 //! Workflow: `acs verify --bless` regenerates the files under
 //! `tests/golden/`; `tests/conformance.rs` fails if a current run
@@ -17,7 +20,7 @@ use crate::scenario::GridParams;
 use acs_core::offline::TrainedModel;
 use acs_core::{collect_suite, train, CappedRuntime, GuardPolicy, TrainingParams};
 use acs_kernels::{AppInstance, InputSize};
-use acs_sim::{FaultPlan, FaultyMachine, KernelCharacteristics, Machine};
+use acs_sim::{FamilyId, FaultPlan, FaultyMachine, KernelCharacteristics, Machine};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -91,14 +94,46 @@ pub fn regret_summary() -> String {
     serde_json::to_string_pretty(&report.golden_summary()).expect("summary serializes")
 }
 
+/// Produce one machine family's unguarded scheduler timeline: the model
+/// trains and schedules on a `GOLDEN_SEED` member of `family`, end to
+/// end, so a drift anywhere in that family's descriptor (P-state table,
+/// power calibration, GPU width, accelerator derating) moves bytes here.
+pub fn family_timeline(family: FamilyId) -> String {
+    let machine = Machine::from_family(family, GOLDEN_SEED);
+    let model = golden_model(&machine);
+    let mut rt = CappedRuntime::new(machine, model, GOLDEN_CAP_W);
+    rt.run_app(&golden_app(), GOLDEN_ITERATIONS).expect("fault-free run completes");
+    rt.timeline().to_json()
+}
+
+/// Canonical trace 4: the BigCore family timeline.
+pub fn bigcore_timeline() -> String {
+    family_timeline(FamilyId::BigCore)
+}
+
+/// Canonical trace 5: the LowPower family timeline.
+pub fn lowpower_timeline() -> String {
+    family_timeline(FamilyId::LowPower)
+}
+
+/// Canonical trace 6: the AccelHybrid family timeline.
+pub fn accel_timeline() -> String {
+    family_timeline(FamilyId::AccelHybrid)
+}
+
 /// A golden-trace producer: renders the canonical byte stream to bless.
 pub type TraceProducer = fn() -> String;
 
 /// The golden traces, in blessing order: `(file name, producer)`.
-pub const TRACES: [(&str, TraceProducer); 3] = [
+/// (Trinity needs no family trace — trace 1 *is* its timeline, and the
+/// family layer is proven bit-identical to it by the sim proptests.)
+pub const TRACES: [(&str, TraceProducer); 6] = [
     ("unguarded-timeline.json", unguarded_timeline),
     ("guarded-chaos-timeline.json", guarded_chaos_timeline),
     ("regret-summary.json", regret_summary),
+    ("family-bigcore-timeline.json", bigcore_timeline),
+    ("family-lowpower-timeline.json", lowpower_timeline),
+    ("family-accel-timeline.json", accel_timeline),
 ];
 
 /// Outcome of comparing one current trace against its blessed file.
@@ -254,6 +289,21 @@ mod tests {
     #[test]
     fn chaos_trace_differs_from_unguarded_trace() {
         assert_ne!(unguarded_timeline(), guarded_chaos_timeline());
+    }
+
+    #[test]
+    fn family_traces_are_pairwise_distinct_and_trinity_equals_trace_one() {
+        // Each family timeline must carry its own signal (identical bytes
+        // would mean the descriptor is not actually reaching the runtime),
+        // while Trinity-via-family reproduces the canonical trace exactly.
+        let traces =
+            [unguarded_timeline(), bigcore_timeline(), lowpower_timeline(), accel_timeline()];
+        for i in 0..traces.len() {
+            for j in i + 1..traces.len() {
+                assert_ne!(traces[i], traces[j], "traces {i} and {j} are identical");
+            }
+        }
+        assert_eq!(family_timeline(FamilyId::Trinity), traces[0]);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   sweeps with disk-cached Pareto frontiers.
 //! * [`differential`] — every method replayed against the oracle, scored
 //!   as per-method regret with pass/fail thresholds from the paper.
+//! * [`transfer`] — the cross-architecture differential: models trained
+//!   on one machine family scheduling another, gated on transfer regret.
 //! * [`metamorphic`] + [`golden`] — first-principles invariants and
 //!   byte-exact blessed traces guarding against silent behavior drift.
 //!
@@ -26,12 +28,17 @@ pub mod golden;
 pub mod metamorphic;
 pub mod oracle;
 pub mod scenario;
+pub mod transfer;
 
 pub use differential::{run_differential, MethodRegret, RegretReport, ScenarioCase, Thresholds};
 pub use golden::{bless, compare, render_diff, write_failure_artifacts, GoldenDiff, GoldenStatus};
 pub use metamorphic::{
     check_all, check_cap_monotonicity, check_cluster_permutation_invariance,
-    check_frontier_non_domination, check_seed_determinism, InvariantViolation,
+    check_family_frontiers, check_frontier_non_domination, check_seed_determinism,
+    InvariantViolation,
 };
 pub use oracle::{FrontierRecord, OracleChoice, OracleEngine};
 pub use scenario::{GridParams, MachineScenarios, Scenario, ScenarioGrid};
+pub use transfer::{
+    run_transfer, TransferCell, TransferMatrix, TransferThresholds, TRANSFER_METHODS,
+};

@@ -289,6 +289,28 @@ pub fn check_seed_determinism(
     violations
 }
 
+/// Invariants 1 + 2 swept across a whole machine family: collect each
+/// kernel's oracle frontier on a freshly instantiated member of `family`
+/// and require cap monotonicity and non-domination. The frontier
+/// invariants are family-independent physics — a parametrization that
+/// breaks them (e.g. a power curve that inverts under a wide GPU) is a
+/// bug in the family descriptor, and this is the check that names it.
+pub fn check_family_frontiers(
+    family: acs_sim::FamilyId,
+    machine_seed: u64,
+    kernels: &[acs_sim::KernelCharacteristics],
+) -> Vec<InvariantViolation> {
+    let machine = Machine::from_family(family, machine_seed);
+    let mut violations = Vec::new();
+    for k in kernels {
+        let id = format!("{family}:{}", k.id());
+        let frontier = KernelProfile::collect(&machine, k).oracle_frontier();
+        violations.extend(check_cap_monotonicity(&id, &frontier));
+        violations.extend(check_frontier_non_domination(&id, &frontier));
+    }
+    violations
+}
+
 /// Run every metamorphic invariant over a machine's worth of grid data:
 /// frontier checks per evaluated kernel, permutation invariance over the
 /// training suite, and seed determinism for the runtime.
@@ -395,6 +417,15 @@ mod tests {
         let evaluated = collect_suite(&m, &acs_kernels::lu::kernels(InputSize::Small));
         let v = check_all(2014, &training, &evaluated, &model, &lulesh());
         assert_eq!(v, vec![], "{v:?}");
+    }
+
+    #[test]
+    fn every_family_satisfies_the_frontier_invariants() {
+        let kernels = acs_kernels::lu::kernels(InputSize::Small);
+        for family in acs_sim::FamilyId::ALL {
+            let v = check_family_frontiers(family, 2014, &kernels);
+            assert_eq!(v, vec![], "{family}: {v:?}");
+        }
     }
 
     #[test]

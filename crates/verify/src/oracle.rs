@@ -9,7 +9,7 @@
 //! conformance run mostly I/O.
 
 use acs_core::{Frontier, KernelProfile, PowerPerfPoint};
-use acs_sim::{Configuration, KernelCharacteristics, Machine};
+use acs_sim::{Configuration, FamilyId, KernelCharacteristics, Machine};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
@@ -17,6 +17,10 @@ use std::path::{Path, PathBuf};
 /// is detected instead of silently trusted.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FrontierRecord {
+    /// Family of the machine the frontier was swept on (absent in
+    /// pre-family records, which deserialize as Trinity).
+    #[serde(default)]
+    pub family: FamilyId,
     /// Seed of the machine the frontier was swept on.
     pub machine_seed: u64,
     /// Kernel identifier.
@@ -56,21 +60,32 @@ impl OracleEngine {
         Self { cache_dir: Some(dir.into()) }
     }
 
-    fn cache_path(&self, machine_seed: u64, kernel_id: &str) -> Option<PathBuf> {
+    fn cache_path(&self, family: FamilyId, machine_seed: u64, kernel_id: &str) -> Option<PathBuf> {
         let dir = self.cache_dir.as_ref()?;
         let safe: String = kernel_id
             .chars()
             .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '.' { c } else { '_' })
             .collect();
-        Some(dir.join(format!("oracle-{machine_seed}-{safe}.json")))
+        // The family id namespaces the cache: each `(family, seed)` node
+        // owns its own frontier files, so heterogeneous grids never race
+        // or alias on a shared slot. (Trinity's files carry the prefix
+        // too; pre-family `oracle-{seed}-…` files are simply ignored.)
+        Some(dir.join(format!("oracle-{family}-{machine_seed}-{safe}.json")))
     }
 
-    fn load_cached(path: &Path, machine_seed: u64, kernel_id: &str) -> Option<Frontier> {
+    fn load_cached(
+        path: &Path,
+        family: FamilyId,
+        machine_seed: u64,
+        kernel_id: &str,
+    ) -> Option<Frontier> {
         let json = std::fs::read_to_string(path).ok()?;
         let record: FrontierRecord = serde_json::from_str(&json).ok()?;
         // A hash-collision or hand-edited file must not masquerade as the
         // requested frontier.
-        (record.machine_seed == machine_seed && record.kernel_id == kernel_id)
+        (record.family == family
+            && record.machine_seed == machine_seed
+            && record.kernel_id == kernel_id)
             .then_some(record.frontier)
     }
 
@@ -79,15 +94,16 @@ impl OracleEngine {
     /// overwritten.
     pub fn frontier(&self, machine: &Machine, kernel: &KernelCharacteristics) -> Frontier {
         let id = kernel.id();
-        let path = self.cache_path(machine.seed, &id);
+        let path = self.cache_path(machine.family, machine.seed, &id);
         if let Some(p) = &path {
-            if let Some(frontier) = Self::load_cached(p, machine.seed, &id) {
+            if let Some(frontier) = Self::load_cached(p, machine.family, machine.seed, &id) {
                 return frontier;
             }
         }
         let frontier = KernelProfile::collect(machine, kernel).oracle_frontier();
         if let Some(p) = &path {
             let record = FrontierRecord {
+                family: machine.family,
                 machine_seed: machine.seed,
                 kernel_id: id,
                 frontier: frontier.clone(),
@@ -160,7 +176,7 @@ mod tests {
         let machine = Machine::new(5);
         let engine = OracleEngine::with_cache(&dir);
         let first = engine.frontier(&machine, &kernel());
-        let path = engine.cache_path(5, &kernel().id()).unwrap();
+        let path = engine.cache_path(FamilyId::Trinity, 5, &kernel().id()).unwrap();
         assert!(path.exists(), "sweep must populate the cache");
         let second = engine.frontier(&machine, &kernel());
         assert_eq!(first, second);
@@ -173,11 +189,11 @@ mod tests {
         let machine = Machine::new(5);
         let engine = OracleEngine::with_cache(&dir);
         let good = engine.frontier(&machine, &kernel());
-        let path = engine.cache_path(5, &kernel().id()).unwrap();
+        let path = engine.cache_path(FamilyId::Trinity, 5, &kernel().id()).unwrap();
         std::fs::write(&path, "{ not json").unwrap();
         assert_eq!(engine.frontier(&machine, &kernel()), good);
         // The corrupt file was overwritten with a valid record.
-        assert!(OracleEngine::load_cached(&path, 5, &kernel().id()).is_some());
+        assert!(OracleEngine::load_cached(&path, FamilyId::Trinity, 5, &kernel().id()).is_some());
     }
 
     #[test]
@@ -187,10 +203,47 @@ mod tests {
         let engine = OracleEngine::with_cache(&dir);
         let f7 = engine.frontier(&Machine::new(7), &kernel());
         // Forge seed 8's slot with seed 7's record.
-        let forged = engine.cache_path(8, &kernel().id()).unwrap();
-        std::fs::copy(engine.cache_path(7, &kernel().id()).unwrap(), &forged).unwrap();
+        let forged = engine.cache_path(FamilyId::Trinity, 8, &kernel().id()).unwrap();
+        std::fs::copy(engine.cache_path(FamilyId::Trinity, 7, &kernel().id()).unwrap(), &forged)
+            .unwrap();
         let f8 = engine.frontier(&Machine::new(8), &kernel());
         assert_ne!(f7, f8, "different machines must not share frontiers via the cache");
+    }
+
+    #[test]
+    fn families_get_disjoint_cache_slots() {
+        let dir = std::env::temp_dir().join("acs-verify-test-oracle-family");
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = OracleEngine::with_cache(&dir);
+        let k = kernel();
+        let mut frontiers = Vec::new();
+        for family in FamilyId::ALL {
+            let machine = Machine::from_family(family, 11);
+            frontiers.push(engine.frontier(&machine, &k));
+            let path = engine.cache_path(family, 11, &k.id()).unwrap();
+            assert!(path.exists(), "{family} must own a cache slot");
+            // A warm hit returns the identical frontier.
+            assert_eq!(engine.frontier(&machine, &k), *frontiers.last().unwrap());
+        }
+        // Distinct families produce distinct frontiers at the same seed —
+        // aliasing cache slots would have collapsed them.
+        for i in 0..frontiers.len() {
+            for j in i + 1..frontiers.len() {
+                assert_ne!(
+                    frontiers[i],
+                    frontiers[j],
+                    "{} and {} share a frontier",
+                    FamilyId::ALL[i],
+                    FamilyId::ALL[j]
+                );
+            }
+        }
+        // Forging one family's record into another's slot is detected.
+        let trinity_path = engine.cache_path(FamilyId::Trinity, 11, &k.id()).unwrap();
+        let accel_path = engine.cache_path(FamilyId::AccelHybrid, 11, &k.id()).unwrap();
+        std::fs::copy(&trinity_path, &accel_path).unwrap();
+        let accel = engine.frontier(&Machine::from_family(FamilyId::AccelHybrid, 11), &k);
+        assert_ne!(accel, frontiers[0], "forged family record must not be trusted");
     }
 
     #[test]

@@ -12,14 +12,18 @@
 
 use acs_core::profile::KernelProfile;
 use acs_kernels::InputSize;
-use acs_sim::{KernelCharacteristics, Machine};
+use acs_sim::{FamilyId, KernelCharacteristics, Machine};
 use serde::{Deserialize, Serialize};
 
 /// Grid generation parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GridParams {
-    /// Machine seeds: one simulated node per seed.
+    /// Machine seeds: one simulated node per `(family, seed)` pair.
     pub machine_seeds: Vec<u64>,
+    /// Machine families instantiated per seed. An empty list (e.g. a
+    /// record serialized before families existed) means Trinity only.
+    #[serde(default)]
+    pub families: Vec<FamilyId>,
     /// Power constraints probed per kernel, spread across the kernel's
     /// oracle frontier power range.
     pub caps_per_kernel: usize,
@@ -31,7 +35,12 @@ pub struct GridParams {
 
 impl Default for GridParams {
     fn default() -> Self {
-        Self { machine_seeds: vec![2014, 7, 99], caps_per_kernel: 4, tight_cap_factor: 0.9 }
+        Self {
+            machine_seeds: vec![2014, 7, 99],
+            families: vec![FamilyId::Trinity],
+            caps_per_kernel: 4,
+            tight_cap_factor: 0.9,
+        }
     }
 }
 
@@ -40,11 +49,37 @@ impl GridParams {
     pub fn quick() -> Self {
         Self { machine_seeds: vec![2014], caps_per_kernel: 2, ..Self::default() }
     }
+
+    /// The heterogeneous transfer grid: every machine family on one seed,
+    /// full cap resolution. One node per family keeps each
+    /// `(train family, serve family)` pair's scenario set identical in
+    /// shape, so transfer-regret differences are attributable to the
+    /// family alone.
+    pub fn transfer() -> Self {
+        Self { machine_seeds: vec![2014], families: FamilyId::ALL.to_vec(), ..Self::default() }
+    }
+
+    /// [`GridParams::transfer`] at smoke-check resolution (two caps).
+    pub fn transfer_quick() -> Self {
+        Self { caps_per_kernel: 2, ..Self::transfer() }
+    }
+
+    /// The families this grid instantiates (empty normalizes to Trinity).
+    pub fn effective_families(&self) -> Vec<FamilyId> {
+        if self.families.is_empty() {
+            vec![FamilyId::Trinity]
+        } else {
+            self.families.clone()
+        }
+    }
 }
 
 /// One replayable `(machine, kernel, cap)` case.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
+    /// Family of the machine this scenario runs on.
+    #[serde(default)]
+    pub family: FamilyId,
     /// Seed of the machine this scenario runs on.
     pub machine_seed: u64,
     /// Kernel identifier (`benchmark/input/name`).
@@ -109,11 +144,18 @@ impl ScenarioGrid {
     /// `params.machine_seeds` regardless of thread count.
     pub fn generate(params: GridParams) -> Self {
         use rayon::prelude::*;
-        let machines = params
-            .machine_seeds
+        // Families vary in the outer position so a single-family grid
+        // keeps its historical seed order and a transfer grid groups each
+        // family's machines together.
+        let nodes: Vec<(FamilyId, u64)> = params
+            .effective_families()
+            .into_iter()
+            .flat_map(|f| params.machine_seeds.iter().map(move |&s| (f, s)))
+            .collect();
+        let machines = nodes
             .par_iter()
-            .map(|&seed| {
-                let machine = Machine::new(seed);
+            .map(|&(family, seed)| {
+                let machine = Machine::from_family(family, seed);
                 let training = acs_core::collect_suite(&machine, &training_kernels());
                 let evaluated = acs_core::collect_suite(&machine, &evaluation_kernels())
                     .into_iter()
@@ -148,6 +190,7 @@ impl ScenarioGrid {
             for (profile, caps) in &m.evaluated {
                 for &cap_w in caps {
                     out.push(Scenario {
+                        family: m.machine.family,
                         machine_seed: m.machine.seed,
                         kernel_id: profile.kernel.id(),
                         cap_w,
@@ -200,5 +243,27 @@ mod tests {
         assert_eq!(a.scenarios(), b.scenarios());
         assert!(!a.is_empty());
         assert_eq!(a.len(), a.scenarios().len());
+    }
+
+    #[test]
+    fn transfer_grid_covers_every_family_once() {
+        let params = GridParams::transfer_quick();
+        assert_eq!(params.effective_families().len(), acs_sim::FamilyId::ALL.len());
+        let grid = ScenarioGrid::generate(params);
+        let families: Vec<_> = grid.machines.iter().map(|m| m.machine.family).collect();
+        assert_eq!(families, acs_sim::FamilyId::ALL.to_vec());
+        // Every family serves the same kernel × cap shape.
+        let shape: Vec<usize> =
+            grid.machines[0].evaluated.iter().map(|(_, caps)| caps.len()).collect();
+        for m in &grid.machines[1..] {
+            let s: Vec<usize> = m.evaluated.iter().map(|(_, caps)| caps.len()).collect();
+            assert_eq!(s, shape, "family {} differs in scenario shape", m.machine.family);
+        }
+    }
+
+    #[test]
+    fn empty_families_normalize_to_trinity() {
+        let params = GridParams { families: vec![], ..GridParams::quick() };
+        assert_eq!(params.effective_families(), vec![acs_sim::FamilyId::Trinity]);
     }
 }

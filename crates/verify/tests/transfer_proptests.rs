@@ -1,0 +1,87 @@
+//! Property tests for the cross-architecture transfer harness: the
+//! invariants that make transfer regret a trustworthy number must hold
+//! for *arbitrary* seeds and families, not just the blessed grid.
+
+use acs_core::profile::KernelProfile;
+use acs_core::TrainingParams;
+use acs_kernels::InputSize;
+use acs_sim::{FamilyId, Machine};
+use acs_verify::{
+    check_cap_monotonicity, check_frontier_non_domination, run_transfer, GridParams, ScenarioGrid,
+};
+use proptest::prelude::*;
+
+/// Strategy drawing one of the four machine families.
+fn family_strategy() -> impl Strategy<Value = FamilyId> {
+    (0usize..FamilyId::ALL.len()).prop_map(|i| FamilyId::ALL[i])
+}
+
+proptest! {
+    // Each case sweeps full 42-configuration frontiers (and the transfer
+    // identity case trains models), so the local budget is small;
+    // `PROPTEST_CASES` (CI) can raise it.
+    #![proptest_config(ProptestConfig::with_cases_env(8))]
+
+    /// Family instantiation is seed-deterministic all the way up to the
+    /// verification layer: two independently collected oracle frontiers
+    /// on the same `(family, seed)` member are identical.
+    #[test]
+    fn family_frontiers_are_seed_deterministic(
+        family in family_strategy(),
+        seed in 0u64..512,
+    ) {
+        let k = &acs_kernels::lu::kernels(InputSize::Small)[0];
+        let a = KernelProfile::collect(&Machine::from_family(family, seed), k).oracle_frontier();
+        let b = KernelProfile::collect(&Machine::from_family(family, seed), k).oracle_frontier();
+        prop_assert_eq!(a, b, "{} frontier must be a pure function of the seed", family);
+    }
+
+    /// Cap monotonicity and frontier non-domination hold on every family
+    /// at every seed — the frontier physics is family-independent.
+    #[test]
+    fn every_family_frontier_is_monotone_and_non_dominated(
+        family in family_strategy(),
+        seed in 0u64..512,
+    ) {
+        let m = Machine::from_family(family, seed);
+        for k in acs_kernels::lu::kernels(InputSize::Small) {
+            let f = KernelProfile::collect(&m, &k).oracle_frontier();
+            let id = format!("{family}:{}", k.id());
+            prop_assert_eq!(check_cap_monotonicity(&id, &f), vec![]);
+            prop_assert_eq!(check_frontier_non_domination(&id, &f), vec![]);
+        }
+    }
+}
+
+proptest! {
+    // The identity property trains two models and replays two full pair
+    // matrices per case — a handful of cases is already a strong check.
+    #![proptest_config(ProptestConfig::with_cases_env(3))]
+
+    /// The defining identity: a native `(A, A)` pair has *exactly* zero
+    /// transfer regret and zero overshoot delta, for any machine seed.
+    /// This is the end-to-end determinism proof — any nondeterminism in
+    /// grid generation, training, or replay would break exact equality.
+    #[test]
+    fn native_pairs_are_regret_free_at_any_seed(seed in 0u64..256) {
+        // Two families keep the matrix small while still exercising the
+        // cross-pair code paths around the native cells.
+        let params = GridParams {
+            machine_seeds: vec![seed],
+            families: vec![FamilyId::Trinity, FamilyId::LowPower],
+            caps_per_kernel: 2,
+            ..GridParams::default()
+        };
+        let grid = ScenarioGrid::generate(params);
+        let matrix = run_transfer(&grid, TrainingParams::default()).unwrap();
+        prop_assert_eq!(matrix.cells.len(), 2 * 2 * 2);
+        for c in &matrix.cells {
+            if c.is_native() {
+                prop_assert_eq!(c.transfer_regret, 0.0, "{:?}", c);
+                prop_assert_eq!(c.overshoot_delta, 0.0, "{:?}", c);
+            } else {
+                prop_assert!(c.transfer_regret >= 0.0, "{:?}", c);
+            }
+        }
+    }
+}

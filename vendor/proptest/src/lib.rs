@@ -8,11 +8,16 @@
 //! `prop_assume!` assertion macros.
 //!
 //! Cases are generated from a deterministic splitmix64 stream seeded by
-//! the test name, so failures reproduce run-to-run. There is no
-//! shrinking: a failing case reports its case index and message and the
-//! full input can be recovered by re-running the deterministic stream.
+//! the test name: the stream yields one 64-bit `case seed` per case and
+//! the case's inputs are drawn from a fresh generator seeded with it, so
+//! any single case reproduces from its seed alone. There is no
+//! shrinking: a failing case reports its index, message, and a
+//! `cc <seed>` line that can be persisted to the source file's
+//! `.proptest-regressions` sibling. Persisted entries replay before
+//! fresh generation on every run (see [`persisted_seeds`]).
 
 use std::ops::{Range, RangeInclusive};
+use std::path::{Path, PathBuf};
 
 pub mod prelude {
     pub use crate as prop;
@@ -35,6 +40,19 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         Self { cases, ..Self::default() }
     }
+
+    /// Like [`ProptestConfig::with_cases`], but `PROPTEST_CASES` (when
+    /// set to a positive integer) overrides the given count, so CI can
+    /// re-budget tests that declare an explicit default without
+    /// touching sources.
+    pub fn with_cases_env(cases: u32) -> Self {
+        Self { cases: env_cases().unwrap_or(cases), ..Self::default() }
+    }
+}
+
+/// `PROPTEST_CASES` as a case budget, when set and valid.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.trim().parse().ok()).filter(|&n| n > 0)
 }
 
 impl Default for ProptestConfig {
@@ -44,12 +62,7 @@ impl Default for ProptestConfig {
         // number of cases without touching test sources. Explicit
         // `with_cases` calls still win — the variable only feeds the
         // default.
-        let cases = std::env::var("PROPTEST_CASES")
-            .ok()
-            .and_then(|v| v.trim().parse().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or(256);
-        Self { cases, max_global_rejects: 65536 }
+        Self { cases: env_cases().unwrap_or(256), max_global_rejects: 65536 }
     }
 }
 
@@ -351,6 +364,69 @@ pub mod collection {
     }
 }
 
+// --- persisted regressions -------------------------------------------------
+
+/// Replay seeds persisted next to a test source file.
+///
+/// `source_file` is the test's `file!()` path. Its sibling
+/// `<stem>.proptest-regressions` is parsed for `cc <token>` lines (the
+/// upstream persistence format). Because `file!()` is relative to the
+/// workspace root while tests may run from any member directory, the
+/// path is resolved against each ancestor of the current directory.
+/// Missing or unreadable files yield no seeds — absence is not an error.
+///
+/// The shim does not track which test produced an entry, so every entry
+/// replays for every `proptest!` test in the file; seeds must therefore
+/// satisfy all properties in that file (they encode inputs, not
+/// expected failures).
+pub fn persisted_seeds(source_file: &str) -> Vec<u64> {
+    let Some(path) = regressions_path(source_file) else { return Vec::new() };
+    match std::fs::read_to_string(&path) {
+        Ok(text) => parse_regressions(&text),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Locate `<source stem>.proptest-regressions` for a `file!()` path.
+fn regressions_path(source_file: &str) -> Option<PathBuf> {
+    let rel = Path::new(source_file).with_extension("proptest-regressions");
+    if rel.is_absolute() {
+        return rel.exists().then_some(rel);
+    }
+    let cwd = std::env::current_dir().ok()?;
+    cwd.ancestors().map(|a| a.join(&rel)).find(|p| p.exists())
+}
+
+/// Parse the `cc <token>` lines of a regressions file into replay seeds.
+pub fn parse_regressions(text: &str) -> Vec<u64> {
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let token = rest.split_whitespace().next()?;
+            seed_from_token(token)
+        })
+        .collect()
+}
+
+/// A 16-digit hex token is this shim's native case seed. Longer hex
+/// tokens (e.g. the 256-bit seeds the real crate persisted before the
+/// shim existed) fold to 64 bits via FNV-1a so legacy entries still
+/// replay a deterministic case rather than being dropped.
+fn seed_from_token(token: &str) -> Option<u64> {
+    if token.is_empty() || !token.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    if token.len() <= 16 {
+        return u64::from_str_radix(token, 16).ok();
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in token.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    Some(h)
+}
+
 // --- macros ----------------------------------------------------------------
 
 /// Declare property tests. Each case draws inputs from the listed
@@ -369,20 +445,38 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
-                let mut rng = $crate::TestRng::for_test(stringify!($name));
+                let run_case = |rng: &mut $crate::TestRng|
+                    -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $(let $pat = $crate::Strategy::new_value(&($strat), rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                };
+                // Persisted regressions replay before fresh generation,
+                // so once-failing inputs stay covered at any case budget.
+                for case_seed in $crate::persisted_seeds(file!()) {
+                    let mut rng = $crate::TestRng::seeded(case_seed);
+                    match run_case(&mut rng) {
+                        ::std::result::Result::Ok(())
+                        | ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed replaying persisted regression \
+                                 cc {case_seed:016x}: {msg}",
+                                stringify!($name),
+                            );
+                        }
+                    }
+                }
+                let mut seeder = $crate::TestRng::for_test(stringify!($name));
                 let mut accepted: u32 = 0;
                 let mut rejected: u32 = 0;
                 let mut case_index: u64 = 0;
                 while accepted < config.cases {
                     case_index += 1;
-                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
-                        (|| -> ::std::result::Result<(), $crate::TestCaseError> {
-                            $(let $pat = $crate::Strategy::new_value(&($strat), &mut rng);)+
-                            $body
-                            #[allow(unreachable_code)]
-                            ::std::result::Result::Ok(())
-                        })();
-                    match outcome {
+                    let case_seed = seeder.next_u64();
+                    let mut rng = $crate::TestRng::seeded(case_seed);
+                    match run_case(&mut rng) {
                         ::std::result::Result::Ok(()) => accepted += 1,
                         ::std::result::Result::Err($crate::TestCaseError::Reject) => {
                             rejected += 1;
@@ -395,7 +489,8 @@ macro_rules! proptest {
                         }
                         ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
                             panic!(
-                                "proptest {} failed at case {case_index}: {msg}",
+                                "proptest {} failed at case {case_index}: {msg}\n\
+                                 persist with: cc {case_seed:016x}",
                                 stringify!($name),
                             );
                         }
@@ -469,6 +564,10 @@ mod tests {
         assert_eq!(ProptestConfig::default().cases, 17);
         // Explicit counts win over the environment.
         assert_eq!(ProptestConfig::with_cases(9).cases, 9);
+        // ... but `with_cases_env` counts are defaults the env overrides.
+        assert_eq!(ProptestConfig::with_cases_env(9).cases, 17);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(ProptestConfig::with_cases_env(9).cases, 9);
         // Garbage and zero fall back to the built-in default.
         std::env::set_var("PROPTEST_CASES", "zero");
         assert_eq!(ProptestConfig::default().cases, 256);
@@ -538,5 +637,40 @@ mod tests {
         fn macro_default_config(x in 0.0..1.0f64) {
             prop_assert!((0.0..1.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn regressions_parse_native_and_legacy_tokens() {
+        let text = "\
+# This file was generated by a test runner.\n\
+# Comment lines are ignored.\n\
+cc 00000000000000ff # shrinks to x = 3\n\
+cc 5e65bb946bb2fecfc54adc674f54b07ee18afb9ad4d8343734bf107606ada04a # legacy 256-bit\n\
+cc not-hex-at-all\n\
+unrelated line\n";
+        let seeds = crate::parse_regressions(text);
+        assert_eq!(seeds.len(), 2);
+        assert_eq!(seeds[0], 0xff);
+        // Legacy token folds deterministically (stable across runs).
+        let again = crate::parse_regressions(text);
+        assert_eq!(seeds, again);
+        assert_ne!(seeds[1], 0);
+    }
+
+    #[test]
+    fn replayed_seed_reproduces_the_case_inputs() {
+        // A case seed fully determines the drawn inputs: two fresh
+        // generators from the same seed draw identical values.
+        let seed = 0xdead_beef_u64;
+        let draw = || {
+            let mut rng = TestRng::seeded(seed);
+            ((0u64..1000).new_value(&mut rng), (0.0..1.0f64).new_value(&mut rng))
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    fn missing_regressions_file_yields_no_seeds() {
+        assert!(crate::persisted_seeds("no/such/dir/nothing.rs").is_empty());
     }
 }

@@ -131,6 +131,19 @@ pub fn field<T: Deserialize>(map: &[(String, Value)], name: &str) -> Result<T, D
     }
 }
 
+/// Derive-support helper for `#[serde(default)]` fields: absent fields
+/// fall back to `Default::default()` instead of erroring, so records
+/// serialized before the field existed still deserialize.
+pub fn field_or_default<T: Deserialize + Default>(
+    map: &[(String, Value)],
+    name: &str,
+) -> Result<T, DeError> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| DeError::new(format!("field `{name}`: {e}"))),
+        None => Ok(T::default()),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Scalar impls
 // ---------------------------------------------------------------------------

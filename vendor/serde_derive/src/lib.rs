@@ -10,9 +10,17 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field: its identifier plus whether it carried
+/// `#[serde(default)]` (absent values fall back to `Default::default()`).
+#[derive(Debug)]
+struct NamedField {
+    name: String,
+    default: bool,
+}
+
 #[derive(Debug)]
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<NamedField>),
     Tuple(usize),
     Unit,
 }
@@ -39,6 +47,30 @@ fn skip_attr(tokens: &[TokenTree], i: &mut usize) -> bool {
     false
 }
 
+/// True when the attribute starting at `i` (already known to be `#[...]`)
+/// is `#[serde(default)]`. Other serde attributes are still just skipped.
+fn attr_is_serde_default(tokens: &[TokenTree], i: usize) -> bool {
+    match tokens.get(i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '#' => {}
+        _ => return false,
+    }
+    let Some(TokenTree::Group(g)) = tokens.get(i + 1) else { return false };
+    if g.delimiter() != Delimiter::Bracket {
+        return false;
+    }
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    match (inner.first(), inner.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
 /// Skip `pub`, `pub(crate)`, `pub(in ...)` if present.
 fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
     if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
@@ -54,11 +86,19 @@ fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
 }
 
 /// Parse the named fields of a brace-delimited body: `a: T, b: U, ...`.
-fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+fn parse_named_fields(body: &[TokenTree]) -> Vec<NamedField> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < body.len() {
-        while skip_attr(body, &mut i) {}
+        let mut default = false;
+        loop {
+            if i < body.len() && attr_is_serde_default(body, i) {
+                default = true;
+            }
+            if !skip_attr(body, &mut i) {
+                break;
+            }
+        }
         skip_vis(body, &mut i);
         if i >= body.len() {
             break;
@@ -88,7 +128,7 @@ fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
             }
             i += 1;
         }
-        fields.push(name);
+        fields.push(NamedField { name, default });
     }
     fields
 }
@@ -204,7 +244,7 @@ fn parse_input(input: TokenStream) -> Input {
 }
 
 /// Derive `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
     let code = match &parsed {
@@ -214,6 +254,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                     let entries: Vec<String> = names
                         .iter()
                         .map(|f| {
+                            let f = &f.name;
                             format!(
                                 "(::std::string::String::from(\"{f}\"), \
                                  ::serde::Serialize::to_value(&self.{f}))"
@@ -246,10 +287,12 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
                     ),
                     Fields::Named(fnames) => {
-                        let binds = fnames.join(", ");
+                        let binds =
+                            fnames.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(", ");
                         let entries: Vec<String> = fnames
                             .iter()
                             .map(|f| {
+                                let f = &f.name;
                                 format!(
                                     "(::std::string::String::from(\"{f}\"), \
                                      ::serde::Serialize::to_value({f}))"
@@ -298,7 +341,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derive `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
     let code = match &parsed {
@@ -307,7 +350,11 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 Fields::Named(names) => {
                     let inits: Vec<String> = names
                         .iter()
-                        .map(|f| format!("{f}: ::serde::field(m, \"{f}\")?,"))
+                        .map(|f| {
+                            let helper = if f.default { "field_or_default" } else { "field" };
+                            let f = &f.name;
+                            format!("{f}: ::serde::{helper}(m, \"{f}\")?,")
+                        })
                         .collect();
                     format!(
                         "let m = v.as_map().ok_or_else(|| \
@@ -359,7 +406,11 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     Fields::Named(fnames) => {
                         let inits: Vec<String> = fnames
                             .iter()
-                            .map(|f| format!("{f}: ::serde::field(fm, \"{f}\")?,"))
+                            .map(|f| {
+                                let helper = if f.default { "field_or_default" } else { "field" };
+                                let f = &f.name;
+                                format!("{f}: ::serde::{helper}(fm, \"{f}\")?,")
+                            })
                             .collect();
                         Some(format!(
                             "\"{v}\" => {{\n\
