@@ -58,6 +58,17 @@ impl Frontier {
         Self { points: frontier }
     }
 
+    /// Wrap points that already satisfy the frontier invariant (strictly
+    /// increasing power and performance) — the fast path's non-domination
+    /// sweep produces exactly [`Frontier::from_points`]' output, so
+    /// re-sorting it would be wasted work.
+    pub(crate) fn from_sorted(points: Vec<PowerPerfPoint>) -> Self {
+        debug_assert!(points
+            .windows(2)
+            .all(|w| w[0].power_w < w[1].power_w && w[0].perf < w[1].perf));
+        Self { points }
+    }
+
     /// The frontier points, sorted by increasing power.
     pub fn points(&self) -> &[PowerPerfPoint] {
         &self.points
@@ -74,8 +85,19 @@ impl Frontier {
     }
 
     /// The best-performing point whose power does not exceed `cap_w`.
+    ///
+    /// Power is strictly increasing, so `power ≤ cap` holds on a prefix
+    /// and binary search finds its end — O(log n) on the hot re-selection
+    /// path. A NaN cap makes the predicate false everywhere, i.e. `None`,
+    /// exactly like the linear scan this replaces (proptest-gated in
+    /// `tests/proptests.rs`).
     pub fn best_under(&self, cap_w: f64) -> Option<&PowerPerfPoint> {
-        self.points.iter().rev().find(|p| p.power_w <= cap_w)
+        let idx = self.points.partition_point(|p| p.power_w <= cap_w);
+        if idx == 0 {
+            None
+        } else {
+            Some(&self.points[idx - 1])
+        }
     }
 
     /// The minimum-power point (the fallback when no point meets a cap).

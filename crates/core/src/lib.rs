@@ -59,6 +59,7 @@ pub mod bootstrap;
 pub mod confidence;
 pub mod dissimilarity;
 pub mod eval;
+pub mod fastpath;
 pub mod features;
 pub mod frontier;
 pub mod health;
@@ -75,6 +76,7 @@ pub mod runtime;
 pub use bootstrap::{bootstrap_table3, Interval, MethodIntervals};
 pub use confidence::{predict_with_confidence, BoundedPoint, BoundedProfile};
 pub use eval::{characterize_apps, evaluate, AppProfiles, CaseResult, Evaluation, MethodSummary};
+pub use fastpath::{ConfigSpace, FastModel, SelectScratch};
 pub use features::{sample_config, SamplePair, TREE_FEATURE_NAMES};
 pub use frontier::{Frontier, PowerPerfPoint};
 pub use health::{

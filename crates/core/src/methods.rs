@@ -11,6 +11,7 @@
 //! * **CPU+FL / GPU+FL** — state-of-the-practice RAPL-style limiting with
 //!   a fixed device policy; no model at all.
 
+use crate::fastpath::SelectScratch;
 use crate::features::SamplePair;
 use crate::limiter::{
     limit_active_device, limit_cpu_freq, limit_gpu_freq, raise_cpu_freq_within, start,
@@ -72,9 +73,22 @@ pub fn oracle_select(profile: &KernelProfile, cap_w: f64) -> Configuration {
         .config
 }
 
-/// Select a configuration with the model alone.
+/// Select a configuration with the model alone (flat path; bit-identical
+/// to `predictor.predict(samples).select(cap_w)`).
 pub fn model_select(predictor: &Predictor<'_>, samples: &SamplePair, cap_w: f64) -> Configuration {
-    predictor.predict(samples).select(cap_w)
+    model_select_with(predictor, samples, cap_w, &mut SelectScratch::new())
+}
+
+/// [`model_select`] through a caller-owned scratch arena — the form hot
+/// loops (the differential runner, serve workers) use so steady-state
+/// selection allocates nothing.
+pub fn model_select_with(
+    predictor: &Predictor<'_>,
+    samples: &SamplePair,
+    cap_w: f64,
+    scratch: &mut SelectScratch,
+) -> Configuration {
+    predictor.select_with(samples, cap_w, scratch)
 }
 
 /// Select with the model, then let the frequency limiter pull the active
@@ -85,7 +99,18 @@ pub fn model_fl_select(
     cap_w: f64,
     measure: impl FnMut(&Configuration) -> f64,
 ) -> Configuration {
-    let picked = model_select(predictor, samples, cap_w);
+    model_fl_select_with(predictor, samples, cap_w, measure, &mut SelectScratch::new())
+}
+
+/// [`model_fl_select`] through a caller-owned scratch arena.
+pub fn model_fl_select_with(
+    predictor: &Predictor<'_>,
+    samples: &SamplePair,
+    cap_w: f64,
+    measure: impl FnMut(&Configuration) -> f64,
+    scratch: &mut SelectScratch,
+) -> Configuration {
+    let picked = model_select_with(predictor, samples, cap_w, scratch);
     limit_active_device(picked, cap_w, measure).config
 }
 
@@ -115,17 +140,33 @@ pub fn select(
     predictor: Option<&Predictor<'_>>,
     cap_w: f64,
 ) -> Configuration {
+    select_with_scratch(method, profile, predictor, cap_w, &mut SelectScratch::new())
+}
+
+/// [`select`] through a caller-owned scratch arena, for replay loops that
+/// dispatch many `(cap, method)` cases per profile.
+pub fn select_with_scratch(
+    method: Method,
+    profile: &KernelProfile,
+    predictor: Option<&Predictor<'_>>,
+    cap_w: f64,
+    scratch: &mut SelectScratch,
+) -> Configuration {
     let measure = |c: &Configuration| profile.run_at(c).power_w();
     match method {
         Method::Oracle => oracle_select(profile, cap_w),
-        Method::Model => {
-            model_select(predictor.expect("Model needs a predictor"), &profile.sample_pair(), cap_w)
-        }
-        Method::ModelFL => model_fl_select(
+        Method::Model => model_select_with(
+            predictor.expect("Model needs a predictor"),
+            &profile.sample_pair(),
+            cap_w,
+            scratch,
+        ),
+        Method::ModelFL => model_fl_select_with(
             predictor.expect("Model+FL needs a predictor"),
             &profile.sample_pair(),
             cap_w,
             measure,
+            scratch,
         ),
         Method::CpuFL => cpu_fl_select(cap_w, measure),
         Method::GpuFL => gpu_fl_select(cap_w, measure),

@@ -9,6 +9,7 @@
 //! selection" (Section II), which the Criterion bench `online_selection`
 //! verifies for this implementation.
 
+use crate::fastpath::{FastModel, SelectScratch};
 use crate::features::{config_features, SamplePair};
 use crate::frontier::{Frontier, PowerPerfPoint};
 use crate::offline::{unstabilize, TrainedModel};
@@ -47,20 +48,31 @@ impl PredictedProfile {
 }
 
 /// Applies a trained model to new kernels.
-#[derive(Debug, Clone, Copy)]
+///
+/// Construction precompiles the model into a [`FastModel`] (flattened
+/// CART + per-cluster regression tables, DESIGN.md §15); prediction and
+/// selection then run on the flat path, bit-identical to
+/// [`Predictor::predict_scalar`].
+#[derive(Debug, Clone)]
 pub struct Predictor<'m> {
     model: &'m TrainedModel,
+    fast: FastModel,
 }
 
 impl<'m> Predictor<'m> {
-    /// Wrap a trained model.
+    /// Wrap (and precompile) a trained model.
     pub fn new(model: &'m TrainedModel) -> Self {
-        Self { model }
+        Self { model, fast: FastModel::new(model) }
     }
 
     /// Assign the kernel to a cluster from its two sample runs.
     pub fn classify(&self, samples: &SamplePair) -> usize {
-        self.model.tree.predict(&samples.tree_features())
+        self.fast.classify(samples)
+    }
+
+    /// The precompiled flat evaluation engine.
+    pub fn fast(&self) -> &FastModel {
+        &self.fast
     }
 
     /// Predict power and performance for every configuration.
@@ -71,7 +83,26 @@ impl<'m> Predictor<'m> {
     /// required ... is the kernel's performance on the sample
     /// configurations"). Power predictions are absolute.
     pub fn predict(&self, samples: &SamplePair) -> PredictedProfile {
-        let cluster = self.classify(samples);
+        self.fast.predict(samples)
+    }
+
+    /// Select under a cap through a caller-owned scratch arena — the
+    /// allocation-free equivalent of `predict(samples).select(cap_w)`.
+    pub fn select_with(
+        &self,
+        samples: &SamplePair,
+        cap_w: f64,
+        scratch: &mut SelectScratch,
+    ) -> Configuration {
+        self.fast.select_with(samples, cap_w, scratch)
+    }
+
+    /// The scalar reference implementation of [`Predictor::predict`]: one
+    /// feature row and four regression evaluations per configuration, then
+    /// a full frontier sort. Kept as the ground truth the flat path is
+    /// gated against (`tests/fastpath_identity.rs`).
+    pub fn predict_scalar(&self, samples: &SamplePair) -> PredictedProfile {
+        let cluster = self.model.tree.predict(&samples.tree_features());
         let models = &self.model.clusters[cluster];
         let stab = self.model.params.stabilize_variance;
 

@@ -100,6 +100,40 @@ proptest! {
     }
 
     #[test]
+    fn best_under_binary_search_matches_linear_scan(
+        points in points_strategy(),
+        caps in prop::collection::vec((0usize..4, 0.0..80.0f64), 1..8).prop_map(|raw| {
+            raw.into_iter()
+                .map(|(kind, cap)| match kind {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    2 => -1.0,
+                    _ => cap,
+                })
+                .collect::<Vec<f64>>()
+        }),
+    ) {
+        // `best_under` is a partition_point binary search over the
+        // power-sorted invariant; it must pick exactly what the scalar
+        // reverse scan it replaced picked, for any frontier and cap
+        // (including NaN and out-of-range caps).
+        let f = Frontier::from_points(points);
+        for cap in caps {
+            let linear = f.points().iter().rev().find(|p| p.power_w <= cap);
+            let binary = f.best_under(cap);
+            match (linear, binary) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.config, b.config, "cap {}", cap);
+                    prop_assert_eq!(a.power_w.to_bits(), b.power_w.to_bits());
+                    prop_assert_eq!(a.perf.to_bits(), b.perf.to_bits());
+                }
+                (a, b) => prop_assert!(false, "cap {}: linear {:?} vs binary {:?}", cap, a, b),
+            }
+        }
+    }
+
+    #[test]
     fn normalization_preserves_order_and_caps_at_one(points in points_strategy()) {
         let f = Frontier::from_points(points);
         let n = f.normalized();

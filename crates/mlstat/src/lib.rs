@@ -50,7 +50,7 @@ pub use describe::{histogram, pearson, quantile, ranks, spearman};
 pub use kendall::{tau_a, tau_b};
 pub use matrix::{Matrix, MatrixError};
 pub use regression::{interaction_len, with_interactions, FitError, LinearModel};
-pub use tree::{ClassificationTree, TreeError, TreeParams};
+pub use tree::{ClassificationTree, FlatTree, TreeError, TreeParams};
 pub use validate::{
     leave_one_group_out, leave_one_out, mean, median, std_dev, weighted_mean, Fold,
 };

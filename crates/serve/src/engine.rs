@@ -29,7 +29,9 @@
 //!   downgrades a late retry to a re-execution.
 
 use crate::protocol::{Response, Selection};
-use acs_core::{sample_config, PredictedProfile, Predictor, SamplePair, TrainedModel};
+use acs_core::{
+    sample_config, FastModel, PredictedProfile, SamplePair, SelectScratch, TrainedModel,
+};
 use acs_sim::{Device, KernelCharacteristics, Machine};
 use parking_lot::Mutex;
 use rayon::prelude::*;
@@ -76,6 +78,10 @@ type MissHook = Box<dyn Fn(&str) + Send + Sync>;
 /// Shared, thread-safe selection engine.
 pub struct Engine {
     model: Arc<TrainedModel>,
+    /// The model precompiled for flat evaluation (DESIGN.md §15), built
+    /// once at engine construction so cold misses skip per-request
+    /// tree-flattening and regression-table setup.
+    fast: FastModel,
     machine: Machine,
     kernels: BTreeMap<String, KernelCharacteristics>,
     cache: Mutex<HashMap<String, Slot<Arc<PredictedProfile>>>>,
@@ -107,6 +113,7 @@ impl Engine {
         let kernels =
             acs_kernels::all_kernel_instances().into_iter().map(|k| (k.id(), k)).collect();
         Self {
+            fast: FastModel::new(&model),
             model,
             machine,
             kernels,
@@ -180,7 +187,17 @@ impl Engine {
         // profile is a function of seed + kernel + model only).
         let cpu = self.machine.run_iter(kernel, &sample_config(Device::Cpu), 0);
         let gpu = self.machine.run_iter(kernel, &sample_config(Device::Gpu), 1);
-        let profile = Arc::new(Predictor::new(&self.model).predict(&SamplePair::new(cpu, gpu)));
+        // Per-thread scratch arena: connection threads and rayon batch
+        // workers each reuse one across requests (the profile itself still
+        // owns its points/frontier — the scratch only absorbs the
+        // intermediate sort/sweep allocations).
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<SelectScratch> =
+                std::cell::RefCell::new(SelectScratch::new());
+        }
+        let profile = SCRATCH.with(|s| {
+            Arc::new(self.fast.predict_with(&SamplePair::new(cpu, gpu), &mut s.borrow_mut()))
+        });
         self.misses.fetch_add(1, Ordering::Relaxed);
         let (result, inserted) = {
             let mut cache = self.cache.lock();

@@ -1,9 +1,13 @@
 //! Server metrics: counters, latency quantiles, and the `STATS` snapshot.
 //!
-//! Latencies are recorded in microseconds into a bounded reservoir (the
+//! Latencies are recorded in **nanoseconds** into a bounded reservoir (the
 //! server is long-running; an unbounded sample vector would be the same
-//! bug the Timeline ring buffer exists to prevent). Quantiles are computed
-//! on demand by sorting a copy — snapshots are rare relative to requests.
+//! bug the Timeline ring buffer exists to prevent). Snapshots report
+//! microseconds, rounding each quantile *up* — warm selects service in
+//! well under a microsecond, so truncating division would report the
+//! median of a busy server as 0 µs (the PR-8 reservoir bug). Quantiles are
+//! computed on demand by sorting a copy — snapshots are rare relative to
+//! requests.
 //!
 //! Snapshots carry wall-clock-derived latency numbers, so replay logs
 //! exclude `Stats` responses (DESIGN.md §11); everything else in the
@@ -25,9 +29,10 @@ pub struct StatsSnapshot {
     pub requests_total: u64,
     /// Per-kind request counts (`select`, `batch`, `run`, ...).
     pub requests_by_kind: BTreeMap<String, u64>,
-    /// Median request service latency, µs.
+    /// Median request service latency, µs (rounded up from nanosecond
+    /// samples: any recorded request reports at least 1 µs).
     pub p50_latency_us: u64,
-    /// 99th-percentile request service latency, µs.
+    /// 99th-percentile request service latency, µs (rounded up).
     pub p99_latency_us: u64,
     /// Profile-cache hits since startup.
     pub cache_hits: u64,
@@ -104,7 +109,7 @@ impl Default for LeaseReport {
 pub struct Metrics {
     requests_total: AtomicU64,
     by_kind: Mutex<BTreeMap<String, u64>>,
-    latencies_us: Mutex<Vec<u64>>,
+    latencies_ns: Mutex<Vec<u64>>,
     next_slot: AtomicU64,
     overloaded: AtomicU64,
     protocol_errors: AtomicU64,
@@ -112,7 +117,7 @@ pub struct Metrics {
     idem_replays: AtomicU64,
     degradation: Mutex<BTreeMap<String, u64>>,
     lease_renews: AtomicU64,
-    renew_latencies_us: Mutex<Vec<u64>>,
+    renew_latencies_ns: Mutex<Vec<u64>>,
     renew_next_slot: AtomicU64,
 }
 
@@ -122,16 +127,17 @@ impl Metrics {
         Self::default()
     }
 
-    /// Record one served request of `kind` with its service latency.
-    pub fn record_request(&self, kind: &str, latency_us: u64) {
+    /// Record one served request of `kind` with its service latency in
+    /// nanoseconds (sub-µs services must not collapse to 0).
+    pub fn record_request(&self, kind: &str, latency_ns: u64) {
         self.requests_total.fetch_add(1, Ordering::Relaxed);
         *self.by_kind.lock().entry(kind.to_string()).or_insert(0) += 1;
-        let mut lat = self.latencies_us.lock();
+        let mut lat = self.latencies_ns.lock();
         if lat.len() < LATENCY_RESERVOIR {
-            lat.push(latency_us);
+            lat.push(latency_ns);
         } else {
             let slot = self.next_slot.fetch_add(1, Ordering::Relaxed) as usize;
-            lat[slot % LATENCY_RESERVOIR] = latency_us;
+            lat[slot % LATENCY_RESERVOIR] = latency_ns;
         }
     }
 
@@ -165,15 +171,16 @@ impl Metrics {
         *self.degradation.lock().entry(label.to_string()).or_insert(0) += 1;
     }
 
-    /// Record one successful lease renewal and its round-trip latency.
-    pub fn record_renew(&self, latency_us: u64) {
+    /// Record one successful lease renewal and its round-trip latency in
+    /// nanoseconds.
+    pub fn record_renew(&self, latency_ns: u64) {
         self.lease_renews.fetch_add(1, Ordering::Relaxed);
-        let mut lat = self.renew_latencies_us.lock();
+        let mut lat = self.renew_latencies_ns.lock();
         if lat.len() < LATENCY_RESERVOIR {
-            lat.push(latency_us);
+            lat.push(latency_ns);
         } else {
             let slot = self.renew_next_slot.fetch_add(1, Ordering::Relaxed) as usize;
-            lat[slot % LATENCY_RESERVOIR] = latency_us;
+            lat[slot % LATENCY_RESERVOIR] = latency_ns;
         }
     }
 
@@ -227,21 +234,23 @@ impl Metrics {
     }
 
     fn latency_quantiles(&self) -> (u64, u64) {
-        let mut lat = self.latencies_us.lock().clone();
-        if lat.is_empty() {
-            return (0, 0);
-        }
-        lat.sort_unstable();
-        (quantile(&lat, 0.50), quantile(&lat, 0.99))
+        Self::quantiles_us(&mut self.latencies_ns.lock().clone())
     }
 
     fn renew_quantiles(&self) -> (u64, u64) {
-        let mut lat = self.renew_latencies_us.lock().clone();
-        if lat.is_empty() {
+        Self::quantiles_us(&mut self.renew_latencies_ns.lock().clone())
+    }
+
+    /// (p50, p99) of nanosecond samples, reported in µs rounded up so a
+    /// recorded request is never summarized as 0 µs.
+    fn quantiles_us(lat_ns: &mut [u64]) -> (u64, u64) {
+        if lat_ns.is_empty() {
             return (0, 0);
         }
-        lat.sort_unstable();
-        (quantile(&lat, 0.50), quantile(&lat, 0.99))
+        lat_ns.sort_unstable();
+        // `.max(1)` guards the (clock-granularity) case of a 0 ns sample:
+        // with any samples at all, quantiles are ≥ 1 µs by contract.
+        (quantile(lat_ns, 0.50).div_ceil(1000).max(1), quantile(lat_ns, 0.99).div_ceil(1000).max(1))
     }
 }
 
@@ -260,9 +269,9 @@ mod tests {
     fn counts_and_quantiles() {
         let m = Metrics::new();
         for us in 1..=100u64 {
-            m.record_request("select", us);
+            m.record_request("select", us * 1000); // µs-scale samples, in ns
         }
-        m.record_request("stats", 1000);
+        m.record_request("stats", 1_000_000);
         let s = m.snapshot((30, 70), 2, 5, &LeaseReport::default());
         assert_eq!(s.requests_total, 101);
         assert_eq!(s.requests_by_kind["select"], 100);
@@ -273,6 +282,28 @@ mod tests {
         assert!((s.cache_hit_rate - 0.30).abs() < 1e-12);
         assert_eq!(s.active_sessions, 2);
         assert_eq!(s.arbiter_rebalances, 5);
+    }
+
+    #[test]
+    fn sub_microsecond_services_do_not_report_zero() {
+        // The PR-8 reservoir bug: warm selects finish in hundreds of ns,
+        // and µs-truncated recording summarized a busy server as p50 = 0.
+        let m = Metrics::new();
+        for ns in [120u64, 300, 450, 800, 950] {
+            m.record_request("select", ns);
+        }
+        let s = m.snapshot((0, 0), 1, 0, &LeaseReport::default());
+        assert_eq!(s.p50_latency_us, 1, "sub-µs median rounds up to 1 µs");
+        assert_eq!(s.p99_latency_us, 1);
+        // Mixed scales: the µs-and-up tail still reports faithfully.
+        m.record_request("select", 29_400); // 29.4 µs
+        m.record_request("select", 30_001); // just over 30 µs rounds up
+        for _ in 0..5 {
+            m.record_request("select", 2_000);
+        }
+        let s = m.snapshot((0, 0), 1, 0, &LeaseReport::default());
+        assert_eq!(s.p50_latency_us, 2);
+        assert_eq!(s.p99_latency_us, 31);
     }
 
     #[test]
@@ -291,7 +322,7 @@ mod tests {
     fn lease_fields_flow_into_the_snapshot() {
         let m = Metrics::new();
         for us in [100u64, 200, 300] {
-            m.record_renew(us);
+            m.record_renew(us * 1000);
         }
         let report = LeaseReport {
             lease_state: "degraded".into(),
@@ -317,7 +348,7 @@ mod tests {
         for i in 0..(LATENCY_RESERVOIR as u64 + 500) {
             m.record_request("select", i);
         }
-        assert_eq!(m.latencies_us.lock().len(), LATENCY_RESERVOIR);
+        assert_eq!(m.latencies_ns.lock().len(), LATENCY_RESERVOIR);
     }
 
     #[test]

@@ -470,7 +470,7 @@ fn run_lease_client(shared: Arc<Shared>, target: String) {
             }
         };
         let response = lease_call(&mut client, &target, renew_every, &request);
-        let latency_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let latency_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         let cap_w = {
             let mut lease = lease_mutex.lock();
             match response {
@@ -478,14 +478,14 @@ fn run_lease_client(shared: Arc<Shared>, target: String) {
                     lease_id, shard_id, epoch, budget_w, ttl_ms, ..
                 }) => {
                     contact = Some((Instant::now(), Duration::from_millis(ttl_ms)));
-                    shared.metrics.record_renew(latency_us);
+                    shared.metrics.record_renew(latency_ns);
                     lease.on_granted(lease_id, shard_id, epoch, budget_w)
                 }
                 Ok(CoordResponse::Renewed { epoch, budget_w, .. }) => {
                     if let Some((at, _)) = &mut contact {
                         *at = Instant::now();
                     }
-                    shared.metrics.record_renew(latency_us);
+                    shared.metrics.record_renew(latency_ns);
                     lease.on_renewed(epoch, budget_w)
                 }
                 Ok(CoordResponse::Rejected { code, .. }) => {
@@ -641,8 +641,8 @@ fn run_session(shared: Arc<Shared>, mut stream: TcpStream, node_id: u64) {
         let started = Instant::now();
         let kind = request.kind();
         let (response, done) = handle_request(&shared, &mut rt, node_id, request);
-        let latency_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-        shared.metrics.record_request(kind, latency_us);
+        let latency_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        shared.metrics.record_request(kind, latency_ns);
         if write_frame(&mut stream, &response).is_err() {
             break;
         }

@@ -80,6 +80,12 @@ fn hello_select_run_stats_bye() {
             assert_eq!(s.cache_misses, 1);
             assert_eq!(s.active_sessions, 1);
             assert_eq!(s.degradation_tallies["model"], 1);
+            // Latencies record at ns granularity and round up to µs:
+            // with requests served, the median can never report as 0
+            // (the PR-8 reservoir bug, where sub-µs warm selects
+            // truncated to 0 µs).
+            assert!(s.p50_latency_us > 0, "served requests must yield a nonzero p50");
+            assert!(s.p99_latency_us >= s.p50_latency_us);
             assert_eq!(s.protocol_errors, 0);
             // No coordinator configured: the lease side of the snapshot
             // reports standalone, with the configured cap and no journal.

@@ -9,10 +9,10 @@
 
 use crate::oracle::{OracleChoice, OracleEngine};
 use crate::scenario::ScenarioGrid;
-use acs_core::methods::{select, Method};
+use acs_core::methods::{select_with_scratch, Method};
 use acs_core::offline::TrainError;
 use acs_core::online::Predictor;
-use acs_core::{train, TrainingParams};
+use acs_core::{train, SelectScratch, TrainingParams};
 use acs_sim::Configuration;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -143,11 +143,21 @@ pub fn run_differential(
                 // [`OracleEngine::frontier`] path serves `acs verify
                 // --cache-dir`, where profiles are not pre-collected).
                 let frontier = profile.oracle_frontier();
+                // One scratch arena per profile: the (cap, method) replay
+                // loop below re-selects many times, and the fast path
+                // writes through this instead of allocating per select.
+                let mut scratch = SelectScratch::new();
                 let mut out = Vec::with_capacity(caps.len() * Method::COMPARED.len());
                 for &cap_w in caps {
                     let oracle = OracleEngine::choose(&frontier, cap_w);
                     for &method in &Method::COMPARED {
-                        let config = select(method, profile, Some(&predictor), cap_w);
+                        let config = select_with_scratch(
+                            method,
+                            profile,
+                            Some(&predictor),
+                            cap_w,
+                            &mut scratch,
+                        );
                         let run = profile.run_at(&config);
                         out.push(ScenarioCase {
                             method,

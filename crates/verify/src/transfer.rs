@@ -14,7 +14,7 @@
 use crate::differential::{summarize_method, MethodRegret, ScenarioCase};
 use crate::oracle::OracleEngine;
 use crate::scenario::ScenarioGrid;
-use acs_core::methods::{select, Method};
+use acs_core::methods::{select_with_scratch, Method};
 use acs_core::offline::TrainError;
 use acs_core::online::Predictor;
 use acs_core::{train, TrainingParams};
@@ -175,11 +175,13 @@ fn score_pair(
         .par_iter()
         .flat_map_iter(|(profile, caps)| {
             let frontier = profile.oracle_frontier();
+            let mut scratch = acs_core::SelectScratch::new();
             let mut out = Vec::with_capacity(caps.len() * TRANSFER_METHODS.len());
             for &cap_w in caps {
                 let oracle = OracleEngine::choose(&frontier, cap_w);
                 for &method in &TRANSFER_METHODS {
-                    let config = select(method, profile, Some(predictor), cap_w);
+                    let config =
+                        select_with_scratch(method, profile, Some(predictor), cap_w, &mut scratch);
                     let run = profile.run_at(&config);
                     out.push(ScenarioCase {
                         method,

@@ -1,0 +1,146 @@
+//! Bit-for-bit identity gate for the flattened selection engine
+//! (DESIGN.md §15).
+//!
+//! The fast path — SoA config space, branchless CART, fused regression
+//! into a caller-owned scratch arena, precomputed frontier skeletons —
+//! promises *exactly* the scalar pipeline's floats, not merely close
+//! ones: every intermediate keeps the scalar IEEE operation order, so
+//! `f64::to_bits` must agree on every predicted point, the frontier, and
+//! the selected configuration. This suite holds that promise across
+//! random machine seeds × all four machine families × every kernel in a
+//! cross-application suite × a spread of power caps (including NaN and
+//! infeasible caps), and replays the comparison at 1, 2, and 8 rayon
+//! pool threads to pin that the flat path has no hidden dependence on
+//! pool sizing.
+
+use std::sync::OnceLock;
+
+use acs::core::{collect_suite, SelectScratch};
+use acs::prelude::*;
+use acs::sim::FamilyId;
+use proptest::prelude::*;
+
+/// 1 = sequential reference, 2 = real helper threads, 8 = over-
+/// subscribed (same ladder as `parallel_determinism.rs`).
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Seed for the per-family training machines; sampling machines use
+/// proptest-drawn seeds instead.
+const TRAIN_SEED: u64 = 2014;
+
+/// Kernels the identity sweep probes: one app per suite family so the
+/// classifier visits CPU-bound, GPU-bound, and mixed clusters.
+fn probe_kernels() -> Vec<KernelCharacteristics> {
+    acs::kernels::comd::kernels(InputSize::Default)
+        .into_iter()
+        .chain(acs::kernels::smc::kernels(InputSize::Small))
+        .chain(acs::kernels::lulesh::kernels(InputSize::Small))
+        .chain(acs::kernels::lu::kernels(InputSize::Small))
+        .collect()
+}
+
+/// One trained model per machine family, built once and shared by every
+/// proptest case (training is the expensive part; the identity property
+/// itself is cheap).
+fn family_models() -> &'static Vec<(FamilyId, TrainedModel)> {
+    static MODELS: OnceLock<Vec<(FamilyId, TrainedModel)>> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        FamilyId::ALL
+            .into_iter()
+            .map(|family| {
+                let machine = Machine::from_family(family, TRAIN_SEED);
+                let profiles = collect_suite(&machine, &probe_kernels());
+                let model =
+                    train(&profiles, TrainingParams::default()).expect("family training succeeds");
+                (family, model)
+            })
+            .collect()
+    })
+}
+
+/// Assert the flat profile is bit-identical to the scalar one.
+fn assert_profiles_identical(fast: &PredictedProfile, scalar: &PredictedProfile, ctx: &str) {
+    assert_eq!(fast.cluster, scalar.cluster, "{ctx}: cluster diverged");
+    assert_eq!(fast.points.len(), scalar.points.len(), "{ctx}: point count diverged");
+    for (f, s) in fast.points.iter().zip(&scalar.points) {
+        assert_eq!(f.config, s.config, "{ctx}: point order diverged");
+        assert_eq!(
+            f.power_w.to_bits(),
+            s.power_w.to_bits(),
+            "{ctx}: power bits diverged at {}",
+            f.config
+        );
+        assert_eq!(f.perf.to_bits(), s.perf.to_bits(), "{ctx}: perf bits diverged at {}", f.config);
+    }
+    assert_eq!(
+        fast.frontier.points().len(),
+        scalar.frontier.points().len(),
+        "{ctx}: frontier size diverged"
+    );
+    for (f, s) in fast.frontier.points().iter().zip(scalar.frontier.points()) {
+        assert_eq!(f.config, s.config, "{ctx}: frontier order diverged");
+        assert_eq!(f.power_w.to_bits(), s.power_w.to_bits(), "{ctx}: frontier power diverged");
+        assert_eq!(f.perf.to_bits(), s.perf.to_bits(), "{ctx}: frontier perf diverged");
+    }
+}
+
+/// The full identity sweep for one machine seed and cap list: every
+/// family × every probe kernel, flat vs scalar.
+fn sweep(seed: u64, caps: &[f64]) {
+    let kernels = probe_kernels();
+    let mut scratch = SelectScratch::new();
+    for (family, model) in family_models() {
+        let machine = Machine::from_family(*family, seed);
+        let predictor = Predictor::new(model);
+        for kernel in &kernels {
+            let samples = SamplePair::new(
+                machine.run(kernel, &sample_config(Device::Cpu)),
+                machine.run(kernel, &sample_config(Device::Gpu)),
+            );
+            let ctx = format!("family {family:?} seed {seed} kernel {}", kernel.id());
+            let scalar = predictor.predict_scalar(&samples);
+            assert_profiles_identical(&predictor.predict(&samples), &scalar, &ctx);
+            for &cap in caps {
+                let fast = predictor.select_with(&samples, cap, &mut scratch);
+                assert_eq!(fast, scalar.select(cap), "{ctx}: selection diverged under cap {cap}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases_env(8))]
+
+    #[test]
+    fn flat_path_is_bit_identical_to_scalar_at_any_thread_count(
+        seed in 0u64..1_000_000,
+        caps in prop::collection::vec((0usize..4, 0.0..80.0f64), 2..6).prop_map(|raw| {
+            raw.into_iter()
+                .map(|(kind, cap)| match kind {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    2 => -1.0,
+                    _ => cap,
+                })
+                .collect::<Vec<f64>>()
+        }),
+    ) {
+        for threads in THREAD_COUNTS {
+            rayon::with_num_threads(threads, || sweep(seed, &caps));
+        }
+    }
+}
+
+#[test]
+fn every_family_model_classifies_through_the_flat_tree() {
+    // The identity sweep would still pass if every family model silently
+    // fell back to the pointer walk; pin that the flattened CART is
+    // actually in play for the trained models under test.
+    for (family, model) in family_models() {
+        let predictor = Predictor::new(model);
+        assert!(
+            predictor.fast().uses_flat_tree(),
+            "family {family:?}: trained CART did not flatten (depth above FlatTree::MAX_DEPTH?)"
+        );
+    }
+}
