@@ -1,0 +1,76 @@
+//! Experiment A18 — online adaptation under model drift (`bench_adapt`).
+//!
+//! Replays the drift-differential grid from `crates/verify`: five seeded
+//! drift processes (zero, thermal ramp, step throttle, aging, co-tenant)
+//! × evaluation kernels × probe caps, comparing the pinned static
+//! selection against the adaptive Kalman loop on mean per-iteration
+//! regret and power-bound violations. The zero-drift column doubles as
+//! the no-regression witness: adaptation must leave it bit-identical to
+//! the static path. Writes `results/BENCH_adapt.json`.
+//!
+//! Run with: `cargo run --release -p acs-bench --bin bench_adapt`
+//! (pass `--quick` for the CI-sized grid).
+
+use acs_verify::{run_drift, AdaptThresholds, DriftGridParams, ScenarioRegret};
+use serde::Serialize;
+
+/// The serialized experiment result.
+#[derive(Debug, Serialize)]
+struct AdaptResult {
+    experiment: String,
+    params: DriftGridParams,
+    scenarios: Vec<ScenarioRegret>,
+    total_reselections: u64,
+    total_drift_events: u64,
+    zero_drift_identical: bool,
+    threshold_failures: Vec<String>,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick { DriftGridParams::quick() } else { DriftGridParams::full() };
+    println!(
+        "Experiment A18 — static vs. adaptive selection under drift ({} grid)",
+        if quick { "quick" } else { "full" }
+    );
+    println!();
+
+    let report = run_drift(&params).expect("training succeeds");
+    println!("{}", report.render());
+
+    let scenarios = report.scenario_regrets();
+    let total_reselections: u64 = report.cells.iter().map(|c| c.reselections).sum();
+    let total_drift_events: u64 = report.cells.iter().map(|c| c.drift_events).sum();
+    let zero_drift_identical = report
+        .cells
+        .iter()
+        .filter(|c| c.scenario == "zero")
+        .all(|c| c.identical_selections && c.regret_bits_match);
+
+    let failures = report.check(&AdaptThresholds::default());
+    println!();
+    if failures.is_empty() {
+        println!("All adaptation gates pass.");
+    } else {
+        println!("Adaptation gates FAILED:");
+        for f in &failures {
+            println!("  {f}");
+        }
+    }
+
+    let result = AdaptResult {
+        experiment: "BENCH_adapt".into(),
+        params,
+        scenarios,
+        total_reselections,
+        total_drift_events,
+        zero_drift_identical,
+        threshold_failures: failures.clone(),
+    };
+    let path = acs_bench::write_result("BENCH_adapt", &result);
+    println!("\nwrote {}", path.display());
+
+    if !failures.is_empty() || !zero_drift_identical {
+        std::process::exit(1);
+    }
+}

@@ -136,7 +136,7 @@ fn request_stream() -> Vec<Request> {
     for (i, id) in ids.iter().enumerate() {
         stream.push(Request::Select { kernel_id: id.clone() });
         if i % 2 == 1 {
-            stream.push(Request::Report { residual_w: 3.0 + i as f64 });
+            stream.push(Request::Report { residual_w: 3.0 + i as f64, feedback: None });
         }
         if i % 3 == 2 {
             stream.push(Request::Select { kernel_id: ids[i / 2].clone() });
@@ -274,6 +274,7 @@ fn run_chaos_smoke(model: TrainedModel) -> ChaosSmokeResult {
         sessions: 4,
         run_every: 11,
         report_every: 13,
+        feedback: true,
         stats_at_end: false,
         shutdown_at_end: false,
     };

@@ -59,6 +59,7 @@ fn drive(policy: ArbiterPolicy, sessions: u64, model: acs_core::TrainedModel) ->
         sessions,
         run_every: 10,
         report_every: 7,
+        feedback: false,
         stats_at_end: true,
         shutdown_at_end: true,
     };

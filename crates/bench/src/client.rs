@@ -375,7 +375,7 @@ mod tests {
             idem: Some(7)
         }));
         assert!(!is_idempotent(&Request::Run { kernel_id: "k".into(), iterations: 1, idem: None }));
-        assert!(!is_idempotent(&Request::Report { residual_w: 1.0 }));
+        assert!(!is_idempotent(&Request::Report { residual_w: 1.0, feedback: None }));
         assert!(!is_idempotent(&Request::Bye));
         assert!(!is_idempotent(&Request::Shutdown));
     }

@@ -16,7 +16,8 @@
 //! selections, batch selections, run reports, budgets, typed errors — is
 //! logged verbatim in request order.
 
-use acs_serve::{Client, Request, Response, StatsSnapshot};
+use acs_serve::{Client, ReportFeedback, Request, Response, StatsSnapshot};
+use acs_sim::Configuration;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::sync::Mutex;
@@ -37,6 +38,11 @@ pub struct LoadgenOptions {
     pub run_every: u64,
     /// Every Nth request is a residual-headroom `Report` (0 = never).
     pub report_every: u64,
+    /// Attach seeded measurement feedback to every `Report`, exercising
+    /// the server's adaptation loop. The payload is a pure function of
+    /// `(seed, session, index)` — same determinism contract as the rest
+    /// of the stream.
+    pub feedback: bool,
     /// Ask for a `Stats` snapshot after the last request.
     pub stats_at_end: bool,
     /// Send the `Shutdown` poison request once every session is done.
@@ -52,6 +58,7 @@ impl Default for LoadgenOptions {
             sessions: 1,
             run_every: 0,
             report_every: 0,
+            feedback: false,
             stats_at_end: false,
             shutdown_at_end: false,
         }
@@ -116,7 +123,21 @@ fn request_for(opts: &LoadgenOptions, kernel_ids: &[String], rng: &mut u64, inde
     let draw = splitmix64(rng);
     if opts.report_every > 0 && index % opts.report_every == opts.report_every - 1 {
         // Residual headroom in [0, 40) W, deterministic from the stream.
-        return Request::Report { residual_w: (draw % 4000) as f64 / 100.0 };
+        let residual_w = (draw % 4000) as f64 / 100.0;
+        // With feedback on, attach a seeded measurement for a seeded
+        // (kernel, config) pair: power in [15, 45) W, perf in [0.5, 8.5).
+        // Everything comes out of the same draw, so the payload stays a
+        // pure function of (seed, session, index).
+        let feedback = opts.feedback.then(|| {
+            let configs = Configuration::all();
+            ReportFeedback {
+                kernel_id: kernel_ids[((draw >> 8) % kernel_ids.len() as u64) as usize].clone(),
+                config: configs[((draw >> 16) % configs.len() as u64) as usize],
+                measured_power_w: 15.0 + ((draw >> 24) % 3000) as f64 / 100.0,
+                measured_perf: 0.5 + ((draw >> 40) % 800) as f64 / 100.0,
+            }
+        });
+        return Request::Report { residual_w, feedback };
     }
     let kernel_id = kernel_ids[(draw % kernel_ids.len() as u64) as usize].clone();
     if opts.run_every > 0 && index % opts.run_every == opts.run_every - 1 {
@@ -294,6 +315,33 @@ mod tests {
         assert!(matches!(s[6], Request::Report { .. }), "index 6 is the 7th request");
         assert!(matches!(s[4], Request::Run { .. }));
         assert!(s.iter().any(|r| matches!(r, Request::Select { .. })));
+    }
+
+    #[test]
+    fn feedback_payloads_are_pure_functions_of_the_stream() {
+        let ids: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        let stream = |feedback: bool| -> Vec<Request> {
+            let opts = LoadgenOptions { report_every: 3, feedback, ..Default::default() };
+            let mut rng = opts.seed;
+            (0..30).map(|i| request_for(&opts, &ids, &mut rng, i)).collect()
+        };
+        assert_eq!(stream(true), stream(true), "feedback mode must replay bit-identically");
+        for (index, request) in stream(true).iter().enumerate() {
+            if let Request::Report { feedback, .. } = request {
+                let fb = feedback
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("report at index {index} should carry feedback"));
+                assert!(ids.contains(&fb.kernel_id));
+                assert!(Configuration::all().contains(&fb.config));
+                assert!((15.0..45.0).contains(&fb.measured_power_w));
+                assert!((0.5..8.5).contains(&fb.measured_perf));
+            }
+        }
+        for request in stream(false) {
+            if let Request::Report { feedback, .. } = request {
+                assert!(feedback.is_none(), "feedback off must send plain reports");
+            }
+        }
     }
 
     #[test]

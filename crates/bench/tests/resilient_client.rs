@@ -165,7 +165,7 @@ fn non_idempotent_requests_are_never_retried() {
     };
     let mut client = ResilientClient::new("127.0.0.1:1", policy);
 
-    match client.call(&Request::Report { residual_w: 1.0 }) {
+    match client.call(&Request::Report { residual_w: 1.0, feedback: None }) {
         Err(ClientError::NotRetriable { .. }) => {}
         other => panic!("expected NotRetriable, got {other:?}"),
     }

@@ -72,7 +72,7 @@ COMMANDS:
          [--golden-dir DIR]               against the exhaustive oracle, check
          [--cache-dir DIR]                metamorphic invariants, and diff (or,
          [--transfer true] [--out FILE]   with --bless, regenerate) the golden
-                                          traces; --cache-dir caches oracle
+         [--drift true]                   traces; --cache-dir caches oracle
                                           frontiers between runs; --transfer
                                           instead trains on every machine
                                           family and serves every other,
@@ -80,7 +80,14 @@ COMMANDS:
                                           transfer-regret matrix and writing
                                           it to results/BENCH_transfer.json
                                           (--out overrides; --bless pins the
-                                          quantized matrix as a golden)
+                                          quantized matrix as a golden);
+                                          --drift instead scores static vs
+                                          adaptive regret under every seeded
+                                          drift process (thermal ramp, step
+                                          throttle, aging, co-tenant), gating
+                                          strict adaptive wins under drift and
+                                          bit-identity at zero drift, writing
+                                          results/BENCH_drift.json
   serve [--model FILE] [--host H]         long-running selection server: loads
         [--port P] [--global-cap W]       the model once (or trains in-process
         [--policy equal|demand]           when --model is omitted), splits the
@@ -118,8 +125,11 @@ COMMANDS:
           [--requests N] [--seed N]       drives the selection server, prints
           [--sessions N] [--run-every N]  throughput/latency and the server's
           [--report-every N] [--log FILE] STATS snapshot, optionally records
-          [--result NAME]                 the response log (--log) and a JSON
-          [--shutdown true]               report under results/ (--result)
+          [--feedback true]               the response log (--log) and a JSON
+          [--result NAME]                 report under results/ (--result);
+          [--shutdown true]               --feedback attaches seeded
+                                          measurements to Reports, feeding
+                                          the server's adaptation loop
 ";
 
 /// Dispatch a parsed command line.
@@ -523,6 +533,74 @@ fn cmd_verify_transfer(
     }
 }
 
+/// `acs verify --drift`: the online-adaptation differential. Runs every
+/// seeded drift process over the evaluation kernels, scoring static-model
+/// regret against adaptive-model regret per cell, and gates the result:
+/// adaptation must strictly win under drift and be bit-identical to the
+/// static path at zero drift.
+fn cmd_verify_drift(
+    args: &Args,
+    out: &mut dyn Write,
+    golden_dir: &std::path::Path,
+) -> Result<(), CliError> {
+    use acs_verify::{run_drift, AdaptThresholds, DriftGridParams};
+
+    let params = if args.get_or("quick", false)? {
+        DriftGridParams::quick()
+    } else {
+        DriftGridParams::full()
+    };
+    let report = run_drift(&params).map_err(|e| CliError::Domain(e.to_string()))?;
+    write!(out, "{}", report.render()).map_err(io_err)?;
+
+    // The benchmark artifact: every (process, kernel, cap) cell.
+    let artifact = match args.get("out") {
+        Some(path) => std::path::PathBuf::from(path),
+        None => std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../results/BENCH_drift.json"),
+    };
+    if let Some(parent) = artifact.parent() {
+        std::fs::create_dir_all(parent).map_err(io_err)?;
+    }
+    let json = serde_json::to_string_pretty(&report).map_err(io_err)?;
+    std::fs::write(&artifact, json).map_err(io_err)?;
+    writeln!(out, "wrote {}", artifact.display()).map_err(io_err)?;
+
+    // The golden snapshot: the quantized summary, byte-exact once blessed.
+    let snapshot_path = golden_dir.join("drift-grid.json");
+    let snapshot = serde_json::to_string_pretty(&report.golden_summary()).map_err(io_err)?;
+    if args.get_or("bless", false)? {
+        std::fs::create_dir_all(golden_dir).map_err(io_err)?;
+        std::fs::write(&snapshot_path, &snapshot).map_err(io_err)?;
+        writeln!(out, "blessed {}", snapshot_path.display()).map_err(io_err)?;
+        return Ok(());
+    }
+
+    let mut failures = report.check(&AdaptThresholds::default());
+    match std::fs::read_to_string(&snapshot_path) {
+        Ok(blessed) if blessed == snapshot => {
+            writeln!(out, "drift golden: ok").map_err(io_err)?;
+        }
+        Ok(_) => failures.push(format!(
+            "drift grid deviates from blessed snapshot {} \
+             (re-bless with `acs verify --drift true --bless true` if intended)",
+            snapshot_path.display()
+        )),
+        // No snapshot blessed (or a different grid resolution was blessed):
+        // the thresholds are still the primary gate, so this is a note.
+        Err(_) => {
+            writeln!(out, "drift golden: no blessed snapshot (thresholds only)").map_err(io_err)?;
+        }
+    }
+
+    if failures.is_empty() {
+        writeln!(out, "verify --drift: PASS").map_err(io_err)?;
+        Ok(())
+    } else {
+        Err(CliError::Domain(format!("verify --drift: FAIL\n  {}", failures.join("\n  "))))
+    }
+}
+
 fn cmd_verify(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     use acs_verify::{golden, metamorphic, run_differential, GridParams, ScenarioGrid, Thresholds};
 
@@ -533,6 +611,10 @@ fn cmd_verify(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 
     if args.get_or("transfer", false)? {
         return cmd_verify_transfer(args, out, &golden_dir);
+    }
+
+    if args.get_or("drift", false)? {
+        return cmd_verify_drift(args, out, &golden_dir);
     }
 
     // Blessing regenerates the reference traces and stops — no gates run
@@ -773,6 +855,7 @@ fn cmd_loadgen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         sessions: args.get_or("sessions", 1)?,
         run_every: args.get_or("run-every", 0)?,
         report_every: args.get_or("report-every", 0)?,
+        feedback: args.get_or("feedback", false)?,
         stats_at_end: args.get_or("stats", true)?,
         shutdown_at_end: args.get_or("shutdown", false)?,
     };
@@ -1030,6 +1113,49 @@ mod tests {
         std::fs::write(&snapshot, text).unwrap();
         match run_str(&format!(
             "verify --transfer true --quick true --golden-dir {dir} --out {artifact}"
+        )) {
+            Err(CliError::Domain(msg)) => {
+                assert!(msg.contains("deviates from blessed snapshot"), "{msg}")
+            }
+            other => panic!("expected snapshot mismatch failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_drift_scores_every_process_and_pins_a_snapshot() {
+        let dir = tmp("golden-drift");
+        let _ = std::fs::remove_dir_all(&dir);
+        let artifact = tmp("BENCH_drift.json");
+
+        // Bless the quantized snapshot first.
+        let out = run_str(&format!(
+            "verify --drift true --bless true --quick true --golden-dir {dir} --out {artifact}"
+        ))
+        .unwrap();
+        assert!(out.contains("drift differential"), "{out}");
+        assert!(out.contains("blessed"), "{out}");
+
+        // A scoring run covers every drift process, matches the snapshot,
+        // clears the thresholds, and rewrites the benchmark artifact.
+        let out = run_str(&format!(
+            "verify --drift true --quick true --golden-dir {dir} --out {artifact}"
+        ))
+        .unwrap();
+        for process in ["zero", "thermal-ramp", "step-throttle", "aging", "co-tenant"] {
+            assert!(out.contains(process), "{process} missing from {out}");
+        }
+        assert!(out.contains("drift golden: ok"), "{out}");
+        assert!(out.contains("verify --drift: PASS"), "{out}");
+        let json = std::fs::read_to_string(&artifact).unwrap();
+        assert!(json.contains("adaptive_mean_regret"), "{json}");
+
+        // A tampered snapshot is a hard failure with a re-bless hint.
+        let snapshot = std::path::Path::new(&dir).join("drift-grid.json");
+        let mut text = std::fs::read_to_string(&snapshot).unwrap();
+        text.push(' ');
+        std::fs::write(&snapshot, text).unwrap();
+        match run_str(&format!(
+            "verify --drift true --quick true --golden-dir {dir} --out {artifact}"
         )) {
             Err(CliError::Domain(msg)) => {
                 assert!(msg.contains("deviates from blessed snapshot"), "{msg}")

@@ -55,6 +55,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod bootstrap;
 pub mod confidence;
 pub mod dissimilarity;
@@ -73,6 +74,10 @@ pub mod persist;
 pub mod profile;
 pub mod runtime;
 
+pub use adapt::{
+    AdaptCorrection, AdaptError, AdaptOutcome, AdaptParams, AdaptSelection, AdaptivePredictor,
+    DriftEvent, KalmanFilter, Signal,
+};
 pub use bootstrap::{bootstrap_table3, Interval, MethodIntervals};
 pub use confidence::{predict_with_confidence, BoundedPoint, BoundedProfile};
 pub use eval::{characterize_apps, evaluate, AppProfiles, CaseResult, Evaluation, MethodSummary};

@@ -1,0 +1,120 @@
+//! Property-based tests for the adaptation layer (ISSUE 9 satellite):
+//! the scalar Kalman filters keep positive finite covariance under any
+//! finite measurement stream, reject non-finite input with typed errors
+//! without poisoning state, converge on constant signals, and the
+//! predictor's state digest is independent of the rayon thread count.
+
+use acs_core::adapt::Innovation;
+use acs_core::{AdaptError, AdaptParams, AdaptivePredictor, KalmanFilter, Signal};
+use proptest::prelude::*;
+
+/// Local splitmix64 so the observation streams are seed-stable forever.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Feed a seeded 64-observation ratio stream through a fresh predictor
+/// and return its exact state digest.
+fn digest_for(seed: u64) -> u64 {
+    let mut predictor = AdaptivePredictor::default();
+    let mut rng = seed;
+    for index in 0..64u64 {
+        let kernel = format!("k{}", index % 3);
+        let power_ratio = 0.5 + (splitmix64(&mut rng) % 1000) as f64 / 500.0;
+        let perf_ratio = 0.5 + (splitmix64(&mut rng) % 1000) as f64 / 500.0;
+        predictor
+            .observe_ratios(&kernel, power_ratio, perf_ratio)
+            .expect("in-range ratios are always accepted");
+    }
+    predictor.state_digest()
+}
+
+proptest! {
+    #[test]
+    fn covariance_stays_positive_and_finite(
+        x0 in 0.25..4.0f64,
+        zs in prop::collection::vec(-10.0..10.0f64, 1..200),
+    ) {
+        let params = AdaptParams::default();
+        let mut filter = KalmanFilter::new(x0, &params);
+        for z in zs {
+            let Innovation { residual, variance } =
+                filter.update(Signal::Power, z).expect("finite measurements are accepted");
+            prop_assert!(variance.is_finite() && variance > 0.0, "S = {variance}");
+            prop_assert!(residual.is_finite());
+            prop_assert!(filter.p.is_finite() && filter.p > 0.0, "P = {}", filter.p);
+            prop_assert!(filter.q >= params.q_floor, "Q fell through its floor");
+            prop_assert!(filter.x.is_finite());
+        }
+    }
+
+    #[test]
+    fn non_finite_measurements_never_poison_the_filter(
+        zs in prop::collection::vec(-10.0..10.0f64, 0..50),
+        bad_index in 0usize..3,
+    ) {
+        let bad = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][bad_index];
+        let params = AdaptParams::default();
+        let mut filter = KalmanFilter::new(1.0, &params);
+        for z in zs {
+            filter.update(Signal::Perf, z).expect("finite measurements are accepted");
+        }
+        let before = filter;
+        let err = filter.update(Signal::Perf, bad).expect_err("non-finite must be rejected");
+        let typed = matches!(err, AdaptError::NonFinite { signal: Signal::Perf, .. });
+        prop_assert!(typed, "unexpected error {err:?}");
+        prop_assert_eq!(filter, before, "a rejected measurement mutated the filter");
+        prop_assert!(filter.x.is_finite() && filter.p.is_finite());
+    }
+
+    #[test]
+    fn filter_converges_on_a_constant_signal(target in 0.5..2.0f64) {
+        let params = AdaptParams::default();
+        let mut filter = KalmanFilter::new(1.0, &params);
+        for _ in 0..200 {
+            filter.update(Signal::Power, target).expect("finite");
+        }
+        prop_assert!(
+            (filter.x - target).abs() < 1e-3,
+            "posterior {} did not converge to {target}",
+            filter.x
+        );
+    }
+
+    #[test]
+    fn predictor_rejects_bad_feedback_without_state_change(
+        measured in 0.01..100.0f64,
+        bad_index in 0usize..3,
+    ) {
+        let bad_predicted = [0.0f64, -3.0, f64::NAN][bad_index];
+        let mut predictor = AdaptivePredictor::default();
+        predictor.observe("k", measured, measured, 10.0, 5.0).expect("valid observation");
+        let before = predictor.state_digest();
+        let err = predictor
+            .observe("k", measured, measured, bad_predicted, 5.0)
+            .expect_err("bad predicted power must be rejected");
+        let typed = matches!(
+            err,
+            AdaptError::NonPositive { signal: Signal::Power, .. }
+                | AdaptError::NonFinite { signal: Signal::Power, .. }
+        );
+        prop_assert!(typed, "unexpected error {err:?}");
+        prop_assert_eq!(predictor.state_digest(), before, "rejection mutated the predictor");
+    }
+
+    #[test]
+    fn predictor_digest_is_independent_of_rayon_thread_count(seed in 0u64..4096) {
+        let baseline = digest_for(seed);
+        for threads in [1usize, 2, 8] {
+            let digest = rayon::with_num_threads(threads, || digest_for(seed));
+            prop_assert_eq!(
+                digest, baseline,
+                "state digest changed under a {}-thread pool", threads
+            );
+        }
+    }
+}

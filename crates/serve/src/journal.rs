@@ -102,6 +102,50 @@ pub enum JournalEntry {
         /// Arbiter epoch after the cap change.
         epoch: u64,
     },
+    /// A session's [`AdaptivePredictor`](acs_core::AdaptivePredictor)
+    /// consumed one measured/predicted ratio pair. The exact `f64` bits
+    /// are journaled so replay feeds *identical* measurements through the
+    /// Kalman filters and rebuilds bit-identical adaptation state.
+    AdaptObs {
+        /// The observing session.
+        node_id: u64,
+        /// Kernel the observation is for.
+        kernel_id: String,
+        /// `f64::to_bits` of the measured/predicted power ratio.
+        power_bits: u64,
+        /// `f64::to_bits` of the measured/predicted performance ratio.
+        perf_bits: u64,
+    },
+    /// A session's drift detector confirmed a gross cluster mismatch and
+    /// the kernel was flagged for re-classification. Replay cross-checks
+    /// this against the mismatch the recomputed filters emit — a
+    /// `Reclassify` with no matching recomputed event means the journal
+    /// and the adaptation code disagree about history
+    /// ([`JournalError::AdaptDivergence`]).
+    Reclassify {
+        /// The session that observed the mismatch.
+        node_id: u64,
+        /// The kernel flagged for re-classification.
+        kernel_id: String,
+    },
+    /// A `Run` request finished on a degradation-ladder rung. Replay
+    /// re-sums these into the STATS rung tallies so a restarted server's
+    /// `degradation_tallies` reconcile with the history it replayed.
+    Rung {
+        /// The rung label (`model`, or a guard-ladder tier label).
+        label: String,
+    },
+}
+
+/// One orphaned session's rebuilt adaptation state, keyed by node id.
+/// A `Vec` of these (not a map) so the JSON stays string-key-free.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionAdapt {
+    /// The session the state belongs to.
+    pub node_id: u64,
+    /// The predictor as rebuilt by replaying every journaled observation
+    /// bit-for-bit.
+    pub predictor: acs_core::AdaptivePredictor,
 }
 
 /// Typed journal failures.
@@ -136,6 +180,15 @@ pub enum JournalError {
         /// What disagreed.
         detail: String,
     },
+    /// Replay recomputed different adaptation state than the journal
+    /// recorded (a rejected observation, or a `Reclassify` the recomputed
+    /// filters never emitted).
+    AdaptDivergence {
+        /// Index of the diverging entry.
+        index: usize,
+        /// What disagreed.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for JournalError {
@@ -156,6 +209,11 @@ impl std::fmt::Display for JournalError {
             JournalError::LeaseDivergence { index, detail } => write!(
                 f,
                 "coordinator journal replay diverged at entry {index}: {detail} \
+                 (delete the journal to start cold)"
+            ),
+            JournalError::AdaptDivergence { index, detail } => write!(
+                f,
+                "adaptation journal replay diverged at entry {index}: {detail} \
                  (delete the journal to start cold)"
             ),
         }
@@ -323,6 +381,17 @@ pub struct Recovery {
     /// The node id the next accepted session should get, so restarted
     /// servers never reuse an id the journal already assigned.
     pub next_node: u64,
+    /// Degradation-rung tallies re-summed from `Rung` entries, so a
+    /// restarted server's STATS reconcile with replayed history.
+    /// `#[serde(default)]` keeps pre-adapt recovery records parseable.
+    #[serde(default)]
+    pub rung_tallies: std::collections::BTreeMap<String, u64>,
+    /// Adaptation state of sessions that never cleanly left, rebuilt
+    /// bit-for-bit from `AdaptObs` entries and sorted by node id.
+    /// (Cleanly-closed sessions drop their state exactly as the live
+    /// server does on `Bye`.)
+    #[serde(default)]
+    pub adapt: Vec<SessionAdapt>,
 }
 
 /// Fold a validated entry stream into a fresh arbiter, verifying each
@@ -336,6 +405,14 @@ pub fn replay(
     let mut warm_kernels: Vec<String> = Vec::new();
     let mut seen = std::collections::HashSet::new();
     let mut next_node = 1u64;
+    let mut adapt: std::collections::BTreeMap<u64, acs_core::AdaptivePredictor> =
+        std::collections::BTreeMap::new();
+    let mut rung_tallies: std::collections::BTreeMap<String, u64> =
+        std::collections::BTreeMap::new();
+    // (node, kernel) pairs whose last replayed observation emitted a
+    // cluster mismatch; each journaled Reclassify must consume one.
+    let mut pending_reclassify: std::collections::HashSet<(u64, String)> =
+        std::collections::HashSet::new();
     let check = |index: usize, recorded: u64, arbiter: &Arbiter| {
         if arbiter.epoch() == recorded {
             Ok(())
@@ -352,6 +429,7 @@ pub fn replay(
             }
             JournalEntry::Leave { node_id, epoch } => {
                 arbiter.leave(*node_id);
+                adapt.remove(node_id);
                 check(index, *epoch, &arbiter)?;
             }
             JournalEntry::Report { node_id, residual_w, epoch } => {
@@ -369,15 +447,55 @@ pub fn replay(
                 arbiter.set_global_cap(*cap_w);
                 check(index, *epoch, &arbiter)?;
             }
+            JournalEntry::AdaptObs { node_id, kernel_id, power_bits, perf_bits } => {
+                let predictor = adapt.entry(*node_id).or_default();
+                let events = predictor
+                    .observe_ratios(
+                        kernel_id,
+                        f64::from_bits(*power_bits),
+                        f64::from_bits(*perf_bits),
+                    )
+                    .map_err(|e| JournalError::AdaptDivergence {
+                        index,
+                        detail: format!("journaled observation rejected on replay: {e}"),
+                    })?;
+                if events.iter().any(|e| matches!(e, acs_core::DriftEvent::ClusterMismatch { .. }))
+                {
+                    pending_reclassify.insert((*node_id, kernel_id.clone()));
+                }
+            }
+            JournalEntry::Reclassify { node_id, kernel_id } => {
+                if !pending_reclassify.remove(&(*node_id, kernel_id.clone())) {
+                    return Err(JournalError::AdaptDivergence {
+                        index,
+                        detail: format!(
+                            "journal records a reclassification of {kernel_id} on node \
+                             {node_id} that the recomputed filters never emitted"
+                        ),
+                    });
+                }
+            }
+            JournalEntry::Rung { label } => {
+                *rung_tallies.entry(label.clone()).or_insert(0) += 1;
+            }
         }
     }
     let orphaned_sessions = arbiter.node_ids();
     for &id in &orphaned_sessions {
         arbiter.leave(id);
     }
+    let adapt =
+        adapt.into_iter().map(|(node_id, predictor)| SessionAdapt { node_id, predictor }).collect();
     Ok((
         arbiter,
-        Recovery { replayed: entries.len() as u64, warm_kernels, orphaned_sessions, next_node },
+        Recovery {
+            replayed: entries.len() as u64,
+            warm_kernels,
+            orphaned_sessions,
+            next_node,
+            rung_tallies,
+            adapt,
+        },
     ))
 }
 
@@ -585,6 +703,106 @@ mod tests {
             replay(&bogus, 100.0, ArbiterPolicy::EqualShare),
             Err(JournalError::EpochDivergence { .. })
         ));
+    }
+
+    #[test]
+    fn replay_rebuilds_adaptation_state_and_rung_tallies() {
+        // Drive a live predictor, journal the exact ratio bits the way the
+        // server does, and check replay lands on bit-identical state.
+        let mut live = acs_core::AdaptivePredictor::default();
+        let mut entries = vec![JournalEntry::Admit { node_id: 1, epoch: 1 }];
+        let ratios = [(1.0, 1.0), (1.01, 0.99), (0.99, 1.0), (1.0, 1.01), (2.0, 0.5), (2.0, 0.5)];
+        for (p, q) in ratios {
+            let events = live.observe_ratios("LU/Small/lud", p, q).unwrap();
+            entries.push(JournalEntry::AdaptObs {
+                node_id: 1,
+                kernel_id: "LU/Small/lud".into(),
+                power_bits: f64::to_bits(p),
+                perf_bits: f64::to_bits(q),
+            });
+            if events.iter().any(|e| matches!(e, acs_core::DriftEvent::ClusterMismatch { .. })) {
+                entries.push(JournalEntry::Reclassify {
+                    node_id: 1,
+                    kernel_id: "LU/Small/lud".into(),
+                });
+            }
+        }
+        assert!(
+            live.reclassifications() > 0,
+            "the 2x power ratio after a 1.0 baseline must trip the mismatch detector"
+        );
+        entries.push(JournalEntry::Rung { label: "model".into() });
+        entries.push(JournalEntry::Rung { label: "model".into() });
+        entries.push(JournalEntry::Rung { label: "frequency".into() });
+
+        let (_, recovery) = replay(&entries, 100.0, ArbiterPolicy::EqualShare).unwrap();
+        assert_eq!(recovery.adapt.len(), 1, "the orphaned session keeps its state");
+        assert_eq!(recovery.adapt[0].node_id, 1);
+        assert_eq!(recovery.adapt[0].predictor, live, "replayed state must be bit-identical");
+        assert_eq!(recovery.adapt[0].predictor.state_digest(), live.state_digest());
+        assert_eq!(recovery.rung_tallies.get("model"), Some(&2));
+        assert_eq!(recovery.rung_tallies.get("frequency"), Some(&1));
+    }
+
+    #[test]
+    fn clean_leave_drops_the_sessions_adaptation_state() {
+        let mut live = Arbiter::new(100.0, ArbiterPolicy::EqualShare);
+        live.join(1);
+        let entries = vec![
+            JournalEntry::Admit { node_id: 1, epoch: live.epoch() },
+            JournalEntry::AdaptObs {
+                node_id: 1,
+                kernel_id: "k".into(),
+                power_bits: f64::to_bits(1.0),
+                perf_bits: f64::to_bits(1.0),
+            },
+            JournalEntry::Leave {
+                node_id: 1,
+                epoch: {
+                    live.leave(1);
+                    live.epoch()
+                },
+            },
+        ];
+        let (_, recovery) = replay(&entries, 100.0, ArbiterPolicy::EqualShare).unwrap();
+        assert!(recovery.adapt.is_empty(), "Bye discards adaptation state, so must replay");
+    }
+
+    #[test]
+    fn replay_rejects_unearned_reclassify_entries() {
+        let entries = vec![
+            JournalEntry::Admit { node_id: 1, epoch: 1 },
+            JournalEntry::Reclassify { node_id: 1, kernel_id: "k".into() },
+        ];
+        match replay(&entries, 100.0, ArbiterPolicy::EqualShare) {
+            Err(JournalError::AdaptDivergence { index: 1, .. }) => {}
+            other => panic!("expected AdaptDivergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_rejects_non_finite_journaled_observations() {
+        let entries = vec![JournalEntry::AdaptObs {
+            node_id: 1,
+            kernel_id: "k".into(),
+            power_bits: f64::to_bits(f64::NAN),
+            perf_bits: f64::to_bits(1.0),
+        }];
+        match replay(&entries, 100.0, ArbiterPolicy::EqualShare) {
+            Err(JournalError::AdaptDivergence { index: 0, .. }) => {}
+            other => panic!("expected AdaptDivergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_adapt_recovery_records_parse_with_empty_adapt_fields() {
+        // Recovery summaries serialized before the adaptation layer lack
+        // the rung_tallies/adapt fields; they must deserialize as empty.
+        let json = r#"{"replayed":3,"warm_kernels":["k"],"orphaned_sessions":[2],"next_node":3}"#;
+        let recovery: Recovery = serde_json::from_str(json).unwrap();
+        assert_eq!(recovery.replayed, 3);
+        assert!(recovery.rung_tallies.is_empty());
+        assert!(recovery.adapt.is_empty());
     }
 
     #[test]

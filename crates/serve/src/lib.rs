@@ -51,14 +51,14 @@ pub use arbiter::{Arbiter, ArbiterPolicy};
 pub use chaosproxy::{ChaosPlan, ChaosProxy, ChaosProxyHandle, ChaosStats};
 pub use coordinator::{CoordClient, Coordinator, CoordinatorConfig, CoordinatorHandle};
 pub use engine::{Engine, EngineError};
-pub use journal::{replay, Journal, JournalEntry, JournalError, Recovery};
+pub use journal::{replay, Journal, JournalEntry, JournalError, Recovery, SessionAdapt};
 pub use lease::{
     replay_coordinator, CoordJournalEntry, CoordRecovery, CoordRequest, CoordResponse, CoordStats,
     GrantOutcome, LeaseError, LeaseState, LeaseTable, ShardLease, ShardLeaseState,
 };
 pub use metrics::{LeaseReport, Metrics, StatsSnapshot};
 pub use protocol::{
-    read_frame, read_frame_blocking, write_frame, ProtocolError, ReadOutcome, Request, Response,
-    Selection, MAX_FRAME_LEN,
+    read_frame, read_frame_blocking, write_frame, ProtocolError, ReadOutcome, ReportFeedback,
+    Request, Response, Selection, MAX_FRAME_LEN,
 };
 pub use server::{Client, ServeConfig, ServeError, Server, ServerHandle};

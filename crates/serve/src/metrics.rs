@@ -74,6 +74,21 @@ pub struct StatsSnapshot {
     pub journal_appends: u64,
     /// Entries replayed from the journal at startup.
     pub journal_replayed: u64,
+    /// Measured-feedback observations consumed by per-session adaptive
+    /// predictors (both live Reports and journal replay).
+    #[serde(default)]
+    pub adapt_observations: u64,
+    /// Typed drift events (bias, variance blow-up, cluster mismatch)
+    /// emitted by the drift detectors.
+    #[serde(default)]
+    pub drift_events: u64,
+    /// Selections where the adaptive correction changed the configuration
+    /// the static model would have picked.
+    #[serde(default)]
+    pub adapt_reselections: u64,
+    /// Kernels flagged for cluster re-classification by a gross mismatch.
+    #[serde(default)]
+    pub reclassifications: u64,
 }
 
 /// Snapshot inputs that live outside the registry: the shard lease state
@@ -119,6 +134,10 @@ pub struct Metrics {
     lease_renews: AtomicU64,
     renew_latencies_ns: Mutex<Vec<u64>>,
     renew_next_slot: AtomicU64,
+    adapt_observations: AtomicU64,
+    drift_events: AtomicU64,
+    adapt_reselections: AtomicU64,
+    reclassifications: AtomicU64,
 }
 
 impl Metrics {
@@ -169,6 +188,35 @@ impl Metrics {
     /// Tally one request served at a degradation-ladder rung.
     pub fn record_rung(&self, label: &str) {
         *self.degradation.lock().entry(label.to_string()).or_insert(0) += 1;
+    }
+
+    /// Seed the rung tallies from journal replay, so a restarted server's
+    /// STATS reconcile with the history it recovered instead of restarting
+    /// every rung at zero.
+    pub fn seed_rungs(&self, tallies: &BTreeMap<String, u64>) {
+        let mut degradation = self.degradation.lock();
+        for (label, count) in tallies {
+            *degradation.entry(label.clone()).or_insert(0) += count;
+        }
+    }
+
+    /// Count adaptation-loop activity after an observation: `events` drift
+    /// events, of which `reclassifications` flagged a cluster mismatch.
+    pub fn record_adapt_observation(&self, events: u64, reclassifications: u64) {
+        self.adapt_observations.fetch_add(1, Ordering::Relaxed);
+        self.drift_events.fetch_add(events, Ordering::Relaxed);
+        self.reclassifications.fetch_add(reclassifications, Ordering::Relaxed);
+    }
+
+    /// Count a selection the adaptive correction steered away from the
+    /// static model's pick.
+    pub fn record_adapt_reselection(&self) {
+        self.adapt_reselections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adaptive observations so far.
+    pub fn adapt_observations(&self) -> u64 {
+        self.adapt_observations.load(Ordering::Relaxed)
     }
 
     /// Record one successful lease renewal and its round-trip latency in
@@ -230,6 +278,10 @@ impl Metrics {
             p99_renew_latency_us: renew_p99,
             journal_appends: lease.journal_appends,
             journal_replayed: lease.journal_replayed,
+            adapt_observations: self.adapt_observations.load(Ordering::Relaxed),
+            drift_events: self.drift_events.load(Ordering::Relaxed),
+            adapt_reselections: self.adapt_reselections.load(Ordering::Relaxed),
+            reclassifications: self.reclassifications.load(Ordering::Relaxed),
         }
     }
 
@@ -360,6 +412,52 @@ mod tests {
         let s = m.snapshot((0, 0), 0, 0, &LeaseReport::default());
         assert_eq!(s.degradation_tallies["model"], 2);
         assert_eq!(s.degradation_tallies["safe-min"], 1);
+    }
+
+    #[test]
+    fn seeded_rungs_merge_with_live_tallies() {
+        // Recovery replay seeds the rung history; live requests keep
+        // adding on top — the snapshot reports the reconciled sum.
+        let m = Metrics::new();
+        let mut replayed = BTreeMap::new();
+        replayed.insert("model".to_string(), 3u64);
+        replayed.insert("safe-min".to_string(), 1u64);
+        m.seed_rungs(&replayed);
+        m.record_rung("model");
+        let s = m.snapshot((0, 0), 0, 0, &LeaseReport::default());
+        assert_eq!(s.degradation_tallies["model"], 4);
+        assert_eq!(s.degradation_tallies["safe-min"], 1);
+    }
+
+    #[test]
+    fn adaptation_counters_flow_into_the_snapshot() {
+        let m = Metrics::new();
+        m.record_adapt_observation(0, 0);
+        m.record_adapt_observation(2, 1);
+        m.record_adapt_reselection();
+        let s = m.snapshot((0, 0), 0, 0, &LeaseReport::default());
+        assert_eq!(s.adapt_observations, 2);
+        assert_eq!(s.drift_events, 2);
+        assert_eq!(s.reclassifications, 1);
+        assert_eq!(s.adapt_reselections, 1);
+    }
+
+    #[test]
+    fn pre_adapt_snapshots_parse_with_zero_adapt_counters() {
+        // A snapshot serialized before the adaptation counters existed
+        // must still deserialize (old recordings, mixed-version fleets).
+        let m = Metrics::new();
+        let s = m.snapshot((0, 0), 0, 0, &LeaseReport::default());
+        let mut json = serde_json::to_string(&s).unwrap();
+        for field in
+            ["adapt_observations", "drift_events", "adapt_reselections", "reclassifications"]
+        {
+            json = json.replace(&format!(",\"{field}\":0"), "");
+            json = json.replace(&format!("\"{field}\":0,"), "");
+        }
+        assert!(!json.contains("adapt_observations"));
+        let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]

@@ -57,6 +57,12 @@ pub enum Request {
         /// Residual watts under the node's current budget (negative when
         /// the node overshoots).
         residual_w: f64,
+        /// Optional measured-feedback payload for the session's online
+        /// adaptation layer. Absent (`null`, or omitted by pre-adapt
+        /// clients) means the Report only feeds the arbiter, exactly as
+        /// before — the adaptive path stays bit-identical to static.
+        #[serde(default)]
+        feedback: Option<ReportFeedback>,
     },
     /// Ask for a metrics snapshot.
     Stats,
@@ -80,6 +86,22 @@ impl Request {
             Request::Shutdown => "shutdown",
         }
     }
+}
+
+/// Measured power/performance feedback attached to a `Report`, consumed by
+/// the per-session [`acs_core::AdaptivePredictor`]. The server compares the
+/// measurement against the static model's prediction for `config` and feeds
+/// the ratios through the session's Kalman filters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportFeedback {
+    /// Kernel the measurement is for.
+    pub kernel_id: String,
+    /// Configuration the measurement was taken under.
+    pub config: Configuration,
+    /// Measured mean power over the reported window, W.
+    pub measured_power_w: f64,
+    /// Measured performance over the reported window (iterations/s).
+    pub measured_perf: f64,
 }
 
 /// One configuration selection, as returned for `Select` and `Batch`.
@@ -339,7 +361,16 @@ mod tests {
         roundtrip(&Request::Batch { kernel_ids: vec!["a".into(), "b".into()] });
         roundtrip(&Request::Run { kernel_id: "x".into(), iterations: 5, idem: None });
         roundtrip(&Request::Run { kernel_id: "x".into(), iterations: 5, idem: Some(42) });
-        roundtrip(&Request::Report { residual_w: -1.25 });
+        roundtrip(&Request::Report { residual_w: -1.25, feedback: None });
+        roundtrip(&Request::Report {
+            residual_w: 3.5,
+            feedback: Some(ReportFeedback {
+                kernel_id: "LU/Small/lud".into(),
+                config: Configuration::all()[0],
+                measured_power_w: 41.5,
+                measured_perf: 12.25,
+            }),
+        });
         roundtrip(&Request::Stats);
         roundtrip(&Request::Bye);
         roundtrip(&Request::Shutdown);
@@ -364,6 +395,18 @@ mod tests {
         buf.extend_from_slice(json.as_bytes());
         let req: Request = read_frame_blocking(&mut Cursor::new(&buf)).unwrap().unwrap();
         assert_eq!(req, Request::Run { kernel_id: "x".into(), iterations: 2, idem: None });
+    }
+
+    #[test]
+    fn pre_adapt_report_frames_parse_with_no_feedback() {
+        // Clients older than the adaptation layer omit the feedback field
+        // entirely; the decoder must treat that as `feedback: None`, not a
+        // malformed frame, so old loadgen recordings stay replayable.
+        let json = r#"{"Report":{"residual_w":2.5}}"#;
+        let mut buf = (json.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(json.as_bytes());
+        let req: Request = read_frame_blocking(&mut Cursor::new(&buf)).unwrap().unwrap();
+        assert_eq!(req, Request::Report { residual_w: 2.5, feedback: None });
     }
 
     #[test]

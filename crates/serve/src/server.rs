@@ -16,10 +16,14 @@ use crate::engine::{Engine, EngineError};
 use crate::journal::{replay, Journal, JournalEntry, Recovery};
 use crate::lease::{CoordRequest, CoordResponse, ShardLease};
 use crate::metrics::{LeaseReport, Metrics};
-use crate::protocol::{read_frame, write_frame, ProtocolError, ReadOutcome, Request, Response};
-use acs_core::{CappedRuntime, GuardPolicy, TrainedModel};
-use acs_sim::{FamilyId, Machine};
+use crate::protocol::{
+    read_frame, write_frame, ProtocolError, ReadOutcome, ReportFeedback, Request, Response,
+    Selection,
+};
+use acs_core::{AdaptivePredictor, CappedRuntime, DriftEvent, GuardPolicy, TrainedModel};
+use acs_sim::{Configuration, FamilyId, Machine};
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -148,6 +152,10 @@ struct Shared {
     /// The shard-side lease state machine; `Some` iff a coordinator is
     /// configured. The lease client thread mutates it; `Stats` reads it.
     lease: Option<Mutex<ShardLease>>,
+    /// Per-session online adaptation state, keyed by node id. A clean
+    /// `Bye` removes the entry; a crash leaves it, mirroring the journal's
+    /// replay semantics (orphans keep their rebuilt state).
+    adapt: Mutex<BTreeMap<u64, AdaptivePredictor>>,
 }
 
 /// Best-effort journal append. Append failures (disk full, journal file
@@ -235,6 +243,23 @@ impl ServerHandle {
     /// Successful lease renewals against the coordinator.
     pub fn lease_renews(&self) -> u64 {
         self.shared.metrics.lease_renews()
+    }
+
+    /// Per-session adaptation-state digests, sorted by node id. The
+    /// kill-and-restart e2e compares these against the digests of the
+    /// predictors journal replay rebuilds.
+    pub fn adapt_digests(&self) -> Vec<(u64, u64)> {
+        self.shared
+            .adapt
+            .lock()
+            .iter()
+            .map(|(node_id, predictor)| (*node_id, predictor.state_digest()))
+            .collect()
+    }
+
+    /// Measured-feedback observations consumed by adaptive predictors.
+    pub fn adapt_observations(&self) -> u64 {
+        self.shared.metrics.adapt_observations()
     }
 
     /// Die like a SIGKILL: stop every session *without* journaling their
@@ -352,10 +377,17 @@ impl Server {
             }));
         }
 
+        // Reconcile the STATS degradation-rung tallies with replayed
+        // history: a restarted server reports the rungs it already served,
+        // not a fresh zero next to a warm cache.
+        let metrics = Metrics::new();
+        if let Some(recovery) = &recovery {
+            metrics.seed_rungs(&recovery.rung_tallies);
+        }
         let shared = Arc::new(Shared {
             engine,
             arbiter: Mutex::new(arbiter),
-            metrics: Metrics::new(),
+            metrics,
             shutdown: AtomicBool::new(false),
             crashed: AtomicBool::new(false),
             active: AtomicUsize::new(0),
@@ -363,6 +395,7 @@ impl Server {
             journal,
             recovery,
             lease,
+            adapt: Mutex::new(BTreeMap::new()),
             model,
             config,
         });
@@ -596,6 +629,7 @@ fn run_session(shared: Arc<Shared>, mut stream: TcpStream, node_id: u64) {
         journal_append(&shared, &JournalEntry::Admit { node_id, epoch: arbiter.epoch() });
         budget_w
     };
+    shared.adapt.lock().insert(node_id, AdaptivePredictor::default());
     let mut rt = CappedRuntime::guarded(
         Machine::from_family(shared.config.family, shared.config.seed),
         (*shared.model).clone(),
@@ -658,6 +692,10 @@ fn run_session(shared: Arc<Shared>, mut stream: TcpStream, node_id: u64) {
         let mut arbiter = shared.arbiter.lock();
         arbiter.leave(node_id);
         journal_append(&shared, &JournalEntry::Leave { node_id, epoch: arbiter.epoch() });
+        drop(arbiter);
+        // A clean close discards the session's adaptation state, exactly
+        // as replaying its Leave entry does; a crash leaves it in place.
+        shared.adapt.lock().remove(&node_id);
     }
     shared.active.fetch_sub(1, Ordering::SeqCst);
 }
@@ -679,10 +717,12 @@ fn handle_request(
 ) -> (Response, bool) {
     match request {
         Request::Hello => (Response::Welcome { node_id, budget_w: rt.cap_w() }, false),
-        Request::Select { kernel_id } => match shared.engine.select(&kernel_id, rt.cap_w()) {
-            Ok(selection) => (Response::Selected(selection), false),
-            Err(e) => (engine_error(e), false),
-        },
+        Request::Select { kernel_id } => {
+            match select_for(shared, node_id, &kernel_id, rt.cap_w()) {
+                Ok(selection) => (Response::Selected(selection), false),
+                Err(e) => (engine_error(e), false),
+            }
+        }
         Request::Batch { kernel_ids } => {
             let limit = shared.config.max_batch;
             if kernel_ids.len() > limit {
@@ -692,11 +732,29 @@ fn handle_request(
                     false,
                 );
             }
+            // Sessions with no confirmed drift correction for any batched
+            // kernel take the parallel static path, bit-identical to the
+            // pre-adaptation server.
+            let any_corrected = {
+                let adapt = shared.adapt.lock();
+                adapt
+                    .get(&node_id)
+                    .is_some_and(|p| kernel_ids.iter().any(|k| p.correction(k).is_some()))
+            };
             let mut selections = Vec::with_capacity(kernel_ids.len());
-            for result in shared.engine.select_batch(&kernel_ids, rt.cap_w()) {
-                match result {
-                    Ok(s) => selections.push(s),
-                    Err(e) => return (engine_error(e), false),
+            if any_corrected {
+                for kernel_id in &kernel_ids {
+                    match select_for(shared, node_id, kernel_id, rt.cap_w()) {
+                        Ok(s) => selections.push(s),
+                        Err(e) => return (engine_error(e), false),
+                    }
+                }
+            } else {
+                for result in shared.engine.select_batch(&kernel_ids, rt.cap_w()) {
+                    match result {
+                        Ok(s) => selections.push(s),
+                        Err(e) => return (engine_error(e), false),
+                    }
                 }
             }
             (Response::BatchSelected { selections }, false)
@@ -738,6 +796,9 @@ fn handle_request(
                 .map(|h| h.tier.label())
                 .unwrap_or_else(|| "model".to_string());
             shared.metrics.record_rung(&tier);
+            // Rung tallies are journaled so recovery replay reconciles the
+            // STATS degradation history instead of restarting it at zero.
+            journal_append(shared, &JournalEntry::Rung { label: tier.clone() });
             let response = Response::Ran {
                 kernel_id,
                 iterations,
@@ -753,7 +814,15 @@ fn handle_request(
             }
             (response, false)
         }
-        Request::Report { residual_w } => {
+        Request::Report { residual_w, feedback } => {
+            // Feedback is validated and consumed *before* the arbiter
+            // mutates: a rejected measurement must leave the session's
+            // budget exactly as it was.
+            if let Some(feedback) = feedback {
+                if let Err(response) = observe_feedback(shared, node_id, &feedback) {
+                    return (*response, false);
+                }
+            }
             let budget = {
                 let mut arbiter = shared.arbiter.lock();
                 let budget = arbiter.report(node_id, residual_w);
@@ -782,6 +851,111 @@ fn handle_request(
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             (Response::ShuttingDown, true)
+        }
+    }
+}
+
+/// Select for one kernel through the session's adaptive predictor. With no
+/// confirmed drift correction this is exactly [`Engine::select`] — the
+/// bit-identical static path. With one, the frontier is re-walked under
+/// the drift-deflated cap and the advertised predictions carry the
+/// estimated correction.
+fn select_for(
+    shared: &Shared,
+    node_id: u64,
+    kernel_id: &str,
+    cap_w: f64,
+) -> Result<Selection, EngineError> {
+    let correction = shared.adapt.lock().get(&node_id).and_then(|p| p.correction(kernel_id));
+    let Some(correction) = correction else {
+        return shared.engine.select(kernel_id, cap_w);
+    };
+    let profile = shared.engine.profile(kernel_id)?;
+    let selection = {
+        let adapt = shared.adapt.lock();
+        // The predictor only mutates from this session's own thread, so it
+        // is still present and still corrected here.
+        adapt
+            .get(&node_id)
+            .expect("correction implies a predictor")
+            .selection(kernel_id, &profile, cap_w)
+    };
+    if selection.corrected {
+        shared.metrics.record_adapt_reselection();
+    }
+    let point = profile.point_for(&selection.config);
+    Ok(Selection {
+        kernel_id: kernel_id.to_string(),
+        cluster: profile.cluster,
+        config: selection.config,
+        predicted_power_w: point.power_w * correction.power_ratio,
+        predicted_perf: point.perf * correction.perf_ratio,
+        budget_w: cap_w,
+    })
+}
+
+/// Feed one `Report` feedback payload through the session's predictor:
+/// validate, observe, journal the exact clamped ratio bits (plus any
+/// cluster-mismatch reclassification), and count the drift events. On
+/// error the predictor is untouched and the caller returns the typed
+/// response without touching the arbiter.
+fn observe_feedback(
+    shared: &Shared,
+    node_id: u64,
+    feedback: &ReportFeedback,
+) -> Result<(), Box<Response>> {
+    // A hostile config (out-of-range threads or P-states) would index
+    // outside the profile's point table; reject it before the lookup.
+    let index = feedback.config.index();
+    if Configuration::all().get(index) != Some(&feedback.config) {
+        return Err(Box::new(Response::Error {
+            code: "bad-feedback".into(),
+            detail: format!("configuration {:?} is not in the machine's space", feedback.config),
+        }));
+    }
+    let profile = match shared.engine.profile(&feedback.kernel_id) {
+        Ok(profile) => profile,
+        Err(e) => return Err(Box::new(engine_error(e))),
+    };
+    let point = profile.point_for(&feedback.config);
+    let (predicted_power_w, predicted_perf) = (point.power_w, point.perf);
+    let mut adapt = shared.adapt.lock();
+    let predictor = adapt.entry(node_id).or_default();
+    match predictor.observe(
+        &feedback.kernel_id,
+        feedback.measured_power_w,
+        feedback.measured_perf,
+        predicted_power_w,
+        predicted_perf,
+    ) {
+        Ok(outcome) => {
+            let mismatches = outcome
+                .events
+                .iter()
+                .filter(|e| matches!(e, DriftEvent::ClusterMismatch { .. }))
+                .count() as u64;
+            shared.metrics.record_adapt_observation(outcome.events.len() as u64, mismatches);
+            journal_append(
+                shared,
+                &JournalEntry::AdaptObs {
+                    node_id,
+                    kernel_id: feedback.kernel_id.clone(),
+                    power_bits: outcome.power_ratio.to_bits(),
+                    perf_bits: outcome.perf_ratio.to_bits(),
+                },
+            );
+            for event in &outcome.events {
+                if let DriftEvent::ClusterMismatch { kernel_id, .. } = event {
+                    journal_append(
+                        shared,
+                        &JournalEntry::Reclassify { node_id, kernel_id: kernel_id.clone() },
+                    );
+                }
+            }
+            Ok(())
+        }
+        Err(e) => {
+            Err(Box::new(Response::Error { code: "bad-feedback".into(), detail: e.to_string() }))
         }
     }
 }

@@ -130,7 +130,7 @@ fn quiet_proxy_is_byte_transparent() {
     let requests = [
         Request::Select { kernel_id: kernel_id.clone() },
         Request::Run { kernel_id: kernel_id.clone(), iterations: 2, idem: Some(77) },
-        Request::Report { residual_w: 3.0 },
+        Request::Report { residual_w: 3.0, feedback: None },
         Request::Select { kernel_id },
     ];
 
@@ -194,7 +194,7 @@ fn seeded_chaos_never_panics_and_never_poisons_the_arbiter() {
                         iterations: 1,
                         idem: Some(seed * 1000 + conn * 10 + i),
                     },
-                    _ => Request::Report { residual_w: (i * 3) as f64 },
+                    _ => Request::Report { residual_w: (i * 3) as f64, feedback: None },
                 };
                 match client.call(&request) {
                     Ok(_) => {}

@@ -28,7 +28,7 @@ fn request_from(variant: u8, n: u64, w: f64, extra: &[u64]) -> Request {
             iterations: n % 17,
             idem: if n.is_multiple_of(2) { Some(n.wrapping_mul(31)) } else { None },
         },
-        4 => Request::Report { residual_w: w },
+        4 => Request::Report { residual_w: w, feedback: None },
         5 => Request::Stats,
         6 => Request::Bye,
         _ => Request::Shutdown,

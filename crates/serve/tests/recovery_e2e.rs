@@ -13,8 +13,8 @@
 
 use acs_core::{train, KernelProfile, TrainedModel, TrainingParams};
 use acs_serve::{
-    ArbiterPolicy, Client, Journal, JournalEntry, Request, Response, ServeConfig, ServeError,
-    Server, ServerHandle,
+    ArbiterPolicy, Client, Journal, JournalEntry, ReportFeedback, Request, Response, ServeConfig,
+    ServeError, Server, ServerHandle,
 };
 use acs_sim::Machine;
 use std::path::PathBuf;
@@ -71,7 +71,7 @@ fn request_stream() -> Vec<Request> {
     for (i, id) in ids.iter().enumerate() {
         stream.push(Request::Select { kernel_id: id.clone() });
         if i % 2 == 1 {
-            stream.push(Request::Report { residual_w: 4.0 + i as f64 });
+            stream.push(Request::Report { residual_w: 4.0 + i as f64, feedback: None });
         }
         if i % 3 == 2 {
             stream.push(Request::Select { kernel_id: ids[0].clone() }); // revisit: warm path
@@ -147,6 +147,87 @@ fn kill_and_restart_resumes_byte_identical_selections() {
     join.join().unwrap();
 
     assert_eq!(log, reference, "post-recovery selections/budgets must be byte-identical");
+}
+
+#[test]
+fn kill_and_restart_replays_adaptation_state_and_rung_tallies() {
+    let dir = scratch("adapt");
+    let journal_path = dir.join("serve.journal");
+    let ids: Vec<String> =
+        acs_kernels::all_kernel_instances().iter().take(2).map(|k| k.id()).collect();
+
+    // Phase 1: drive measured feedback hard enough to latch corrections
+    // (4 on-model observations form the baseline, then 4 at 2× power /
+    // 0.6× perf confirm bias and a cluster mismatch), plus a few `Run`s
+    // for rung tallies. Then die like a SIGKILL.
+    let (pre_digests, pre_tallies) = {
+        let (addr, handle, join) = spawn(config(Some(journal_path.clone())));
+        let mut client = Client::connect(&addr).unwrap();
+        client.call(&Request::Hello).unwrap();
+        for id in &ids {
+            let selection = match client.call(&Request::Select { kernel_id: id.clone() }).unwrap() {
+                Response::Selected(s) => s,
+                other => panic!("expected Selected, got {other:?}"),
+            };
+            for step in 0..8u32 {
+                let (power_factor, perf_factor) = if step < 4 { (1.0, 1.0) } else { (2.0, 0.6) };
+                let feedback = ReportFeedback {
+                    kernel_id: selection.kernel_id.clone(),
+                    config: selection.config,
+                    measured_power_w: selection.predicted_power_w * power_factor,
+                    measured_perf: selection.predicted_perf * perf_factor,
+                };
+                if let Response::Error { code, detail } = client
+                    .call(&Request::Report { residual_w: 1.0, feedback: Some(feedback) })
+                    .unwrap()
+                {
+                    panic!("feedback rejected: {code} {detail}")
+                }
+            }
+        }
+        for _ in 0..3 {
+            client
+                .call(&Request::Run { kernel_id: ids[0].clone(), iterations: 1, idem: None })
+                .unwrap();
+        }
+        let tallies = match client.call(&Request::Stats).unwrap() {
+            Response::Stats(s) => s.degradation_tallies,
+            other => panic!("expected Stats, got {other:?}"),
+        };
+        assert!(!tallies.is_empty(), "the runs never recorded a rung");
+        assert!(handle.adapt_observations() > 0, "feedback never reached a predictor");
+        let digests = handle.adapt_digests();
+        assert!(!digests.is_empty(), "the session never grew adaptation state");
+        handle.simulate_crash();
+        join.join().unwrap();
+        (digests, tallies)
+    };
+
+    // Phase 2: restart on the same journal. Replay must rebuild the
+    // orphaned session's predictor bit-for-bit and reconcile the rung
+    // tallies into the restarted server's STATS.
+    let (addr, handle, join) = spawn(config(Some(journal_path)));
+    let recovery = handle.recovery().expect("a journaled server reports its recovery");
+    let replayed: Vec<(u64, u64)> =
+        recovery.adapt.iter().map(|s| (s.node_id, s.predictor.state_digest())).collect();
+    assert_eq!(
+        replayed, pre_digests,
+        "replayed adaptation state must be byte-identical to the pre-crash state"
+    );
+    assert_eq!(recovery.rung_tallies, pre_tallies, "replay reconciles the rung tallies");
+
+    let mut client = Client::connect(&addr).unwrap();
+    match client.call(&Request::Stats).unwrap() {
+        Response::Stats(s) => {
+            assert_eq!(
+                s.degradation_tallies, pre_tallies,
+                "a restarted server's STATS must start from the journaled tallies"
+            );
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+    handle.shutdown();
+    join.join().unwrap();
 }
 
 #[test]

@@ -190,7 +190,7 @@ fn report_reshuffles_budgets_across_sessions() {
 
     // a reports plenty of headroom (low demand), b reports none: the
     // arbiter should tilt the discretionary pool toward b.
-    match a.call(&Request::Report { residual_w: 30.0 }).unwrap() {
+    match a.call(&Request::Report { residual_w: 30.0, feedback: None }).unwrap() {
         Response::Budget { budget_w } => {
             assert!(budget_w < 50.0, "satisfied node keeps {budget_w} W of 100 W");
             // The demand floor: half an equal share is guaranteed.
@@ -198,7 +198,7 @@ fn report_reshuffles_budgets_across_sessions() {
         }
         other => panic!("expected Budget, got {other:?}"),
     }
-    match b.call(&Request::Report { residual_w: 0.0 }).unwrap() {
+    match b.call(&Request::Report { residual_w: 0.0, feedback: None }).unwrap() {
         Response::Budget { budget_w } => {
             assert!(budget_w > 50.0, "hungry node got only {budget_w} W of 100 W");
         }

@@ -28,6 +28,7 @@ pub mod boost;
 pub mod config;
 pub mod counters;
 pub mod cpu;
+pub mod drift;
 pub mod family;
 pub mod faults;
 pub mod governor;
@@ -44,6 +45,7 @@ pub use asymmetric::{asymmetric_cpu_power, asymmetric_cpu_time, AsymmetricCpuCon
 pub use boost::{boosted_cpu_run, BoostedRun, ThermalModel, BOOST_STATES};
 pub use config::{Configuration, Device, NUM_CPU_CORES, NUM_CPU_MODULES};
 pub use counters::{CounterSet, FEATURE_NAMES};
+pub use drift::{DriftFactors, DriftKind, DriftPlan, DriftedMachine};
 pub use family::{Accelerator, FamilyId, MachineFamily};
 pub use faults::{ExecutionFault, Executor, FaultKind, FaultPlan, FaultStats, FaultyMachine};
 pub use governor::{GovernorAction, OndemandGovernor, TransitionModel};

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod differential;
+pub mod drift;
 pub mod golden;
 pub mod metamorphic;
 pub mod oracle;
@@ -31,6 +32,10 @@ pub mod scenario;
 pub mod transfer;
 
 pub use differential::{run_differential, MethodRegret, RegretReport, ScenarioCase, Thresholds};
+pub use drift::{
+    drift_processes, run_drift, AdaptThresholds, DriftCell, DriftGridParams, DriftReport,
+    ScenarioRegret,
+};
 pub use golden::{bless, compare, render_diff, write_failure_artifacts, GoldenDiff, GoldenStatus};
 pub use metamorphic::{
     check_all, check_cap_monotonicity, check_cluster_permutation_invariance,

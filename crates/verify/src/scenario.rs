@@ -107,7 +107,7 @@ pub struct ScenarioGrid {
 }
 
 /// The training suite: CoMD (all sizes present in the app list) plus SMC.
-fn training_kernels() -> Vec<KernelCharacteristics> {
+pub(crate) fn training_kernels() -> Vec<KernelCharacteristics> {
     acs_kernels::comd::kernels(InputSize::Default)
         .into_iter()
         .chain(acs_kernels::smc::kernels(InputSize::Small))
@@ -116,7 +116,7 @@ fn training_kernels() -> Vec<KernelCharacteristics> {
 
 /// The held-out evaluation suite: LULESH Small (20 kernels) plus LU at two
 /// input sizes — 22 kernels per machine, none of which trains the model.
-fn evaluation_kernels() -> Vec<KernelCharacteristics> {
+pub(crate) fn evaluation_kernels() -> Vec<KernelCharacteristics> {
     acs_kernels::lulesh::kernels(InputSize::Small)
         .into_iter()
         .chain(acs_kernels::lu::kernels(InputSize::Small))

@@ -35,6 +35,7 @@ fn loadgen_seed7_replays_to_byte_identical_logs() {
         sessions: 1,
         run_every: 11,
         report_every: 13,
+        feedback: true,
         stats_at_end: false,
         shutdown_at_end: false,
     };
