@@ -110,6 +110,7 @@ fn coordinator_child() {
         ttl_ticks: 20,
         tick_ms: 25, // TTL = 500 ms of silence
         floor_w: FLOOR_W,
+        evict_after_ticks: 0,
         journal: Some(PathBuf::from(journal)),
         journal_sync: false,
     })

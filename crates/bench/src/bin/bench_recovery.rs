@@ -134,12 +134,16 @@ fn request_stream() -> Vec<Request> {
         acs_kernels::all_kernel_instances().iter().take(10).map(|k| k.id()).collect();
     let mut stream = Vec::new();
     for (i, id) in ids.iter().enumerate() {
-        stream.push(Request::Select { kernel_id: id.clone() });
+        stream.push(Request::Select { kernel_id: id.clone(), deadline_ms: None, priority: 0 });
         if i % 2 == 1 {
             stream.push(Request::Report { residual_w: 3.0 + i as f64, feedback: None });
         }
         if i % 3 == 2 {
-            stream.push(Request::Select { kernel_id: ids[i / 2].clone() });
+            stream.push(Request::Select {
+                kernel_id: ids[i / 2].clone(),
+                deadline_ms: None,
+                priority: 0,
+            });
         }
     }
     stream
@@ -277,6 +281,10 @@ fn run_chaos_smoke(model: TrainedModel) -> ChaosSmokeResult {
         feedback: true,
         stats_at_end: false,
         shutdown_at_end: false,
+        open_loop: false,
+        rate_rps: 0.0,
+        deadline_ms: 0,
+        priority: 0,
     };
     let (report, _log) = run_loadgen(&opts).expect("loadgen completes under chaos");
 

@@ -62,6 +62,10 @@ fn drive(policy: ArbiterPolicy, sessions: u64, model: acs_core::TrainedModel) ->
         feedback: false,
         stats_at_end: true,
         shutdown_at_end: true,
+        open_loop: false,
+        rate_rps: 0.0,
+        deadline_ms: 0,
+        priority: 0,
     };
     let (report, _log) = run_loadgen(&opts).expect("loadgen completes");
     join.join().expect("server thread joins");

@@ -263,7 +263,13 @@ impl ResilientClient {
     /// memoized bytes, or the call fails typed.
     pub fn run(&mut self, kernel_id: &str, iterations: u64) -> Result<Response, ClientError> {
         let key = splitmix64(&mut self.rng);
-        self.call(&Request::Run { kernel_id: kernel_id.to_string(), iterations, idem: Some(key) })
+        self.call(&Request::Run {
+            kernel_id: kernel_id.to_string(),
+            iterations,
+            idem: Some(key),
+            deadline_ms: None,
+            priority: 0,
+        })
     }
 
     /// Send a request under the policy. Idempotent requests (see
@@ -360,6 +366,199 @@ impl ResilientClient {
     }
 }
 
+/// FNV-1a over the address bytes; the per-session rendezvous weight mixes
+/// this with the session key through splitmix64 so each session gets an
+/// independent permutation of the shard ring.
+fn addr_hash(addr: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in addr.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Rendezvous (highest-random-weight) score of `addr` for `session_key`.
+pub fn rendezvous_weight(addr: &str, session_key: u64) -> u64 {
+    let mut state = addr_hash(addr) ^ session_key;
+    splitmix64(&mut state)
+}
+
+/// Counters a fleet bench or chaos test can assert on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetStats {
+    /// Shards this session evicted after a failed logical call.
+    pub failovers: u64,
+    /// Keyed runs replayed onto a new shard during failover.
+    pub replays: u64,
+}
+
+/// A session-scoped client over a ring of shards.
+///
+/// Placement is rendezvous hashing: the session lands on the live shard
+/// with the highest [`rendezvous_weight`] for its key, so evicting one
+/// shard only remaps the sessions that were on it — everyone else stays
+/// put (no ring-wide reshuffle). When a logical call fails the client
+/// evicts the shard, re-picks, and **replays its keyed run history** on
+/// the new shard before retrying, so exactly-once-in-effect semantics
+/// carry across the failover: every idempotency key the session ever
+/// issued is re-established on the shard that now owns it.
+pub struct FleetClient {
+    /// `(label, addr, live)` per shard: the label is the rendezvous
+    /// identity, the addr is only for dialing. Keeping them separate lets
+    /// callers hash on stable names ("shard-0") while the OS hands out
+    /// ephemeral ports.
+    shards: Vec<(String, String, bool)>,
+    session_key: u64,
+    policy: RetryPolicy,
+    conn: Option<(String, ResilientClient)>,
+    run_history: Vec<(String, u64, u64)>,
+    rng: u64,
+    stats: FleetStats,
+}
+
+impl FleetClient {
+    /// A client over `addrs`; `session_key` fixes both the rendezvous
+    /// placement and the idempotency-key stream. Each shard's label is
+    /// its address — use [`FleetClient::with_ring`] when placement must
+    /// not depend on dialed ports.
+    pub fn new(addrs: &[String], session_key: u64, policy: RetryPolicy) -> Self {
+        let ring: Vec<(String, String)> = addrs.iter().map(|a| (a.clone(), a.clone())).collect();
+        Self::with_ring(&ring, session_key, policy)
+    }
+
+    /// A client over `(label, addr)` pairs: rendezvous placement hashes
+    /// the label, dialing uses the addr. With stable labels the
+    /// session→shard map is a pure function of `session_key`, independent
+    /// of whatever ephemeral ports the shards bound.
+    pub fn with_ring(ring: &[(String, String)], session_key: u64, policy: RetryPolicy) -> Self {
+        Self {
+            shards: ring.iter().map(|(l, a)| (l.clone(), a.clone(), true)).collect(),
+            session_key,
+            policy,
+            conn: None,
+            run_history: Vec::new(),
+            rng: session_key ^ 0x5EED_C11E_4715_0001,
+            stats: FleetStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> FleetStats {
+        self.stats
+    }
+
+    /// The label of the live shard this session currently maps to, if
+    /// any. (Under [`FleetClient::new`] the label is the address.)
+    pub fn pick(&self) -> Option<&str> {
+        self.shards
+            .iter()
+            .filter(|(_, _, live)| *live)
+            .max_by_key(|(label, _, _)| rendezvous_weight(label, self.session_key))
+            .map(|(label, _, _)| label.as_str())
+    }
+
+    /// The dial address behind `label`, if the label is in the ring.
+    fn addr_of(&self, label: &str) -> Option<String> {
+        self.shards.iter().find(|(l, _, _)| l == label).map(|(_, a, _)| a.clone())
+    }
+
+    /// Mark the shard labelled `label` dead; its sessions re-pick on the
+    /// next call.
+    pub fn evict(&mut self, label: &str) {
+        for (l, _, live) in &mut self.shards {
+            if l == label {
+                *live = false;
+            }
+        }
+        if self.conn.as_ref().is_some_and(|(l, _)| l == label) {
+            self.conn = None;
+        }
+    }
+
+    /// Mark the shard labelled `label` live again (e.g. after a chaos
+    /// restart).
+    pub fn restore(&mut self, label: &str) {
+        for (l, _, live) in &mut self.shards {
+            if l == label {
+                *live = true;
+            }
+        }
+    }
+
+    /// Run a kernel with exactly-once-in-effect semantics that survive
+    /// shard failover: the drawn key joins the session's replay history.
+    pub fn run(&mut self, kernel_id: &str, iterations: u64) -> Result<Response, ClientError> {
+        let key = splitmix64(&mut self.rng);
+        self.run_history.push((kernel_id.to_string(), iterations, key));
+        self.call(&Request::Run {
+            kernel_id: kernel_id.to_string(),
+            iterations,
+            idem: Some(key),
+            deadline_ms: None,
+            priority: 0,
+        })
+    }
+
+    /// Send a request to the session's shard, failing over (evict,
+    /// re-pick, replay keyed history, retry) until it succeeds or no live
+    /// shard remains.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        loop {
+            let Some(label) = self.pick().map(str::to_string) else {
+                return Err(ClientError::Exhausted {
+                    attempts: self.stats.failovers as u32,
+                    last: "no live shard".into(),
+                });
+            };
+            if self.conn.as_ref().is_none_or(|(l, _)| *l != label) {
+                let addr = self.addr_of(&label).expect("picked label is in the ring");
+                match self.connect_and_replay(&label, &addr) {
+                    Ok(conn) => self.conn = Some((label.clone(), conn)),
+                    Err(_) => {
+                        self.stats.failovers += 1;
+                        self.evict(&label);
+                        continue;
+                    }
+                }
+            }
+            let (_, conn) = self.conn.as_mut().expect("connection just ensured");
+            match conn.call(request) {
+                Ok(response) => return Ok(response),
+                Err(_) => {
+                    self.stats.failovers += 1;
+                    self.evict(&label);
+                }
+            }
+        }
+    }
+
+    /// Connect to a shard and re-establish the session's keyed runs on
+    /// it, in issue order, so later duplicate sends replay memoized bytes
+    /// instead of re-executing. The key seed mixes the stable label, not
+    /// the dial address, so the stream is port-independent.
+    fn connect_and_replay(
+        &mut self,
+        label: &str,
+        addr: &str,
+    ) -> Result<ResilientClient, ClientError> {
+        let mut conn = ResilientClient::new(addr, self.policy.clone())
+            .with_key_seed(self.session_key ^ addr_hash(label));
+        conn.call(&Request::Hello)?;
+        for (kernel_id, iterations, key) in &self.run_history {
+            conn.call(&Request::Run {
+                kernel_id: kernel_id.clone(),
+                iterations: *iterations,
+                idem: Some(*key),
+                deadline_ms: None,
+                priority: 0,
+            })?;
+            self.stats.replays += 1;
+        }
+        Ok(conn)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,14 +566,26 @@ mod tests {
     #[test]
     fn idempotency_classification() {
         assert!(is_idempotent(&Request::Hello));
-        assert!(is_idempotent(&Request::Select { kernel_id: "k".into() }));
+        assert!(is_idempotent(&Request::Select {
+            kernel_id: "k".into(),
+            deadline_ms: None,
+            priority: 0
+        }));
         assert!(is_idempotent(&Request::Stats));
         assert!(is_idempotent(&Request::Run {
             kernel_id: "k".into(),
             iterations: 1,
-            idem: Some(7)
+            idem: Some(7),
+            deadline_ms: None,
+            priority: 0
         }));
-        assert!(!is_idempotent(&Request::Run { kernel_id: "k".into(), iterations: 1, idem: None }));
+        assert!(!is_idempotent(&Request::Run {
+            kernel_id: "k".into(),
+            iterations: 1,
+            idem: None,
+            deadline_ms: None,
+            priority: 0
+        }));
         assert!(!is_idempotent(&Request::Report { residual_w: 1.0, feedback: None }));
         assert!(!is_idempotent(&Request::Bye));
         assert!(!is_idempotent(&Request::Shutdown));
@@ -432,6 +643,72 @@ mod tests {
         assert_ne!(a, draw(10));
         let dedup: std::collections::HashSet<_> = a.iter().collect();
         assert_eq!(dedup.len(), a.len(), "keys must not collide in-stream");
+    }
+
+    #[test]
+    fn rendezvous_eviction_only_remaps_the_evicted_shards_sessions() {
+        let addrs: Vec<String> = (0..5).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect();
+        let picks_before: Vec<String> = (0..200u64)
+            .map(|key| {
+                FleetClient::new(&addrs, key, RetryPolicy::default())
+                    .pick()
+                    .expect("live shard")
+                    .to_string()
+            })
+            .collect();
+        let victim = picks_before[0].clone();
+        let mut moved = 0;
+        for (key, before) in picks_before.iter().enumerate() {
+            let mut c = FleetClient::new(&addrs, key as u64, RetryPolicy::default());
+            c.evict(&victim);
+            let after = c.pick().expect("live shard").to_string();
+            if *before == victim {
+                moved += 1;
+                assert_ne!(after, victim, "evicted shard must not be picked");
+            } else {
+                assert_eq!(after, *before, "session off the victim must not move");
+            }
+        }
+        assert!(moved > 0, "some sessions must have been on the victim");
+    }
+
+    #[test]
+    fn rendezvous_pick_is_a_pure_function_of_key_and_live_set() {
+        let addrs: Vec<String> = (0..4).map(|i| format!("10.0.0.{i}:7000")).collect();
+        let a = FleetClient::new(&addrs, 42, RetryPolicy::default());
+        let b = FleetClient::new(&addrs, 42, RetryPolicy::default());
+        assert_eq!(a.pick(), b.pick());
+        let picks: std::collections::HashSet<_> = (0..64u64)
+            .filter_map(|k| {
+                FleetClient::new(&addrs, k, RetryPolicy::default()).pick().map(str::to_string)
+            })
+            .collect();
+        assert!(picks.len() > 1, "sessions must spread over more than one shard");
+    }
+
+    #[test]
+    fn restore_brings_an_evicted_shard_back_into_rotation() {
+        let addrs: Vec<String> = vec!["a:1".into(), "b:2".into()];
+        let mut c = FleetClient::new(&addrs, 7, RetryPolicy::default());
+        let home = c.pick().expect("live").to_string();
+        c.evict(&home);
+        assert_ne!(c.pick().expect("live"), home);
+        c.restore(&home);
+        assert_eq!(c.pick().expect("live"), home, "restore must reinstate the original mapping");
+        c.evict("a:1");
+        c.evict("b:2");
+        assert!(c.pick().is_none(), "no live shard left");
+    }
+
+    #[test]
+    fn fleet_call_with_all_shards_dead_fails_typed() {
+        let addrs: Vec<String> = vec!["127.0.0.1:1".into()];
+        let mut c = FleetClient::new(&addrs, 3, RetryPolicy::default());
+        c.evict("127.0.0.1:1");
+        match c.call(&Request::Hello) {
+            Err(ClientError::Exhausted { last, .. }) => assert_eq!(last, "no live shard"),
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@ use acs_sim::Configuration;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Load-generator options.
 #[derive(Debug, Clone)]
@@ -47,6 +47,21 @@ pub struct LoadgenOptions {
     pub stats_at_end: bool,
     /// Send the `Shutdown` poison request once every session is done.
     pub shutdown_at_end: bool,
+    /// Open-loop mode: requests are sent at seeded Poisson arrival times
+    /// (rate `rate_rps`, split across sessions) instead of waiting for
+    /// each response before drawing the next arrival — so the offered
+    /// load can exceed capacity instead of self-throttling. Arrival
+    /// times come from their own splitmix64 stream, so the *request
+    /// contents* are identical to the closed loop's; only timing moves.
+    pub open_loop: bool,
+    /// Target aggregate arrival rate for open-loop mode, requests/s.
+    pub rate_rps: f64,
+    /// Attach this deadline to every `Select`/`Run` request (0 = none;
+    /// the wire fields stay at their defaults and old servers are
+    /// byte-unaffected).
+    pub deadline_ms: u64,
+    /// Priority class attached alongside `deadline_ms`.
+    pub priority: u8,
 }
 
 impl Default for LoadgenOptions {
@@ -61,6 +76,10 @@ impl Default for LoadgenOptions {
             feedback: false,
             stats_at_end: false,
             shutdown_at_end: false,
+            open_loop: false,
+            rate_rps: 0.0,
+            deadline_ms: 0,
+            priority: 0,
         }
     }
 }
@@ -76,6 +95,10 @@ pub struct LoadgenReport {
     pub seed: u64,
     /// Responses that were typed errors or `Overloaded`.
     pub errors: u64,
+    /// Responses that were `ShedDeadline` — deliberate load shedding,
+    /// counted apart from errors (absent in pre-shedding reports).
+    #[serde(default)]
+    pub sheds: u64,
     /// Requests lost to connection/protocol failures.
     pub dropped: u64,
     /// Wall time for the whole run, s.
@@ -106,6 +129,7 @@ struct SessionOutcome {
     cold_us: Vec<u64>,
     warm_us: Vec<u64>,
     errors: u64,
+    sheds: u64,
     dropped: u64,
 }
 
@@ -116,6 +140,20 @@ fn splitmix64(state: &mut u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// A uniform draw in [0, 1).
+fn next_f64(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The deadline fields the options attach to `Select`/`Run` requests.
+fn deadline_fields(opts: &LoadgenOptions) -> (Option<u64>, u8) {
+    if opts.deadline_ms > 0 {
+        (Some(opts.deadline_ms), opts.priority)
+    } else {
+        (None, 0)
+    }
 }
 
 /// The deterministic request for `(seed, session, index)`.
@@ -140,10 +178,11 @@ fn request_for(opts: &LoadgenOptions, kernel_ids: &[String], rng: &mut u64, inde
         return Request::Report { residual_w, feedback };
     }
     let kernel_id = kernel_ids[(draw % kernel_ids.len() as u64) as usize].clone();
+    let (deadline_ms, priority) = deadline_fields(opts);
     if opts.run_every > 0 && index % opts.run_every == opts.run_every - 1 {
-        Request::Run { kernel_id, iterations: 1 + draw % 3, idem: None }
+        Request::Run { kernel_id, iterations: 1 + draw % 3, idem: None, deadline_ms, priority }
     } else {
-        Request::Select { kernel_id }
+        Request::Select { kernel_id, deadline_ms, priority }
     }
 }
 
@@ -162,6 +201,7 @@ fn run_session(
         cold_us: Vec::new(),
         warm_us: Vec::new(),
         errors: 0,
+        sheds: 0,
         dropped: 0,
     };
     // Handshake; `Welcome` is deliberately not logged (see module docs).
@@ -170,10 +210,33 @@ fn run_session(
         return Ok(outcome);
     }
     let mut rng = opts.seed ^ (session.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_add(session);
+    // Open-loop pacing: seeded exponential inter-arrivals from a stream
+    // of their own, so timing never perturbs the request contents. When
+    // service is slower than the arrival process the next send happens
+    // immediately — the backlog is the point of an overload bench.
+    let session_rate = if opts.open_loop && opts.rate_rps > 0.0 {
+        Some(opts.rate_rps / opts.sessions.max(1) as f64)
+    } else {
+        None
+    };
+    let mut arrival_rng =
+        opts.seed ^ 0x5DEE_CE66_D1CE_CAFE ^ session.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let mut next_arrival_s = 0.0f64;
+    let loop_started = Instant::now();
     for index in 0..count {
+        if let Some(rate) = session_rate {
+            // Inverse-CDF exponential draw; (1 - u) never hits zero
+            // because next_f64 is in [0, 1).
+            next_arrival_s += -(1.0 - next_f64(&mut arrival_rng)).ln() / rate;
+            let due = Duration::from_secs_f64(next_arrival_s);
+            let elapsed = loop_started.elapsed();
+            if due > elapsed {
+                std::thread::sleep(due - elapsed);
+            }
+        }
         let request = request_for(opts, kernel_ids, &mut rng, index);
         let cold = match &request {
-            Request::Select { kernel_id } => {
+            Request::Select { kernel_id, .. } => {
                 Some(first_seen.lock().expect("first_seen lock").insert(kernel_id.clone()))
             }
             _ => None,
@@ -196,6 +259,9 @@ fn run_session(
         }
         if matches!(response, Response::Error { .. } | Response::Overloaded { .. }) {
             outcome.errors += 1;
+        }
+        if matches!(response, Response::ShedDeadline { .. }) {
+            outcome.sheds += 1;
         }
         outcome.log.push_str(&serde_json::to_string(&response).expect("serialize response"));
         outcome.log.push('\n');
@@ -233,7 +299,7 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> Result<(LoadgenReport, String), Str
     let mut latencies: Vec<u64> = Vec::new();
     let mut cold_us: Vec<u64> = Vec::new();
     let mut warm_us: Vec<u64> = Vec::new();
-    let (mut errors, mut dropped) = (0u64, 0u64);
+    let (mut errors, mut sheds, mut dropped) = (0u64, 0u64, 0u64);
     for outcome in outcomes {
         let o = outcome?;
         log.push_str(&o.log);
@@ -241,13 +307,14 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> Result<(LoadgenReport, String), Str
         cold_us.extend(o.cold_us);
         warm_us.extend(o.warm_us);
         errors += o.errors;
+        sheds += o.sheds;
         dropped += o.dropped;
     }
 
     let stats = if opts.stats_at_end {
         let mut client = Client::connect(&opts.addr).map_err(|e| format!("stats connect: {e}"))?;
         match client.call(&Request::Stats).map_err(|e| format!("stats call: {e}"))? {
-            Response::Stats(s) => Some(s),
+            Response::Stats(s) => Some(*s),
             other => return Err(format!("expected Stats response, got {other:?}")),
         }
     } else {
@@ -283,6 +350,7 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> Result<(LoadgenReport, String), Str
         sessions: opts.sessions,
         seed: opts.seed,
         errors,
+        sheds,
         dropped,
         elapsed_s,
         throughput_rps: if elapsed_s > 0.0 { opts.requests as f64 / elapsed_s } else { 0.0 },
@@ -348,5 +416,93 @@ mod tests {
     fn zero_sessions_is_an_error() {
         let opts = LoadgenOptions { sessions: 0, ..Default::default() };
         assert!(run_loadgen(&opts).is_err());
+    }
+
+    #[test]
+    fn deadlines_attach_to_selects_and_runs_but_never_reports() {
+        let ids: Vec<String> = vec!["a".into(), "b".into()];
+        let opts = LoadgenOptions {
+            run_every: 4,
+            report_every: 5,
+            deadline_ms: 250,
+            priority: 9,
+            ..Default::default()
+        };
+        assert_eq!(deadline_fields(&opts), (Some(250), 9));
+        let mut rng = opts.seed;
+        for index in 0..40 {
+            match request_for(&opts, &ids, &mut rng, index) {
+                Request::Select { deadline_ms, priority, .. }
+                | Request::Run { deadline_ms, priority, .. } => {
+                    assert_eq!(deadline_ms, Some(250));
+                    assert_eq!(priority, 9);
+                }
+                Request::Report { .. } => {}
+                other => panic!("unexpected request {other:?}"),
+            }
+        }
+        // deadline_ms 0 means "attach nothing": the wire stays at the
+        // serde defaults even when a priority is configured.
+        let off = LoadgenOptions { deadline_ms: 0, priority: 9, ..Default::default() };
+        assert_eq!(deadline_fields(&off), (None, 0));
+        let mut rng = off.seed;
+        match request_for(&off, &ids, &mut rng, 0) {
+            Request::Select { deadline_ms, priority, .. } => {
+                assert_eq!(deadline_ms, None);
+                assert_eq!(priority, 0);
+            }
+            other => panic!("unexpected request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_loop_pacing_never_perturbs_the_request_stream() {
+        // The arrival process draws from its own rng stream; the request
+        // contents for (seed, session, index) must be byte-identical with
+        // pacing on and off.
+        let ids: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        let stream = |open_loop: bool| -> Vec<String> {
+            let opts = LoadgenOptions {
+                run_every: 5,
+                report_every: 7,
+                open_loop,
+                rate_rps: if open_loop { 500.0 } else { 0.0 },
+                ..Default::default()
+            };
+            let mut rng = opts.seed;
+            (0..60)
+                .map(|i| serde_json::to_string(&request_for(&opts, &ids, &mut rng, i)).unwrap())
+                .collect()
+        };
+        assert_eq!(stream(true), stream(false));
+    }
+
+    #[test]
+    fn open_loop_arrivals_are_seeded_and_exponential() {
+        // Replaying the arrival stream for one (seed, session) pair gives
+        // the same schedule; a different session diverges; and the mean
+        // inter-arrival approximates 1/rate.
+        let arrivals = |seed: u64, session: u64, rate: f64, n: usize| -> Vec<f64> {
+            let mut rng =
+                seed ^ 0x5DEE_CE66_D1CE_CAFE ^ session.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            let mut t = 0.0f64;
+            (0..n)
+                .map(|_| {
+                    t += -(1.0 - next_f64(&mut rng)).ln() / rate;
+                    t
+                })
+                .collect()
+        };
+        assert_eq!(arrivals(7, 0, 100.0, 64), arrivals(7, 0, 100.0, 64));
+        assert_ne!(arrivals(7, 0, 100.0, 64), arrivals(7, 1, 100.0, 64));
+        let schedule = arrivals(7, 0, 100.0, 4096);
+        for pair in schedule.windows(2) {
+            assert!(pair[1] > pair[0], "arrival times strictly increase");
+        }
+        let mean_gap = schedule.last().unwrap() / 4096.0;
+        assert!(
+            (mean_gap - 0.01).abs() < 0.002,
+            "mean inter-arrival {mean_gap} s should approximate 1/rate = 0.01 s"
+        );
     }
 }

@@ -42,7 +42,8 @@ fn retried_run_with_one_key_replays_byte_identical_bytes() {
     // carrying the same idempotency key gets the memoized response back,
     // byte for byte, without a second execution.
     let mut raw = Client::connect(&addr).unwrap();
-    let request = Request::Run { kernel_id, iterations: 3, idem: Some(5005) };
+    let request =
+        Request::Run { kernel_id, iterations: 3, idem: Some(5005), deadline_ms: None, priority: 0 };
     let first = serde_json::to_string(&raw.call(&request).unwrap()).unwrap();
     let retried = serde_json::to_string(&raw.call(&request).unwrap()).unwrap();
     assert_eq!(first, retried, "a keyed retry must replay identical bytes");
@@ -51,7 +52,8 @@ fn retried_run_with_one_key_replays_byte_identical_bytes() {
     // Without a key, the second execution runs again: the runtime's noise
     // state advanced, so the responses legitimately differ.
     let kernel_id = acs_kernels::all_kernel_instances()[1].id();
-    let unkeyed = Request::Run { kernel_id, iterations: 3, idem: None };
+    let unkeyed =
+        Request::Run { kernel_id, iterations: 3, idem: None, deadline_ms: None, priority: 0 };
     let a = serde_json::to_string(&raw.call(&unkeyed).unwrap()).unwrap();
     let b = serde_json::to_string(&raw.call(&unkeyed).unwrap()).unwrap();
     assert_ne!(a, b, "unkeyed runs re-execute");
@@ -171,7 +173,7 @@ fn non_idempotent_requests_are_never_retried() {
     }
     assert_eq!(client.stats().attempts, 1, "a Report must get exactly one attempt");
 
-    match client.call(&Request::Select { kernel_id: "k".into() }) {
+    match client.call(&Request::Select { kernel_id: "k".into(), deadline_ms: None, priority: 0 }) {
         Err(ClientError::Exhausted { attempts: 5, .. }) => {}
         other => panic!("expected Exhausted, got {other:?}"),
     }

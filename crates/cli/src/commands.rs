@@ -99,12 +99,19 @@ COMMANDS:
         [--coordinator HOST:PORT]         admissions/budgets/cache keys durable
         [--shard-id N] [--renew-ms MS]    so a restart resumes where a crash
         [--lease-floor W]                 stopped (DESIGN.md §12);
-                                          --journal-sync upgrades appends to
+        [--brownout-us US]                --journal-sync upgrades appends to
                                           fdatasync; --coordinator turns the
                                           server into a fleet shard that leases
                                           its cap (--global-cap becomes its
                                           demand, --lease-floor its degraded-
-                                          mode reserve; DESIGN.md §13)
+                                          mode reserve; DESIGN.md §13);
+                                          --brownout-us arms the brownout
+                                          controller: when the observed p99
+                                          latency exceeds US µs the server
+                                          progressively drops optional work
+                                          and, at the top level, sheds
+                                          deadline-carrying requests it
+                                          predicts will miss (DESIGN.md §17)
   coordinator [--host H] [--port P]       fleet power coordinator: owns the
               [--cap W] [--floor W]       global budget and leases time-bounded
               [--policy equal|demand]     slices to shards; silent shards decay
@@ -112,7 +119,11 @@ COMMANDS:
               [--tick-ms MS]              re-adopted on return; --journal makes
               [--journal FILE]            every grant/renew/revoke durable so a
               [--journal-sync true]       SIGKILLed coordinator replays to the
-                                          exact lease table (DESIGN.md §13)
+              [--evict-after-ticks N]     exact lease table (DESIGN.md §13);
+                                          --evict-after-ticks N evicts a lease
+                                          N ticks after it expires, reclaiming
+                                          its floor encumbrance for the live
+                                          shards (0 = never; DESIGN.md §17)
   chaosproxy --upstream HOST:PORT         seeded fault-injecting TCP proxy in
              [--listen HOST:PORT]         front of the server: tears frames,
              [--chaos-seed N]             corrupts bytes, delays, duplicates,
@@ -120,7 +131,8 @@ COMMANDS:
              [--corrupt P] [--delay P]    bidirectional partition windows,
              [--delay-ms MS] [--dup P]    each with its own probability
              [--partition P]              (defaults are mild; 0 disables a
-             [--partition-ms MS]          fault)
+             [--partition-ms MS]          fault); --dribble slow-lorises a
+             [--dribble P]                frame one byte per millisecond
   loadgen --addr HOST:PORT                seeded closed-loop load generator:
           [--requests N] [--seed N]       drives the selection server, prints
           [--sessions N] [--run-every N]  throughput/latency and the server's
@@ -128,8 +140,27 @@ COMMANDS:
           [--feedback true]               the response log (--log) and a JSON
           [--result NAME]                 report under results/ (--result);
           [--shutdown true]               --feedback attaches seeded
-                                          measurements to Reports, feeding
-                                          the server's adaptation loop
+          [--open-loop true --rate R]     measurements to Reports, feeding
+          [--deadline-ms MS]              the server's adaptation loop;
+          [--priority N]                  --open-loop sends at R req/s with
+                                          seeded exponential inter-arrivals
+                                          (never waiting for responses);
+                                          --deadline-ms/--priority attach a
+                                          service deadline and priority class
+                                          to Select/Run requests, opting into
+                                          deadline-aware shedding
+  chaosfleet [--seed N] [--shards N]      seeded fleet chaos orchestrator:
+             [--phases N] [--sessions N]  coordinator + N shards behind chaos
+             [--calls N] [--cap W]        proxies, driven by fleet-client
+             [--evict-after-ticks N]      sessions while shards are killed,
+             [--quick true]               restarted, and partitioned on a
+                                          deterministic schedule; every call
+                                          must complete (sessions fail over
+                                          off dead shards and replay their
+                                          idempotency keys), the fleet budget
+                                          must stay conserved throughout, and
+                                          the stdout is byte-identical for a
+                                          given seed (DESIGN.md §17)
 ";
 
 /// Dispatch a parsed command line.
@@ -148,6 +179,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "coordinator" => cmd_coordinator(args, out),
         "chaosproxy" => cmd_chaosproxy(args, out),
         "loadgen" => cmd_loadgen(args, out),
+        "chaosfleet" => cmd_chaosfleet(args, out),
         "help" => {
             write!(out, "{USAGE}").map_err(io_err)?;
             Ok(())
@@ -739,6 +771,7 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         },
         lease_floor_w: args.get_or("lease-floor", 5.0)?,
         renew_ms: args.get_or("renew-ms", 200)?,
+        brownout_us: args.get_or("brownout-us", 0)?,
     };
     let model = serve_model(args, family)?;
     let server = Server::bind(config, model).map_err(|e| CliError::Domain(e.to_string()))?;
@@ -783,6 +816,7 @@ fn cmd_coordinator(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         ttl_ticks: args.get_or("ttl-ticks", 20)?,
         tick_ms: args.get_or("tick-ms", 50)?,
         floor_w,
+        evict_after_ticks: args.get_or("evict-after-ticks", 0)?,
         journal: args.get("journal").map(std::path::PathBuf::from),
         journal_sync: args.get_or("journal-sync", false)?,
     };
@@ -819,6 +853,7 @@ fn cmd_chaosproxy(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         dup_p: args.get_or("dup", ChaosPlan::default().dup_p)?,
         partition_p: args.get_or("partition", ChaosPlan::default().partition_p)?,
         partition_ms: args.get_or("partition-ms", ChaosPlan::default().partition_ms)?,
+        dribble_p: args.get_or("dribble", ChaosPlan::default().dribble_p)?,
     };
     let proxy =
         ChaosProxy::bind(&listen, &upstream, plan).map_err(|e| CliError::Domain(e.to_string()))?;
@@ -831,13 +866,14 @@ fn cmd_chaosproxy(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(
         out,
         "injected: {} of {} frames faulted ({} torn, {} corrupted, {} delayed, \
-         {} duplicated, {} disconnects) across {} connection(s)",
+         {} duplicated, {} dribbled, {} disconnects) across {} connection(s)",
         stats.faults(),
         stats.frames,
         stats.torn,
         stats.corrupted,
         stats.delayed,
         stats.duplicated,
+        stats.dribbled,
         stats.disconnects,
         stats.connections
     )
@@ -858,7 +894,17 @@ fn cmd_loadgen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         feedback: args.get_or("feedback", false)?,
         stats_at_end: args.get_or("stats", true)?,
         shutdown_at_end: args.get_or("shutdown", false)?,
+        open_loop: args.get_or("open-loop", false)?,
+        rate_rps: args.get_or("rate", 0.0)?,
+        deadline_ms: args.get_or("deadline-ms", 0)?,
+        priority: args.get_or("priority", 0)?,
     };
+    if opts.open_loop && opts.rate_rps <= 0.0 {
+        return Err(CliError::Domain(format!(
+            "--open-loop needs a positive --rate (req/s), got {}",
+            opts.rate_rps
+        )));
+    }
     let (report, log) = run_loadgen(&opts).map_err(CliError::Domain)?;
 
     if let Some(path) = args.get("log") {
@@ -879,8 +925,12 @@ fn cmd_loadgen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         report.cold_selects, report.cold_mean_us, report.warm_selects, report.warm_mean_us
     )
     .map_err(io_err)?;
-    writeln!(out, "errors:      {} errored, {} dropped", report.errors, report.dropped)
-        .map_err(io_err)?;
+    writeln!(
+        out,
+        "errors:      {} errored, {} shed, {} dropped",
+        report.errors, report.sheds, report.dropped
+    )
+    .map_err(io_err)?;
     if let Some(stats) = &report.stats {
         writeln!(out, "\nserver STATS:").map_err(io_err)?;
         writeln!(out, "{}", serde_json::to_string_pretty(stats).map_err(io_err)?)
@@ -898,6 +948,341 @@ fn cmd_loadgen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             report.errors, report.dropped
         )));
     }
+    Ok(())
+}
+
+/// splitmix64: the chaos schedule's only entropy source, so the whole
+/// orchestration is a pure function of `--seed`.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `acs chaosfleet`: the fleet chaos orchestrator (DESIGN.md §17).
+///
+/// Spins up a coordinator and N shard servers in-process — each shard
+/// reaching the coordinator through its own chaos proxy — then drives
+/// fleet-client sessions through a seeded phase schedule that kills,
+/// restarts, and partitions shards. Throughout the run:
+/// - every logical call must complete: sessions homed on a dead shard
+///   fail over to a live one and replay their idempotency keys,
+/// - the coordinator-side budget must stay conserved (live committed
+///   plus encumbered never above the cap, overshoot exactly zero),
+/// - a shard's enforced cap must stay inside [min(floor, last grant),
+///   global cap] — bounded degraded decay, never an overshoot.
+///
+/// Everything printed is a pure function of the seed (schedules, call
+/// counts, failover counts), never a measurement, so two runs at the
+/// same seed produce byte-identical stdout.
+fn cmd_chaosfleet(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use acs_bench::client::{FleetClient, RetryPolicy};
+    use acs_serve::{
+        ArbiterPolicy, ChaosPlan, ChaosProxy, ChaosProxyHandle, Coordinator, CoordinatorConfig,
+        Request, Response, ServeConfig, Server, ServerHandle,
+    };
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let seed: u64 = args.get_or("seed", 2014)?;
+    let quick = args.get_or("quick", false)?;
+    let shards_n: usize = args.get_or("shards", 5)?;
+    if shards_n < 2 {
+        return Err(CliError::Domain(format!(
+            "--shards must be at least 2 so failover has somewhere to go, got {shards_n}"
+        )));
+    }
+    let phases: u64 = args.get_or("phases", if quick { 4 } else { 10 })?;
+    let sessions_n: u64 = args.get_or("sessions", if quick { 4 } else { 8 })?;
+    let calls_per_phase: u64 = args.get_or("calls", if quick { 3 } else { 6 })?;
+    let cap_w: f64 = args.get_or("cap", 90.0)?;
+    if cap_w.is_nan() || cap_w <= 0.0 {
+        return Err(CliError::Domain(format!("--cap must be a positive wattage, got {cap_w}")));
+    }
+    let floor_w = 2.0;
+    let evict_after_ticks: u64 = args.get_or("evict-after-ticks", 8)?;
+    let partition_ms: u64 = if quick { 250 } else { 400 };
+
+    writeln!(
+        out,
+        "chaosfleet: seed {seed}, {shards_n} shards, {phases} phases, {sessions_n} sessions"
+    )
+    .map_err(io_err)?;
+
+    // One model shared by every shard, trained on a fixed sample of the
+    // suite at a fixed seed: the chaos seed must not change the model.
+    let machine = Machine::new(2014);
+    let profiles: Vec<KernelProfile> = acs_kernels::all_kernel_instances()
+        .iter()
+        .take(16)
+        .map(|k| KernelProfile::collect(&machine, k))
+        .collect();
+    let model =
+        train(&profiles, TrainingParams::default()).map_err(|e| CliError::Domain(e.to_string()))?;
+    let kernel_ids: Vec<String> =
+        acs_kernels::all_kernel_instances().iter().take(8).map(|k| k.id()).collect();
+
+    let coordinator = Coordinator::bind(CoordinatorConfig {
+        host: "127.0.0.1".into(),
+        port: 0,
+        global_cap_w: cap_w,
+        policy: ArbiterPolicy::DemandProportional,
+        ttl_ticks: 20,
+        tick_ms: 25,
+        floor_w,
+        evict_after_ticks,
+        journal: None,
+        journal_sync: false,
+    })
+    .map_err(|e| CliError::Domain(e.to_string()))?;
+    let coord_addr = coordinator.local_addr().to_string();
+    let coord = coordinator.handle();
+    let coord_join = std::thread::spawn(move || coordinator.run().expect("coordinator serves"));
+
+    struct Shard {
+        addr: String,
+        config: ServeConfig,
+        proxy: ChaosProxyHandle,
+        handle: ServerHandle,
+        join: Option<std::thread::JoinHandle<()>>,
+    }
+
+    let mut shards: Vec<Shard> = Vec::with_capacity(shards_n);
+    for i in 0..shards_n {
+        let proxy = ChaosProxy::bind("127.0.0.1:0", &coord_addr, ChaosPlan::quiet(seed ^ i as u64))
+            .map_err(|e| CliError::Domain(e.to_string()))?;
+        let proxy_addr = proxy.local_addr().to_string();
+        let proxy_handle = proxy.handle();
+        std::thread::spawn(move || {
+            let _ = proxy.run();
+        });
+        let config = ServeConfig {
+            family: acs_sim::FamilyId::Trinity,
+            global_cap_w: cap_w,
+            policy: ArbiterPolicy::EqualShare,
+            max_sessions: 64,
+            coordinator: Some(proxy_addr),
+            shard_id: Some(i as u64),
+            lease_floor_w: floor_w,
+            renew_ms: 25,
+            ..ServeConfig::default()
+        };
+        let server = Server::bind(config.clone(), model.clone())
+            .map_err(|e| CliError::Domain(e.to_string()))?;
+        let addr = server.local_addr().to_string();
+        // Pin the port so a restart rebinds the same address the clients
+        // already hold in their rings.
+        let mut config = config;
+        config.port = server.local_addr().port();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run().expect("shard serves"));
+        shards.push(Shard { addr, config, proxy: proxy_handle, handle, join: Some(join) });
+    }
+
+    let up_deadline = Instant::now() + Duration::from_secs(30);
+    while !shards.iter().all(|s| s.handle.lease_state() == "leased") {
+        if Instant::now() >= up_deadline {
+            return Err(CliError::Domain("fleet did not lease within 30 s".into()));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    writeln!(out, "fleet up: {shards_n} shards leased").map_err(io_err)?;
+
+    // Continuous conservation watchdog: samples the coordinator's books
+    // every few milliseconds for the whole run.
+    let stop = Arc::new(AtomicBool::new(false));
+    let violations = Arc::new(AtomicU64::new(0));
+    let monitor = {
+        let (stop, violations, coord) = (stop.clone(), violations.clone(), coord.clone());
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                let stats = coord.stats();
+                if stats.overshoot_w != 0.0
+                    || stats.live_committed_w + stats.encumbered_w > cap_w + 1e-9
+                {
+                    violations.fetch_add(1, Ordering::SeqCst);
+                }
+                std::thread::sleep(Duration::from_millis(3));
+            }
+        })
+    };
+
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        base_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(20),
+        request_deadline: Duration::from_secs(10),
+        breaker_threshold: 1000,
+        breaker_cooldown: Duration::from_millis(1),
+    };
+    // Rendezvous placement hashes the stable "shard-i" labels, never the
+    // dialed addresses: the OS assigns ephemeral ports, and hashing those
+    // would make session homes — and every printed re-admission and
+    // failover count — vary run to run at the same seed.
+    let ring: Vec<(String, String)> =
+        shards.iter().enumerate().map(|(i, s)| (format!("shard-{i}"), s.addr.clone())).collect();
+    let mut key_rng = seed ^ 0x5E55_1014_C11E_4715;
+    let mut clients: Vec<FleetClient> = (0..sessions_n)
+        .map(|_| FleetClient::with_ring(&ring, splitmix64(&mut key_rng), policy.clone()))
+        .collect();
+
+    // One phase's worth of traffic: every session issues its calls in
+    // order; the schedule of kernels and Run-vs-Select is seed-pure.
+    let drive = |clients: &mut Vec<FleetClient>, phase: u64| -> Result<u64, CliError> {
+        let mut completed = 0u64;
+        for (s, client) in clients.iter_mut().enumerate() {
+            for c in 0..calls_per_phase {
+                let kernel = &kernel_ids
+                    [((phase * 31 + s as u64 * 7 + c) % kernel_ids.len() as u64) as usize];
+                let response = if c % 3 == 2 {
+                    client.run(kernel, 1 + c % 2)
+                } else {
+                    client.call(&Request::Select {
+                        kernel_id: kernel.clone(),
+                        deadline_ms: None,
+                        priority: 0,
+                    })
+                };
+                match response {
+                    Ok(Response::Selected(_)) | Ok(Response::Ran { .. }) => completed += 1,
+                    Ok(other) => {
+                        return Err(CliError::Domain(format!(
+                            "phase {phase} session {s}: unexpected response {other:?}"
+                        )))
+                    }
+                    Err(e) => {
+                        return Err(CliError::Domain(format!(
+                            "phase {phase} session {s}: call failed: {e}"
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(completed)
+    };
+
+    let mut sched = seed ^ 0xC4A0_5F1E_E7B0_0A57;
+    let (mut completed, mut kills, mut partitions) = (0u64, 0u64, 0u64);
+    let (mut readmitted, mut expected_readmissions) = (0u64, 0u64);
+    let mut decay_violations = 0u64;
+    for phase in 1..=phases {
+        let action = splitmix64(&mut sched) % 3;
+        let victim = (splitmix64(&mut sched) as usize) % shards_n;
+        match action {
+            0 => {
+                writeln!(out, "phase {phase}: kill shard-{victim}").map_err(io_err)?;
+                let victim_label = format!("shard-{victim}");
+                let homed: Vec<usize> = clients
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.pick() == Some(victim_label.as_str()))
+                    .map(|(i, _)| i)
+                    .collect();
+                expected_readmissions += homed.len() as u64;
+                shards[victim].handle.simulate_crash();
+                if let Some(join) = shards[victim].join.take() {
+                    let _ = join.join();
+                }
+                kills += 1;
+                completed += drive(&mut clients, phase)?;
+                for i in homed {
+                    if clients[i].pick() != Some(victim_label.as_str()) {
+                        readmitted += 1;
+                    }
+                }
+                // Restart on the same port; the OS may hold the address
+                // briefly, so rebind with a bounded retry.
+                let restart_deadline = Instant::now() + Duration::from_secs(10);
+                let server = loop {
+                    match Server::bind(shards[victim].config.clone(), model.clone()) {
+                        Ok(server) => break server,
+                        Err(e) if Instant::now() >= restart_deadline => {
+                            return Err(CliError::Domain(format!(
+                                "shard-{victim} restart failed: {e}"
+                            )))
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                    }
+                };
+                shards[victim].handle = server.handle();
+                shards[victim].join =
+                    Some(std::thread::spawn(move || server.run().expect("shard serves")));
+                for client in &mut clients {
+                    client.restore(&victim_label);
+                }
+            }
+            1 => {
+                writeln!(out, "phase {phase}: partition shard-{victim} ({partition_ms} ms)")
+                    .map_err(io_err)?;
+                let last_grant = shards[victim].handle.lease_cap_w();
+                shards[victim].proxy.partition(partition_ms);
+                partitions += 1;
+                completed += drive(&mut clients, phase)?;
+                // Bounded degraded decay: while (and after) the window,
+                // the enforced cap stays inside [min(floor, last grant),
+                // global cap]. It may recover upward, never overshoot.
+                for _ in 0..10 {
+                    let cap = shards[victim].handle.lease_cap_w();
+                    if cap < floor_w.min(last_grant) - 1e-9 || cap > cap_w + 1e-9 {
+                        decay_violations += 1;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+            _ => {
+                writeln!(out, "phase {phase}: calm").map_err(io_err)?;
+                completed += drive(&mut clients, phase)?;
+            }
+        }
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    monitor.join().expect("monitor joins");
+
+    let failovers: u64 = clients.iter().map(|c| c.stats().failovers).sum();
+    let replays: u64 = clients.iter().map(|c| c.stats().replays).sum();
+    let expected = phases * sessions_n * calls_per_phase;
+    writeln!(out, "calls: {completed}/{expected} completed").map_err(io_err)?;
+    writeln!(out, "re-admissions: {readmitted} session moves after {kills} kill(s)")
+        .map_err(io_err)?;
+    writeln!(out, "failovers: {failovers} evictions, {replays} replays").map_err(io_err)?;
+    writeln!(out, "partitions: {partitions}").map_err(io_err)?;
+
+    drop(clients);
+    for shard in &mut shards {
+        shard.handle.shutdown();
+        if let Some(join) = shard.join.take() {
+            let _ = join.join();
+        }
+        shard.proxy.shutdown();
+    }
+    coord.shutdown();
+    coord_join.join().expect("coordinator joins");
+
+    let mut failures = Vec::new();
+    if completed != expected {
+        failures.push(format!("goodput: only {completed}/{expected} calls completed"));
+    }
+    if readmitted != expected_readmissions {
+        failures.push(format!(
+            "re-admission: {readmitted} of {expected_readmissions} killed-shard sessions moved"
+        ));
+    }
+    let budget_violations = violations.load(Ordering::SeqCst);
+    if budget_violations > 0 {
+        failures.push(format!("budget: {budget_violations} conservation violation(s) observed"));
+    }
+    if decay_violations > 0 {
+        failures.push(format!("decay: {decay_violations} out-of-bounds cap sample(s)"));
+    }
+    if !failures.is_empty() {
+        return Err(CliError::Domain(format!("chaosfleet: FAIL\n  {}", failures.join("\n  "))));
+    }
+    writeln!(out, "budget: conserved under cap {cap_w} W").map_err(io_err)?;
+    writeln!(out, "fleet ok").map_err(io_err)?;
     Ok(())
 }
 
@@ -1246,7 +1631,7 @@ mod tests {
              --log {log} --shutdown true"
         ))
         .unwrap();
-        assert!(out.contains("errors:      0 errored, 0 dropped"), "{out}");
+        assert!(out.contains("errors:      0 errored, 0 shed, 0 dropped"), "{out}");
         assert!(out.contains("server STATS:"), "{out}");
         assert!(out.contains("\"protocol_errors\": 0"), "{out}");
         server.join().unwrap().unwrap();
@@ -1254,5 +1639,23 @@ mod tests {
         let log_text = std::fs::read_to_string(&log).unwrap();
         assert_eq!(log_text.lines().count(), 60, "one logged response per request");
         assert!(log_text.contains("Selected"), "{log_text}");
+    }
+
+    /// The chaos orchestrator's whole point: at a fixed seed the fleet —
+    /// kills, restarts, partitions, failovers and all — must pass its
+    /// invariants and print byte-identical output on every execution.
+    #[test]
+    fn chaosfleet_passes_and_is_byte_identical_at_a_seed() {
+        let first = run_str("chaosfleet --quick true --seed 11").unwrap();
+        assert!(first.contains("fleet up: 5 shards leased"), "{first}");
+        assert!(first.contains("fleet ok"), "{first}");
+        assert!(first.contains("budget: conserved under cap 90 W"), "{first}");
+        // The seeded schedule must actually exercise failover paths.
+        assert!(
+            first.contains("kill shard-") || first.contains("partition shard-"),
+            "schedule never injected chaos: {first}"
+        );
+        let second = run_str("chaosfleet --quick true --seed 11").unwrap();
+        assert_eq!(first, second, "chaosfleet output diverged across executions");
     }
 }

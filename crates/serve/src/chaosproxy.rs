@@ -15,6 +15,9 @@
 //!   UTF-8, so the server *must* answer a typed `invalid-utf8` error —
 //!   a random printable flip could accidentally remain valid JSON),
 //! - **delay**: hold the frame for `delay_ms` before forwarding,
+//! - **dribble**: slow-loris the frame — deliver it one byte per poll
+//!   tick, so the server's read loop is exercised by a well-formed frame
+//!   arriving arbitrarily slowly (not just by tears),
 //! - **duplicate**: forward the frame twice (the server answers twice;
 //!   a naive closed-loop client desyncs, which is the point),
 //! - **partition**: open a proxy-wide blackhole window for
@@ -66,6 +69,10 @@ pub struct ChaosPlan {
     pub delay_p: f64,
     /// Delay duration, ms.
     pub delay_ms: u64,
+    /// P(slow-loris the frame: one byte per poll tick). Absent in plans
+    /// serialized before the fault existed, hence the serde default.
+    #[serde(default)]
+    pub dribble_p: f64,
     /// P(forward the frame twice).
     pub dup_p: f64,
     /// P(open a proxy-wide partition window: both directions blackhole
@@ -84,6 +91,7 @@ impl Default for ChaosPlan {
             corrupt_p: 0.02,
             delay_p: 0.05,
             delay_ms: 20,
+            dribble_p: 0.02,
             dup_p: 0.02,
             partition_p: 0.0,
             partition_ms: 0,
@@ -100,6 +108,7 @@ impl ChaosPlan {
             tear_p: 0.0,
             corrupt_p: 0.0,
             delay_p: 0.0,
+            dribble_p: 0.0,
             dup_p: 0.0,
             delay_ms: 0,
             partition_p: 0.0,
@@ -114,6 +123,7 @@ impl ChaosPlan {
             ("tear", self.tear_p),
             ("corrupt", self.corrupt_p),
             ("delay", self.delay_p),
+            ("dribble", self.dribble_p),
             ("dup", self.dup_p),
             ("partition", self.partition_p),
         ];
@@ -147,6 +157,9 @@ pub struct ChaosStats {
     pub corrupted: u64,
     /// Delayed frames injected.
     pub delayed: u64,
+    /// Dribbled (slow-loris) frames injected.
+    #[serde(default)]
+    pub dribbled: u64,
     /// Duplicated frames injected.
     pub duplicated: u64,
     /// Partition windows opened.
@@ -163,6 +176,7 @@ impl ChaosStats {
             + self.torn
             + self.corrupted
             + self.delayed
+            + self.dribbled
             + self.duplicated
             + self.partitions
     }
@@ -185,6 +199,7 @@ struct ProxyShared {
     torn: AtomicU64,
     corrupted: AtomicU64,
     delayed: AtomicU64,
+    dribbled: AtomicU64,
     duplicated: AtomicU64,
     partitions: AtomicU64,
     blackholed: AtomicU64,
@@ -228,6 +243,7 @@ impl ChaosProxyHandle {
             torn: s.torn.load(Ordering::Relaxed),
             corrupted: s.corrupted.load(Ordering::Relaxed),
             delayed: s.delayed.load(Ordering::Relaxed),
+            dribbled: s.dribbled.load(Ordering::Relaxed),
             duplicated: s.duplicated.load(Ordering::Relaxed),
             partitions: s.partitions.load(Ordering::Relaxed),
             blackholed: s.blackholed.load(Ordering::Relaxed),
@@ -280,6 +296,7 @@ impl ChaosProxy {
                 torn: AtomicU64::new(0),
                 corrupted: AtomicU64::new(0),
                 delayed: AtomicU64::new(0),
+                dribbled: AtomicU64::new(0),
                 duplicated: AtomicU64::new(0),
                 partitions: AtomicU64::new(0),
                 blackholed: AtomicU64::new(0),
@@ -509,6 +526,17 @@ fn inject_frames(
                 shared.delayed.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(Duration::from_millis(plan.delay_ms));
             } else {
+                edge += plan.dribble_p;
+                if roll < edge {
+                    // Slow-loris: the whole (well-formed) frame arrives
+                    // one byte per tick; nothing left for the fall-through
+                    // write below.
+                    shared.dribbled.fetch_add(1, Ordering::Relaxed);
+                    if dribble_frame(&mut server, len, &body).is_err() {
+                        break;
+                    }
+                    continue;
+                }
                 edge += plan.dup_p;
                 if roll < edge {
                     shared.duplicated.fetch_add(1, Ordering::Relaxed);
@@ -532,6 +560,19 @@ fn write_frame_raw(stream: &mut TcpStream, len: u32, body: &[u8]) -> std::io::Re
     stream.write_all(&len.to_be_bytes())?;
     stream.write_all(body)?;
     stream.flush()
+}
+
+/// One byte per poll tick, header included — the slow-loris shape the
+/// `dribble` fault injects.
+const DRIBBLE_TICK: Duration = Duration::from_millis(1);
+
+fn dribble_frame(stream: &mut TcpStream, len: u32, body: &[u8]) -> std::io::Result<()> {
+    for byte in len.to_be_bytes().iter().chain(body.iter()) {
+        stream.write_all(std::slice::from_ref(byte))?;
+        stream.flush()?;
+        std::thread::sleep(DRIBBLE_TICK);
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -580,11 +621,12 @@ mod tests {
             torn: 1,
             corrupted: 1,
             delayed: 1,
+            dribbled: 1,
             duplicated: 1,
             partitions: 1,
             blackholed: 3,
         };
-        assert_eq!(s.faults(), 6);
+        assert_eq!(s.faults(), 7);
     }
 
     #[test]
@@ -611,6 +653,7 @@ mod tests {
             torn: AtomicU64::new(0),
             corrupted: AtomicU64::new(0),
             delayed: AtomicU64::new(0),
+            dribbled: AtomicU64::new(0),
             duplicated: AtomicU64::new(0),
             partitions: AtomicU64::new(0),
             blackholed: AtomicU64::new(0),

@@ -69,6 +69,13 @@ pub struct CoordinatorConfig {
     /// Degraded-mode floor, W: what an expired lease stays encumbered at,
     /// and what its silent shard clamps itself to.
     pub floor_w: f64,
+    /// Health-check eviction horizon in ticks: an expired lease whose
+    /// shard stays silent this many ticks past its expiry is evicted —
+    /// its encumbered reserve returns to the pool and the shard must
+    /// re-admit as a fresh grant. `0` (the default) disables eviction
+    /// and floor-parks silent shards forever. Must match across restarts
+    /// of a journaled coordinator (replay recomputes evictions from it).
+    pub evict_after_ticks: u64,
     /// Lease-journal path. `Some` makes every grant/renew/release/revoke
     /// durable: a restarted coordinator replays to the exact lease table
     /// and re-adopts still-live shards.
@@ -89,6 +96,7 @@ impl Default for CoordinatorConfig {
             ttl_ticks: 20,
             tick_ms: 50,
             floor_w: 5.0,
+            evict_after_ticks: 0,
             journal: None,
             journal_sync: false,
         }
@@ -145,6 +153,7 @@ impl CoordShared {
             renews: table.renews(),
             expirations: table.expirations(),
             revocations: table.revocations(),
+            evicted_shards: table.evictions(),
             journal_appends: self.journal.as_ref().map_or(0, |j| j.appended_entries()),
             journal_replayed: self.recovery.as_ref().map_or(0, |r| r.replayed),
         }
@@ -227,20 +236,21 @@ impl Coordinator {
                     config.policy,
                     config.ttl_ticks,
                     config.floor_w,
+                    config.evict_after_ticks,
                 )
                 .map_err(|e| ServeError::Journal(e.to_string()))?;
                 (Some(Arc::new(journal)), Some(recovery), table)
             }
-            None => (
-                None,
-                None,
-                LeaseTable::new(
+            None => {
+                let mut table = LeaseTable::new(
                     config.global_cap_w,
                     config.policy,
                     config.ttl_ticks,
                     config.floor_w,
-                ),
-            ),
+                );
+                table.set_evict_after_ticks(config.evict_after_ticks);
+                (None, None, table)
+            }
         };
         let base_tick = table.tick();
         let shared = Arc::new(CoordShared {
@@ -603,6 +613,43 @@ mod tests {
         handle.shutdown();
         join.join().unwrap();
         std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn eviction_reclaims_a_silent_shards_reserve_over_the_wire() {
+        let mut cfg = config(None);
+        cfg.tick_ms = 1;
+        cfg.ttl_ticks = 5;
+        cfg.evict_after_ticks = 5;
+        let (addr, handle, join) = spawn(cfg);
+        let mut c = CoordClient::connect(&addr).unwrap();
+        let (lease_id, shard_id) =
+            match c.call(&CoordRequest::Lease { shard_id: None, demand_w: 0.0 }).unwrap() {
+                CoordResponse::Granted { lease_id, shard_id, .. } => (lease_id, shard_id),
+                other => panic!("expected Granted, got {other:?}"),
+            };
+        // Sleep past expiry + horizon, then drive any mutation to advance
+        // the clock: the silent shard is evicted, not floor-parked.
+        std::thread::sleep(Duration::from_millis(30));
+        let _ = c.call(&CoordRequest::Lease { shard_id: None, demand_w: 0.0 });
+        match c.call(&CoordRequest::Stats).unwrap() {
+            CoordResponse::Stats(s) => {
+                assert!(s.evicted_shards >= 1, "the silent shard was evicted");
+                assert_eq!(s.encumbered_w, 0.0, "eviction reclaims the reserve");
+                assert_eq!(s.overshoot_w, 0.0);
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        // The returning shard re-admits as a fresh grant.
+        match c.call(&CoordRequest::Lease { shard_id: Some(shard_id), demand_w: 0.0 }).unwrap() {
+            CoordResponse::Granted { lease_id: id, shard_id: sid, .. } => {
+                assert_ne!(id, lease_id, "burned lease ids stay burned");
+                assert_eq!(sid, shard_id);
+            }
+            other => panic!("expected Granted, got {other:?}"),
+        }
+        handle.shutdown();
+        join.join().unwrap();
     }
 
     #[test]

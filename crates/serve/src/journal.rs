@@ -135,6 +135,15 @@ pub enum JournalEntry {
         /// The rung label (`model`, or a guard-ladder tier label).
         label: String,
     },
+    /// The brownout controller changed level. Pure observability — the
+    /// live level is derived from wall-clock latency and always restarts
+    /// at 0 after a crash — but the transition history is durable, and
+    /// replay re-counts it so a restarted server's STATS reconcile.
+    Brownout {
+        /// The level entered (0 = normal, rising levels disable more
+        /// optional work).
+        level: u8,
+    },
 }
 
 /// One orphaned session's rebuilt adaptation state, keyed by node id.
@@ -392,6 +401,11 @@ pub struct Recovery {
     /// server does on `Bye`.)
     #[serde(default)]
     pub adapt: Vec<SessionAdapt>,
+    /// Brownout level transitions re-counted from `Brownout` entries.
+    /// The live level itself restarts at 0 (it tracks wall-clock latency,
+    /// which died with the old process); only the count is history.
+    #[serde(default)]
+    pub brownout_transitions: u64,
 }
 
 /// Fold a validated entry stream into a fresh arbiter, verifying each
@@ -409,6 +423,7 @@ pub fn replay(
         std::collections::BTreeMap::new();
     let mut rung_tallies: std::collections::BTreeMap<String, u64> =
         std::collections::BTreeMap::new();
+    let mut brownout_transitions = 0u64;
     // (node, kernel) pairs whose last replayed observation emitted a
     // cluster mismatch; each journaled Reclassify must consume one.
     let mut pending_reclassify: std::collections::HashSet<(u64, String)> =
@@ -478,6 +493,9 @@ pub fn replay(
             JournalEntry::Rung { label } => {
                 *rung_tallies.entry(label.clone()).or_insert(0) += 1;
             }
+            JournalEntry::Brownout { .. } => {
+                brownout_transitions += 1;
+            }
         }
     }
     let orphaned_sessions = arbiter.node_ids();
@@ -495,6 +513,7 @@ pub fn replay(
             next_node,
             rung_tallies,
             adapt,
+            brownout_transitions,
         },
     ))
 }
@@ -803,6 +822,23 @@ mod tests {
         assert_eq!(recovery.replayed, 3);
         assert!(recovery.rung_tallies.is_empty());
         assert!(recovery.adapt.is_empty());
+        assert_eq!(recovery.brownout_transitions, 0);
+    }
+
+    #[test]
+    fn replay_counts_brownout_transitions_without_restoring_the_level() {
+        // Brownout entries are durable history, but the live level is a
+        // wall-clock-derived quantity: replay counts the transitions and
+        // nothing else (a restarted server always starts at level 0).
+        let entries = vec![
+            JournalEntry::Brownout { level: 1 },
+            JournalEntry::Brownout { level: 2 },
+            JournalEntry::Brownout { level: 0 },
+        ];
+        let (arbiter, recovery) = replay(&entries, 100.0, ArbiterPolicy::EqualShare).unwrap();
+        assert_eq!(recovery.brownout_transitions, 3);
+        assert_eq!(recovery.replayed, 3);
+        assert_eq!(arbiter.epoch(), 0, "brownout transitions never touch the arbiter");
     }
 
     #[test]

@@ -77,6 +77,11 @@ pub struct LeaseState {
     pub fence: u64,
     /// Live (renewable) vs. expired-and-encumbered.
     pub live: bool,
+    /// The tick the lease expired at (its own `expires_tick`, **not** the
+    /// tick the expiry was detected at — detection depends on when
+    /// `advance_to` runs, which replay does not reproduce). Zero while
+    /// live. Drives health-checked eviction.
+    pub expired_tick: u64,
 }
 
 /// Typed lease-table failures.
@@ -167,6 +172,7 @@ pub struct LeaseTable {
     policy: ArbiterPolicy,
     ttl_ticks: u64,
     floor_w: f64,
+    evict_after_ticks: u64,
     tick: u64,
     epoch: u64,
     next_lease: u64,
@@ -175,6 +181,7 @@ pub struct LeaseTable {
     renews: u64,
     expirations: u64,
     revocations: u64,
+    evictions: u64,
 }
 
 impl LeaseTable {
@@ -192,6 +199,7 @@ impl LeaseTable {
             policy,
             ttl_ticks,
             floor_w,
+            evict_after_ticks: 0,
             tick: 0,
             epoch: 0,
             next_lease: 1,
@@ -200,7 +208,30 @@ impl LeaseTable {
             renews: 0,
             expirations: 0,
             revocations: 0,
+            evictions: 0,
         }
+    }
+
+    /// Enable health-checked eviction: an expired (encumbered) lease whose
+    /// shard stays silent for `ticks` more logical ticks past its expiry
+    /// is removed entirely, returning its reserve to the pool — the
+    /// operator's [`Self::revoke`] automated. `0` (the default) disables
+    /// eviction and keeps the floor-parked-forever semantics. Eviction is
+    /// a pure function of the logical clock, so replay reproduces it with
+    /// no journal entry — as long as the horizon matches
+    /// ([`replay_coordinator`] takes it as a parameter).
+    pub fn set_evict_after_ticks(&mut self, ticks: u64) {
+        self.evict_after_ticks = ticks;
+    }
+
+    /// The eviction horizon in ticks (0 = eviction disabled).
+    pub fn evict_after_ticks(&self) -> u64 {
+        self.evict_after_ticks
+    }
+
+    /// Lifetime health-check evictions.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Current logical tick.
@@ -299,31 +330,56 @@ impl LeaseTable {
         (self.live_committed_w() - self.pool_w()).max(0.0)
     }
 
-    /// Advance logical time, expiring overdue live leases in
-    /// `(expires_tick, lease_id)` order. Each expiry bumps the epoch,
-    /// fences the lease, and shrinks its commitment to the encumbered
-    /// reserve `min(floor, committed)` — exactly what the silent shard's
-    /// own degraded mode clamps to. Returns the expired ids.
+    /// Advance logical time, processing overdue expiries and (when the
+    /// horizon is enabled) evictions as one merged event stream ordered
+    /// by `(event_tick, lease_id)` — an expiry's event tick is the
+    /// lease's `expires_tick`, an eviction's is `expired_tick +
+    /// evict_after_ticks`, both pure functions of lease state, so live
+    /// and replay bump the epoch in the same order no matter how the
+    /// intermediate clock advances differ. Each expiry fences the lease
+    /// and shrinks its commitment to the encumbered reserve `min(floor,
+    /// committed)`; each eviction removes the lease entirely, returning
+    /// the reserve to the pool. Returns the expired ids.
     pub fn advance_to(&mut self, tick: u64) -> Vec<u64> {
         if tick > self.tick {
             self.tick = tick;
         }
-        let mut due: Vec<(u64, u64)> = self
-            .leases
-            .iter()
-            .filter(|(_, l)| l.live && l.expires_tick <= self.tick)
-            .map(|(id, l)| (l.expires_tick, *id))
-            .collect();
-        due.sort_unstable();
-        let mut expired = Vec::with_capacity(due.len());
-        for (_, id) in due {
+        let mut expired = Vec::new();
+        loop {
+            // Earliest due event; recomputed each round because an expiry
+            // inside this same call can schedule the lease's eviction.
+            let mut next: Option<(u64, u64, bool)> = None;
+            for (id, l) in &self.leases {
+                let event = if l.live && l.expires_tick <= self.tick {
+                    Some((l.expires_tick, *id, false))
+                } else if !l.live
+                    && self.evict_after_ticks > 0
+                    && l.expired_tick.saturating_add(self.evict_after_ticks) <= self.tick
+                {
+                    Some((l.expired_tick + self.evict_after_ticks, *id, true))
+                } else {
+                    None
+                };
+                if let Some(e) = event {
+                    if next.is_none_or(|n| e < n) {
+                        next = Some(e);
+                    }
+                }
+            }
+            let Some((_, id, evict)) = next else { break };
             self.epoch += 1;
-            self.expirations += 1;
-            let lease = self.leases.get_mut(&id).expect("collected above");
-            lease.live = false;
-            lease.committed_w = lease.committed_w.min(self.floor_w);
-            lease.fence = self.epoch;
-            expired.push(id);
+            if evict {
+                self.evictions += 1;
+                self.leases.remove(&id);
+            } else {
+                self.expirations += 1;
+                let lease = self.leases.get_mut(&id).expect("selected above");
+                lease.live = false;
+                lease.committed_w = lease.committed_w.min(self.floor_w);
+                lease.fence = self.epoch;
+                lease.expired_tick = lease.expires_tick;
+                expired.push(id);
+            }
         }
         expired
     }
@@ -415,6 +471,7 @@ impl LeaseTable {
                     lease.demand_w = demand_w;
                     lease.expires_tick = tick;
                     lease.fence = epoch;
+                    lease.expired_tick = 0;
                 }
                 self.settle(id);
                 let lease = &self.leases[&id];
@@ -466,6 +523,7 @@ impl LeaseTable {
                 expires_tick: expires,
                 fence: self.epoch,
                 live: true,
+                expired_tick: 0,
             },
         );
         self.settle(id);
@@ -632,6 +690,10 @@ pub struct CoordStats {
     pub expirations: u64,
     /// Lifetime revocations.
     pub revocations: u64,
+    /// Lifetime health-check evictions of silent shards (absent in
+    /// pre-eviction snapshots).
+    #[serde(default)]
+    pub evicted_shards: u64,
     /// Journal entries appended since the coordinator started.
     pub journal_appends: u64,
     /// Journal entries replayed at startup.
@@ -764,17 +826,21 @@ pub struct CoordRecovery {
 
 /// Fold a validated coordinator entry stream into a fresh lease table.
 /// Each entry first advances the table to its recorded tick (recomputing
-/// any expirations deterministically), then applies its operation, then
-/// checks the recorded post-op epoch — and for grants the recorded lease
-/// id — against the recomputed values.
+/// any expirations — and, when `evict_after_ticks > 0`, evictions —
+/// deterministically), then applies its operation, then checks the
+/// recorded post-op epoch — and for grants the recorded lease id —
+/// against the recomputed values. The eviction horizon must match the
+/// one the live table ran with, or recomputed epochs diverge.
 pub fn replay_coordinator(
     entries: &[CoordJournalEntry],
     global_cap_w: f64,
     policy: ArbiterPolicy,
     ttl_ticks: u64,
     floor_w: f64,
+    evict_after_ticks: u64,
 ) -> Result<(LeaseTable, CoordRecovery), JournalError> {
     let mut table = LeaseTable::new(global_cap_w, policy, ttl_ticks, floor_w);
+    table.set_evict_after_ticks(evict_after_ticks);
     let diverged = |index: usize, detail: String| JournalError::LeaseDivergence { index, detail };
     let check = |index: usize, recorded: u64, table: &LeaseTable| {
         if table.epoch() == recorded {
@@ -1159,6 +1225,106 @@ mod tests {
     }
 
     #[test]
+    fn eviction_reclaims_the_encumbrance_and_readmission_is_a_fresh_grant() {
+        let mut t = table();
+        t.set_evict_after_ticks(3);
+        let a = t.grant(None, 0.0).unwrap();
+        let b = t.grant(None, 0.0).unwrap();
+        renew_round(&mut t);
+
+        // B stays healthy; A goes silent and expires at tick 10.
+        t.advance_to(5);
+        let fence = t.lease(b.lease_id).unwrap().fence;
+        t.renew(b.lease_id, fence.max(t.epoch()), 0.0).unwrap();
+        t.advance_to(10);
+        let ls = t.lease(a.lease_id).unwrap();
+        assert!(!ls.live);
+        assert_eq!(ls.expired_tick, 10, "expired_tick records the lease's own expiry");
+        assert_eq!(t.encumbered_w(), 5.0);
+
+        // Inside the horizon the encumbrance holds; B stays renewed.
+        t.advance_to(12);
+        assert_eq!(t.encumbered_w(), 5.0);
+        let fence = t.lease(b.lease_id).unwrap().fence;
+        t.renew(b.lease_id, fence.max(t.epoch()), 0.0).unwrap();
+
+        // Horizon crossed: the silent shard is evicted, reserve reclaimed.
+        t.advance_to(13);
+        assert!(t.lease(a.lease_id).is_none(), "evicted lease is gone");
+        assert_eq!(t.evictions(), 1);
+        assert_eq!(t.encumbered_w(), 0.0);
+        assert_eq!(t.pool_w(), 100.0);
+        renew_round(&mut t);
+        assert_eq!(t.lease(b.lease_id).unwrap().committed_w, 100.0);
+        assert_eq!(t.overshoot_w(), 0.0);
+
+        // The shard comes back: a fresh grant under a new lease id (burned
+        // ids stay burned), admitted through the normal floor check.
+        let again = t.grant(Some(a.shard_id), 0.0).unwrap();
+        assert_ne!(again.lease_id, a.lease_id);
+        assert_eq!(again.shard_id, a.shard_id);
+        assert_eq!(t.overshoot_w(), 0.0);
+    }
+
+    #[test]
+    fn eviction_is_replay_pure_when_the_horizon_matches() {
+        let mut live = table();
+        live.set_evict_after_ticks(3);
+        let mut journal: Vec<CoordJournalEntry> = Vec::new();
+        let record_grant = |t: &mut LeaseTable, j: &mut Vec<CoordJournalEntry>, sid, d| {
+            let o = t.grant(sid, d).unwrap();
+            j.push(CoordJournalEntry::Grant {
+                lease_id: o.lease_id,
+                shard_id: o.shard_id,
+                demand_w: d,
+                tick: t.tick(),
+                epoch: o.epoch,
+            });
+            o
+        };
+        let a = record_grant(&mut live, &mut journal, None, 0.0);
+        let b = record_grant(&mut live, &mut journal, None, 0.0);
+        live.advance_to(5);
+        let o = live.renew(b.lease_id, live.epoch(), 0.0).unwrap();
+        journal.push(CoordJournalEntry::Renew {
+            lease_id: b.lease_id,
+            demand_w: 0.0,
+            tick: 5,
+            epoch: o.epoch,
+        });
+        // The live table detects A's expiry at tick 11 and the eviction at
+        // tick 13 — intermediate advances replay never sees. Both events
+        // are keyed to pure lease state (expiry 10, eviction 10+3), so
+        // replay, jumping straight to the next entry's tick, recomputes
+        // the same epoch sequence.
+        live.advance_to(11);
+        live.advance_to(13);
+        let o = live.renew(b.lease_id, live.epoch(), 0.0).unwrap();
+        journal.push(CoordJournalEntry::Renew {
+            lease_id: b.lease_id,
+            demand_w: 0.0,
+            tick: 13,
+            epoch: o.epoch,
+        });
+        let a2 = record_grant(&mut live, &mut journal, Some(a.shard_id), 0.0);
+        assert_ne!(a2.lease_id, a.lease_id, "evicted shard re-admits under a fresh lease");
+
+        let (rebuilt, recovery) =
+            replay_coordinator(&journal, 100.0, ArbiterPolicy::EqualShare, 10, 5.0, 3).unwrap();
+        assert_eq!(rebuilt.snapshot(), live.snapshot(), "replay lands on the exact table");
+        assert_eq!(rebuilt.epoch(), live.epoch());
+        assert_eq!(rebuilt.evictions(), live.evictions());
+        assert_eq!(recovery.next_lease, live.next_lease());
+
+        // A mismatched horizon loses the eviction's epoch bump and is
+        // caught by the post-op epoch check, not silently absorbed.
+        assert!(matches!(
+            replay_coordinator(&journal, 100.0, ArbiterPolicy::EqualShare, 10, 5.0, 0),
+            Err(JournalError::LeaseDivergence { .. })
+        ));
+    }
+
+    #[test]
     fn demand_proportional_targets_favor_hungry_shards() {
         let mut t = LeaseTable::new(100.0, ArbiterPolicy::DemandProportional, 10, 2.0);
         let a = t.grant(None, 10.0).unwrap();
@@ -1222,7 +1388,8 @@ mod tests {
         assert_eq!(a2.lease_id, a.lease_id);
 
         let (rebuilt, recovery) =
-            replay_coordinator(&journal, 80.0, ArbiterPolicy::DemandProportional, 5, 3.0).unwrap();
+            replay_coordinator(&journal, 80.0, ArbiterPolicy::DemandProportional, 5, 3.0, 0)
+                .unwrap();
         assert_eq!(rebuilt.snapshot(), live.snapshot(), "replay lands on the exact table");
         assert_eq!(rebuilt.epoch(), live.epoch());
         assert_eq!(rebuilt.tick(), live.tick());
@@ -1240,7 +1407,7 @@ mod tests {
             tick: 0,
             epoch: 42, // a fresh table's first grant lands on epoch 1
         }];
-        match replay_coordinator(&entries, 100.0, ArbiterPolicy::EqualShare, 10, 5.0) {
+        match replay_coordinator(&entries, 100.0, ArbiterPolicy::EqualShare, 10, 5.0, 0) {
             Err(JournalError::LeaseDivergence { index: 0, detail }) => {
                 assert!(detail.contains("recorded epoch 42"), "unhelpful detail: {detail}");
             }
@@ -1250,7 +1417,7 @@ mod tests {
         let entries =
             vec![CoordJournalEntry::Renew { lease_id: 7, demand_w: 0.0, tick: 0, epoch: 1 }];
         assert!(matches!(
-            replay_coordinator(&entries, 100.0, ArbiterPolicy::EqualShare, 10, 5.0),
+            replay_coordinator(&entries, 100.0, ArbiterPolicy::EqualShare, 10, 5.0, 0),
             Err(JournalError::LeaseDivergence { index: 0, .. })
         ));
     }

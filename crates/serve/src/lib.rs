@@ -61,4 +61,7 @@ pub use protocol::{
     read_frame, read_frame_blocking, write_frame, ProtocolError, ReadOutcome, ReportFeedback,
     Request, Response, Selection, MAX_FRAME_LEN,
 };
-pub use server::{Client, ServeConfig, ServeError, Server, ServerHandle};
+pub use server::{
+    brownout_level_for, required_priority, should_shed, Client, ServeConfig, ServeError, Server,
+    ServerHandle,
+};

@@ -89,6 +89,22 @@ pub struct StatsSnapshot {
     /// Kernels flagged for cluster re-classification by a gross mismatch.
     #[serde(default)]
     pub reclassifications: u64,
+    /// Deadline-carrying requests shed before service with a typed
+    /// `ShedDeadline` (the deadline was already unmeetable).
+    #[serde(default)]
+    pub sheds: u64,
+    /// Deadline-carrying requests that were served but finished *after*
+    /// their declared deadline (served late, not shed).
+    #[serde(default)]
+    pub deadline_misses: u64,
+    /// Current brownout level (0 = normal; higher levels progressively
+    /// disable optional work before shedding real selects).
+    #[serde(default)]
+    pub brownout_level: u8,
+    /// Times this shard observed its lease evicted by the coordinator
+    /// (a renew rejected with `unknown-lease` after silence).
+    #[serde(default)]
+    pub evicted_shards: u64,
 }
 
 /// Snapshot inputs that live outside the registry: the shard lease state
@@ -105,6 +121,10 @@ pub struct LeaseReport {
     pub journal_appends: u64,
     /// Journal entries replayed at startup.
     pub journal_replayed: u64,
+    /// Current brownout level (0 = normal).
+    pub brownout_level: u8,
+    /// Times this shard's lease was evicted by the coordinator.
+    pub evicted_shards: u64,
 }
 
 impl Default for LeaseReport {
@@ -115,6 +135,8 @@ impl Default for LeaseReport {
             degraded_entries: 0,
             journal_appends: 0,
             journal_replayed: 0,
+            brownout_level: 0,
+            evicted_shards: 0,
         }
     }
 }
@@ -138,6 +160,8 @@ pub struct Metrics {
     drift_events: AtomicU64,
     adapt_reselections: AtomicU64,
     reclassifications: AtomicU64,
+    sheds: AtomicU64,
+    deadline_misses: AtomicU64,
 }
 
 impl Metrics {
@@ -242,6 +266,33 @@ impl Metrics {
         self.protocol_errors.load(Ordering::Relaxed)
     }
 
+    /// Count a deadline-carrying request shed before service.
+    pub fn record_shed(&self) {
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests shed so far.
+    pub fn sheds(&self) -> u64 {
+        self.sheds.load(Ordering::Relaxed)
+    }
+
+    /// Count a deadline-carrying request that was served late.
+    pub fn record_deadline_miss(&self) {
+        self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Deadline misses so far.
+    pub fn deadline_misses(&self) -> u64 {
+        self.deadline_misses.load(Ordering::Relaxed)
+    }
+
+    /// The current 99th-percentile request latency in µs, straight off
+    /// the reservoir. The brownout controller polls this; quantiles sort
+    /// a copy, so callers should sample at a bounded rate.
+    pub fn p99_latency_us_now(&self) -> u64 {
+        self.latency_quantiles().1
+    }
+
     /// Build a snapshot. Cache and arbiter counters live elsewhere, so the
     /// caller passes them in.
     pub fn snapshot(
@@ -282,6 +333,10 @@ impl Metrics {
             drift_events: self.drift_events.load(Ordering::Relaxed),
             adapt_reselections: self.adapt_reselections.load(Ordering::Relaxed),
             reclassifications: self.reclassifications.load(Ordering::Relaxed),
+            sheds: self.sheds.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            brownout_level: lease.brownout_level,
+            evicted_shards: lease.evicted_shards,
         }
     }
 
@@ -382,6 +437,8 @@ mod tests {
             degraded_entries: 2,
             journal_appends: 11,
             journal_replayed: 4,
+            brownout_level: 2,
+            evicted_shards: 1,
         };
         let s = m.snapshot((0, 0), 1, 0, &report);
         assert_eq!(s.lease_state, "degraded");
@@ -392,6 +449,8 @@ mod tests {
         assert_eq!(s.p99_renew_latency_us, 300);
         assert_eq!(s.journal_appends, 11);
         assert_eq!(s.journal_replayed, 4);
+        assert_eq!(s.brownout_level, 2);
+        assert_eq!(s.evicted_shards, 1);
     }
 
     #[test]
@@ -458,6 +517,37 @@ mod tests {
         assert!(!json.contains("adapt_observations"));
         let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn pre_shed_snapshots_parse_with_zero_overload_counters() {
+        // Snapshots serialized before the overload layer existed lack the
+        // shed/brownout/eviction fields; they must default to zero.
+        let m = Metrics::new();
+        let s = m.snapshot((0, 0), 0, 0, &LeaseReport::default());
+        let mut json = serde_json::to_string(&s).unwrap();
+        for field in ["sheds", "deadline_misses", "brownout_level", "evicted_shards"] {
+            json = json.replace(&format!(",\"{field}\":0"), "");
+            json = json.replace(&format!("\"{field}\":0,"), "");
+        }
+        assert!(!json.contains("brownout_level"));
+        let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn shed_and_deadline_miss_counters_flow_into_the_snapshot() {
+        let m = Metrics::new();
+        m.record_shed();
+        m.record_shed();
+        m.record_deadline_miss();
+        let s = m.snapshot((0, 0), 0, 0, &LeaseReport::default());
+        assert_eq!(s.sheds, 2);
+        assert_eq!(s.deadline_misses, 1);
+        assert_eq!(s.brownout_level, 0);
+        // The reservoir p99 accessor mirrors the snapshot's quantile.
+        m.record_request("select", 5_000);
+        assert_eq!(m.p99_latency_us_now(), 5);
     }
 
     #[test]

@@ -31,12 +31,30 @@ pub enum Request {
     Select {
         /// Kernel id (`benchmark/input/name`, as listed by `acs suite`).
         kernel_id: String,
+        /// Optional service deadline in milliseconds. `Some(d)` lets the
+        /// server shed the request with [`Response::ShedDeadline`] when it
+        /// knows service cannot complete in time (a zero budget, or a
+        /// brownout-tracked p99 above `d`). Absent (`null`, or omitted by
+        /// pre-deadline clients) means the request is never shed.
+        #[serde(default)]
+        deadline_ms: Option<u64>,
+        /// Priority class for load shedding (higher survives longer;
+        /// 0 — the pre-priority default — is shed first). Only consulted
+        /// when `deadline_ms` is set.
+        #[serde(default)]
+        priority: u8,
     },
     /// Select configurations for many kernels in one round trip; the
     /// server fans the batch onto its thread pool.
     Batch {
         /// Kernel ids to select for, answered in the same order.
         kernel_ids: Vec<String>,
+        /// Optional service deadline in milliseconds (see `Select`).
+        #[serde(default)]
+        deadline_ms: Option<u64>,
+        /// Priority class for load shedding (see `Select`).
+        #[serde(default)]
+        priority: u8,
     },
     /// Execute iterations of a kernel on the session's capped runtime.
     Run {
@@ -51,6 +69,12 @@ pub enum Request {
         /// clients. Absent (`null`, or omitted by pre-key clients) means
         /// every send executes.
         idem: Option<u64>,
+        /// Optional service deadline in milliseconds (see `Select`).
+        #[serde(default)]
+        deadline_ms: Option<u64>,
+        /// Priority class for load shedding (see `Select`).
+        #[serde(default)]
+        priority: u8,
     },
     /// Report this node's residual power headroom to the arbiter.
     Report {
@@ -84,6 +108,18 @@ impl Request {
             Request::Stats => "stats",
             Request::Bye => "bye",
             Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// The request's shedding envelope: `Some((deadline_ms, priority))`
+    /// for deadline-carrying work, `None` for everything else (which is
+    /// never shed).
+    pub fn deadline(&self) -> Option<(u64, u8)> {
+        match *self {
+            Request::Select { deadline_ms: Some(d), priority, .. }
+            | Request::Batch { deadline_ms: Some(d), priority, .. }
+            | Request::Run { deadline_ms: Some(d), priority, .. } => Some((d, priority)),
+            _ => None,
         }
     }
 }
@@ -158,8 +194,21 @@ pub enum Response {
         /// This node's new budget, W.
         budget_w: f64,
     },
-    /// Reply to `Stats`.
-    Stats(StatsSnapshot),
+    /// Reply to `Stats`. Boxed: the snapshot dwarfs every other variant,
+    /// and serde is transparent to the box (same wire bytes).
+    Stats(Box<StatsSnapshot>),
+    /// Typed load shed: the request carried a `deadline_ms` the server
+    /// knew it could not meet before starting service, so the work was
+    /// dropped instead of served late. Clients should treat this as
+    /// explicit backpressure, not an error.
+    ShedDeadline {
+        /// The deadline the request carried, ms.
+        deadline_ms: u64,
+        /// The priority class the request carried.
+        priority: u8,
+        /// The brownout level the server was at when it shed.
+        brownout_level: u8,
+    },
     /// Typed backpressure: the server (or a batch) is over its bound.
     Overloaded {
         /// Offered load (active sessions at admission, batch size for
@@ -357,10 +406,35 @@ mod tests {
     #[test]
     fn requests_roundtrip() {
         roundtrip(&Request::Hello);
-        roundtrip(&Request::Select { kernel_id: "LU/Small/lud".into() });
-        roundtrip(&Request::Batch { kernel_ids: vec!["a".into(), "b".into()] });
-        roundtrip(&Request::Run { kernel_id: "x".into(), iterations: 5, idem: None });
-        roundtrip(&Request::Run { kernel_id: "x".into(), iterations: 5, idem: Some(42) });
+        roundtrip(&Request::Select {
+            kernel_id: "LU/Small/lud".into(),
+            deadline_ms: None,
+            priority: 0,
+        });
+        roundtrip(&Request::Select {
+            kernel_id: "LU/Small/lud".into(),
+            deadline_ms: Some(25),
+            priority: 200,
+        });
+        roundtrip(&Request::Batch {
+            kernel_ids: vec!["a".into(), "b".into()],
+            deadline_ms: None,
+            priority: 0,
+        });
+        roundtrip(&Request::Run {
+            kernel_id: "x".into(),
+            iterations: 5,
+            idem: None,
+            deadline_ms: None,
+            priority: 0,
+        });
+        roundtrip(&Request::Run {
+            kernel_id: "x".into(),
+            iterations: 5,
+            idem: Some(42),
+            deadline_ms: Some(10),
+            priority: 1,
+        });
         roundtrip(&Request::Report { residual_w: -1.25, feedback: None });
         roundtrip(&Request::Report {
             residual_w: 3.5,
@@ -380,6 +454,7 @@ mod tests {
     fn responses_roundtrip() {
         roundtrip(&Response::Welcome { node_id: 3, budget_w: 40.0 });
         roundtrip(&Response::Overloaded { load: 9, limit: 8 });
+        roundtrip(&Response::ShedDeadline { deadline_ms: 5, priority: 3, brownout_level: 2 });
         roundtrip(&Response::Error { code: "oversized".into(), detail: "big".into() });
         roundtrip(&Response::Bye);
         roundtrip(&Response::ShuttingDown);
@@ -394,7 +469,34 @@ mod tests {
         let mut buf = (json.len() as u32).to_be_bytes().to_vec();
         buf.extend_from_slice(json.as_bytes());
         let req: Request = read_frame_blocking(&mut Cursor::new(&buf)).unwrap().unwrap();
-        assert_eq!(req, Request::Run { kernel_id: "x".into(), iterations: 2, idem: None });
+        assert_eq!(
+            req,
+            Request::Run {
+                kernel_id: "x".into(),
+                iterations: 2,
+                idem: None,
+                deadline_ms: None,
+                priority: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn pre_deadline_frames_parse_with_no_deadline_and_zero_priority() {
+        // Clients older than the shedding layer omit both fields; the
+        // decoder must default to "no deadline, lowest priority" so old
+        // recordings replay with shedding permanently inert.
+        for (json, kind) in [
+            (r#"{"Select":{"kernel_id":"x"}}"#, "select"),
+            (r#"{"Batch":{"kernel_ids":["x","y"]}}"#, "batch"),
+            (r#"{"Run":{"kernel_id":"x","iterations":1,"idem":7}}"#, "run"),
+        ] {
+            let mut buf = (json.len() as u32).to_be_bytes().to_vec();
+            buf.extend_from_slice(json.as_bytes());
+            let req: Request = read_frame_blocking(&mut Cursor::new(&buf)).unwrap().unwrap();
+            assert_eq!(req.kind(), kind);
+            assert_eq!(req.deadline(), None, "pre-deadline {kind} frames are never shed");
+        }
     }
 
     #[test]

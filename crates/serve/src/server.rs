@@ -26,7 +26,7 @@ use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -80,6 +80,14 @@ pub struct ServeConfig {
     pub lease_floor_w: f64,
     /// Lease renewal interval, ms.
     pub renew_ms: u64,
+    /// Brownout target: the p99 service latency, µs, the server tries to
+    /// hold by progressively disabling optional work (level 1 skips
+    /// adaptation feedback, 2 strips STATS detail, 3 serializes batch
+    /// fan-out and sheds deadline-carrying requests the latency estimate
+    /// says would expire before service). `0` (the default) disables the
+    /// controller entirely — no thread, no level, the pre-brownout byte
+    /// path. Requests without a deadline are never shed at any level.
+    pub brownout_us: u64,
 }
 
 impl Default for ServeConfig {
@@ -100,6 +108,7 @@ impl Default for ServeConfig {
             shard_id: None,
             lease_floor_w: 5.0,
             renew_ms: 200,
+            brownout_us: 0,
         }
     }
 }
@@ -152,6 +161,17 @@ struct Shared {
     /// The shard-side lease state machine; `Some` iff a coordinator is
     /// configured. The lease client thread mutates it; `Stats` reads it.
     lease: Option<Mutex<ShardLease>>,
+    /// Current brownout level (0 = everything enabled). Written by the
+    /// brownout thread, read on every request; stays 0 forever when the
+    /// controller is disabled.
+    brownout_level: AtomicU8,
+    /// The brownout thread's cached p99 service-latency estimate, µs —
+    /// what the shed decision compares deadlines against (sessions must
+    /// not pay a reservoir scan per request).
+    est_p99_us: AtomicU64,
+    /// Times the lease client learned its lease was evicted by the
+    /// coordinator's health check (`unknown-lease` on renew).
+    evicted_observed: AtomicU64,
     /// Per-session online adaptation state, keyed by node id. A clean
     /// `Bye` removes the entry; a crash leaves it, mirroring the journal's
     /// replay semantics (orphans keep their rebuilt state).
@@ -260,6 +280,27 @@ impl ServerHandle {
     /// Measured-feedback observations consumed by adaptive predictors.
     pub fn adapt_observations(&self) -> u64 {
         self.shared.metrics.adapt_observations()
+    }
+
+    /// Requests shed by the deadline gate so far.
+    pub fn sheds(&self) -> u64 {
+        self.shared.metrics.sheds()
+    }
+
+    /// Served requests that exceeded their own deadline in service.
+    pub fn deadline_misses(&self) -> u64 {
+        self.shared.metrics.deadline_misses()
+    }
+
+    /// The current brownout level (0 when the controller is disabled).
+    pub fn brownout_level(&self) -> u8 {
+        self.shared.brownout_level.load(Ordering::SeqCst)
+    }
+
+    /// Times this shard observed its lease evicted by the coordinator's
+    /// health check.
+    pub fn evictions_observed(&self) -> u64 {
+        self.shared.evicted_observed.load(Ordering::SeqCst)
     }
 
     /// Die like a SIGKILL: stop every session *without* journaling their
@@ -395,6 +436,9 @@ impl Server {
             journal,
             recovery,
             lease,
+            brownout_level: AtomicU8::new(0),
+            est_p99_us: AtomicU64::new(0),
+            evicted_observed: AtomicU64::new(0),
             adapt: Mutex::new(BTreeMap::new()),
             model,
             config,
@@ -419,6 +463,10 @@ impl Server {
         let lease_thread = self.shared.config.coordinator.clone().map(|target| {
             let shared = Arc::clone(&self.shared);
             std::thread::spawn(move || run_lease_client(shared, target))
+        });
+        let brownout_thread = (self.shared.config.brownout_us > 0).then(|| {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || run_brownout(shared))
         });
         let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
         loop {
@@ -463,8 +511,71 @@ impl Server {
         if let Some(handle) = lease_thread {
             let _ = handle.join();
         }
+        if let Some(handle) = brownout_thread {
+            let _ = handle.join();
+        }
         Ok(())
     }
+}
+
+/// How often the brownout controller re-reads the latency reservoir.
+const BROWNOUT_POLL: Duration = Duration::from_millis(100);
+
+/// Map an observed p99 to a brownout level against the configured target:
+/// within target → 0, within 2× → 1, within 4× → 2, beyond → 3. Pure, so
+/// the ladder is unit-testable without a server.
+pub fn brownout_level_for(target_us: u64, p99_us: u64) -> u8 {
+    if p99_us <= target_us {
+        0
+    } else if p99_us <= target_us.saturating_mul(2) {
+        1
+    } else if p99_us <= target_us.saturating_mul(4) {
+        2
+    } else {
+        3
+    }
+}
+
+/// The brownout controller: one thread, one reservoir read per poll.
+/// Level transitions are journaled (pure observability — replay counts
+/// them, the live level always restarts at 0) and published through the
+/// shared atomics the request path reads.
+fn run_brownout(shared: Arc<Shared>) {
+    let target_us = shared.config.brownout_us;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let p99_us = shared.metrics.p99_latency_us_now();
+        shared.est_p99_us.store(p99_us, Ordering::SeqCst);
+        let level = brownout_level_for(target_us, p99_us);
+        let previous = shared.brownout_level.swap(level, Ordering::SeqCst);
+        if level != previous {
+            journal_append(&shared, &JournalEntry::Brownout { level });
+        }
+        std::thread::sleep(BROWNOUT_POLL);
+    }
+}
+
+/// The priority a deadline-carrying request must meet to be served, as a
+/// `u16` so 256 means "shed regardless of priority". A zero deadline has
+/// already expired before service. At full brownout (level 3) requests
+/// whose deadline the current p99 estimate says cannot be met are shed
+/// unless they carry high priority (≥ 128). Below level 3 nothing with a
+/// positive deadline is shed — brownout dims optional work first.
+pub fn required_priority(brownout_level: u8, deadline_ms: u64, est_p99_us: u64) -> u16 {
+    if deadline_ms == 0 {
+        return 256;
+    }
+    if brownout_level >= 3 && est_p99_us > deadline_ms.saturating_mul(1000) {
+        return 128;
+    }
+    0
+}
+
+/// Whether to shed a request. Monotone in `priority` for any fixed
+/// `(brownout_level, deadline_ms, est_p99_us)` — the property the
+/// shedding proptest pins down: no request is shed while a lower-priority
+/// request with the same deadline is served.
+pub fn should_shed(brownout_level: u8, deadline_ms: u64, priority: u8, est_p99_us: u64) -> bool {
+    u16::from(priority) < required_priority(brownout_level, deadline_ms, est_p99_us)
 }
 
 /// The shard's lease client: one thread, one renewal per `renew_ms`.
@@ -526,8 +637,15 @@ fn run_lease_client(shared: Arc<Shared>, target: String) {
                         // The lease is gone on the coordinator's side:
                         // clamp to the floor and re-lease next round with
                         // the remembered shard id (re-adoption, not a
-                        // double grant).
+                        // double grant). `unknown-lease` on a renew means
+                        // the health check evicted us — count it so STATS
+                        // and the chaos orchestrator can see failovers.
                         "expired" | "fenced" | "unknown-lease" => {
+                            if code == "unknown-lease"
+                                && matches!(request, CoordRequest::Renew { .. })
+                            {
+                                shared.evicted_observed.fetch_add(1, Ordering::SeqCst);
+                            }
                             contact = None;
                             lease.on_released();
                         }
@@ -674,9 +792,19 @@ fn run_session(shared: Arc<Shared>, mut stream: TcpStream, node_id: u64) {
 
         let started = Instant::now();
         let kind = request.kind();
+        let deadline = request.deadline();
         let (response, done) = handle_request(&shared, &mut rt, node_id, request);
         let latency_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         shared.metrics.record_request(kind, latency_ns);
+        // A served (not shed) request that blew through its own deadline
+        // is a miss — the overload bench's goodput denominator.
+        if let Some((deadline_ms, _)) = deadline {
+            if !matches!(response, Response::ShedDeadline { .. })
+                && latency_ns > deadline_ms.saturating_mul(1_000_000)
+            {
+                shared.metrics.record_deadline_miss();
+            }
+        }
         if write_frame(&mut stream, &response).is_err() {
             break;
         }
@@ -715,15 +843,27 @@ fn handle_request(
     node_id: u64,
     request: Request,
 ) -> (Response, bool) {
+    let brownout_level = shared.brownout_level.load(Ordering::SeqCst);
+    // The shed gate runs before any work: a request that has already
+    // expired (or that the brownout estimate says will) is answered with
+    // one typed frame and costs nothing else. Requests without a deadline
+    // never enter the gate.
+    if let Some((deadline_ms, priority)) = request.deadline() {
+        let est_p99_us = shared.est_p99_us.load(Ordering::SeqCst);
+        if should_shed(brownout_level, deadline_ms, priority, est_p99_us) {
+            shared.metrics.record_shed();
+            return (Response::ShedDeadline { deadline_ms, priority, brownout_level }, false);
+        }
+    }
     match request {
         Request::Hello => (Response::Welcome { node_id, budget_w: rt.cap_w() }, false),
-        Request::Select { kernel_id } => {
+        Request::Select { kernel_id, .. } => {
             match select_for(shared, node_id, &kernel_id, rt.cap_w()) {
                 Ok(selection) => (Response::Selected(selection), false),
                 Err(e) => (engine_error(e), false),
             }
         }
-        Request::Batch { kernel_ids } => {
+        Request::Batch { kernel_ids, .. } => {
             let limit = shared.config.max_batch;
             if kernel_ids.len() > limit {
                 shared.metrics.record_overloaded();
@@ -734,7 +874,9 @@ fn handle_request(
             }
             // Sessions with no confirmed drift correction for any batched
             // kernel take the parallel static path, bit-identical to the
-            // pre-adaptation server.
+            // pre-adaptation server. Brownout level 3 also forces the
+            // sequential walk: selections stay byte-identical, only the
+            // fan-out's thread-pool pressure is dropped.
             let any_corrected = {
                 let adapt = shared.adapt.lock();
                 adapt
@@ -742,7 +884,7 @@ fn handle_request(
                     .is_some_and(|p| kernel_ids.iter().any(|k| p.correction(k).is_some()))
             };
             let mut selections = Vec::with_capacity(kernel_ids.len());
-            if any_corrected {
+            if any_corrected || brownout_level >= 3 {
                 for kernel_id in &kernel_ids {
                     match select_for(shared, node_id, kernel_id, rt.cap_w()) {
                         Ok(s) => selections.push(s),
@@ -759,7 +901,7 @@ fn handle_request(
             }
             (Response::BatchSelected { selections }, false)
         }
-        Request::Run { kernel_id, iterations, idem } => {
+        Request::Run { kernel_id, iterations, idem, .. } => {
             // A retry carrying a known idempotency key replays the first
             // successful execution's exact response instead of running the
             // kernel again (exactly-once in effect).
@@ -817,10 +959,14 @@ fn handle_request(
         Request::Report { residual_w, feedback } => {
             // Feedback is validated and consumed *before* the arbiter
             // mutates: a rejected measurement must leave the session's
-            // budget exactly as it was.
-            if let Some(feedback) = feedback {
-                if let Err(response) = observe_feedback(shared, node_id, &feedback) {
-                    return (*response, false);
+            // budget exactly as it was. Brownout level 1 drops feedback
+            // processing entirely — adaptation is the first optional work
+            // to go, the budget report itself still lands.
+            if brownout_level < 1 {
+                if let Some(feedback) = feedback {
+                    if let Err(response) = observe_feedback(shared, node_id, &feedback) {
+                        return (*response, false);
+                    }
                 }
             }
             let budget = {
@@ -839,13 +985,20 @@ fn handle_request(
             (Response::Budget { budget_w: rt.cap_w() }, false)
         }
         Request::Stats => {
-            let snapshot = shared.metrics.snapshot(
+            let mut snapshot = shared.metrics.snapshot(
                 shared.engine.cache_counts(),
                 shared.active.load(Ordering::SeqCst) as u64,
                 shared.arbiter.lock().rebalances(),
                 &lease_report(shared),
             );
-            (Response::Stats(snapshot), false)
+            // Brownout level 2 strips the detail maps: the headline
+            // counters (and the brownout level itself) still flow, but
+            // the per-kind and per-rung breakdowns are optional work.
+            if brownout_level >= 2 {
+                snapshot.requests_by_kind.clear();
+                snapshot.degradation_tallies.clear();
+            }
+            (Response::Stats(Box::new(snapshot)), false)
         }
         Request::Bye => (Response::Bye, true),
         Request::Shutdown => {
@@ -975,6 +1128,8 @@ fn lease_report(shared: &Shared) -> LeaseReport {
         degraded_entries,
         journal_appends: shared.journal.as_ref().map(|j| j.appended_entries()).unwrap_or(0),
         journal_replayed: shared.recovery.as_ref().map(|r| r.replayed).unwrap_or(0),
+        brownout_level: shared.brownout_level.load(Ordering::SeqCst),
+        evicted_shards: shared.evicted_observed.load(Ordering::SeqCst),
     }
 }
 

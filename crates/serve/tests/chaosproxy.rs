@@ -59,8 +59,11 @@ fn assert_alive(addr: &str) {
 #[test]
 fn torn_frame_at_every_offset_is_typed_or_a_clean_drop() {
     let (addr, handle, join) = spawn(ServeConfig { max_sessions: 64, ..ServeConfig::default() });
-    let whole =
-        frame_bytes(&Request::Select { kernel_id: acs_kernels::all_kernel_instances()[0].id() });
+    let whole = frame_bytes(&Request::Select {
+        kernel_id: acs_kernels::all_kernel_instances()[0].id(),
+        deadline_ms: None,
+        priority: 0,
+    });
 
     for cut in 0..whole.len() {
         let mut stream = TcpStream::connect(&addr).unwrap();
@@ -93,8 +96,11 @@ fn torn_frame_at_every_offset_is_typed_or_a_clean_drop() {
 #[test]
 fn corrupt_byte_at_every_offset_is_typed() {
     let (addr, handle, join) = spawn(ServeConfig { max_sessions: 64, ..ServeConfig::default() });
-    let whole =
-        frame_bytes(&Request::Select { kernel_id: acs_kernels::all_kernel_instances()[0].id() });
+    let whole = frame_bytes(&Request::Select {
+        kernel_id: acs_kernels::all_kernel_instances()[0].id(),
+        deadline_ms: None,
+        priority: 0,
+    });
 
     // Flip every *payload* byte to 0xFF (never valid UTF-8), one at a time.
     for at in 4..whole.len() {
@@ -128,10 +134,16 @@ fn quiet_proxy_is_byte_transparent() {
 
     let kernel_id = acs_kernels::all_kernel_instances()[0].id();
     let requests = [
-        Request::Select { kernel_id: kernel_id.clone() },
-        Request::Run { kernel_id: kernel_id.clone(), iterations: 2, idem: Some(77) },
+        Request::Select { kernel_id: kernel_id.clone(), deadline_ms: None, priority: 0 },
+        Request::Run {
+            kernel_id: kernel_id.clone(),
+            iterations: 2,
+            idem: Some(77),
+            deadline_ms: None,
+            priority: 0,
+        },
         Request::Report { residual_w: 3.0, feedback: None },
-        Request::Select { kernel_id },
+        Request::Select { kernel_id, deadline_ms: None, priority: 0 },
     ];
 
     let via_proxy: Vec<String> = {
@@ -171,6 +183,7 @@ fn seeded_chaos_never_panics_and_never_poisons_the_arbiter() {
             delay_p: 0.05,
             delay_ms: 2,
             dup_p: 0.10,
+            dribble_p: 0.05,
             ..ChaosPlan::quiet(seed)
         };
         let proxy = ChaosProxy::bind("127.0.0.1:0", &addr, plan).unwrap();
@@ -188,11 +201,15 @@ fn seeded_chaos_never_panics_and_never_poisons_the_arbiter() {
                 let request = match i % 3 {
                     0 => Request::Select {
                         kernel_id: kernel_ids[(conn + i) as usize % kernel_ids.len()].clone(),
+                        deadline_ms: None,
+                        priority: 0,
                     },
                     1 => Request::Run {
                         kernel_id: kernel_ids[(conn + i) as usize % kernel_ids.len()].clone(),
                         iterations: 1,
                         idem: Some(seed * 1000 + conn * 10 + i),
+                        deadline_ms: None,
+                        priority: 0,
                     },
                     _ => Request::Report { residual_w: (i * 3) as f64, feedback: None },
                 };
@@ -225,6 +242,61 @@ fn seeded_chaos_never_panics_and_never_poisons_the_arbiter() {
 }
 
 #[test]
+fn dribbled_frames_arrive_intact_at_every_length() {
+    // A dribble-only plan slow-lorises every client frame: the proxy
+    // forwards one byte per millisecond tick, so the server's blocking
+    // reader sees every possible partial-frame boundary on the way to a
+    // complete frame. Sweeping requests of different encoded lengths,
+    // the dribbled responses must match direct responses byte-for-byte —
+    // a slow sender is indistinguishable from a fast one.
+    let (addr, handle, join) = spawn(ServeConfig::default());
+    let plan = ChaosPlan { dribble_p: 1.0, ..ChaosPlan::quiet(5) };
+    let proxy = ChaosProxy::bind("127.0.0.1:0", &addr, plan).unwrap();
+    let proxy_addr = proxy.local_addr().to_string();
+    let proxy_handle = proxy.handle();
+    let proxy_join = std::thread::spawn(move || proxy.run().unwrap());
+
+    let kernel_ids: Vec<String> =
+        acs_kernels::all_kernel_instances().iter().take(3).map(|k| k.id()).collect();
+    let mut requests = vec![Request::Hello];
+    for (i, kernel_id) in kernel_ids.iter().enumerate() {
+        requests.push(Request::Select {
+            kernel_id: kernel_id.clone(),
+            deadline_ms: None,
+            priority: 0,
+        });
+        requests.push(Request::Run {
+            kernel_id: kernel_id.clone(),
+            iterations: 1 + i as u64,
+            idem: Some(9000 + i as u64),
+            deadline_ms: None,
+            priority: 0,
+        });
+    }
+    let via_proxy: Vec<String> = {
+        let mut c = Client::connect(&proxy_addr).unwrap();
+        requests.iter().map(|r| serde_json::to_string(&c.call(r).unwrap()).unwrap()).collect()
+    };
+    let direct: Vec<String> = {
+        let mut c = Client::connect(&addr).unwrap();
+        requests.iter().map(|r| serde_json::to_string(&c.call(r).unwrap()).unwrap()).collect()
+    };
+    // Hello responses carry per-session node ids; everything downstream
+    // (the keyed Runs replay their memos) must be identical.
+    assert_eq!(via_proxy[1..], direct[1..], "dribbled frames must reassemble exactly");
+
+    let stats = proxy_handle.stats();
+    assert_eq!(stats.dribbled, requests.len() as u64, "every frame was dribbled");
+    assert_eq!(stats.faults(), requests.len() as u64);
+    assert_eq!(handle.protocol_errors(), 0, "no dribbled frame may tear");
+
+    proxy_handle.shutdown();
+    proxy_join.join().unwrap();
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
 fn duplicated_frames_do_not_double_execute_keyed_runs() {
     // A dup-only plan: every frame has a 100% duplicate probability would
     // desync a closed-loop client, so inject on exactly one frame by
@@ -240,7 +312,13 @@ fn duplicated_frames_do_not_double_execute_keyed_runs() {
     let kernel_id = acs_kernels::all_kernel_instances()[0].id();
     let mut client = Client::connect(&proxy_addr).unwrap();
     let first = client
-        .call(&Request::Run { kernel_id, iterations: 2, idem: Some(404) })
+        .call(&Request::Run {
+            kernel_id,
+            iterations: 2,
+            idem: Some(404),
+            deadline_ms: None,
+            priority: 0,
+        })
         .expect("the first response of the duplicated pair");
     assert!(matches!(first, Response::Ran { .. }));
     // The server saw the frame twice; the duplicate was answered from the

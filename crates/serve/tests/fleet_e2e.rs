@@ -54,6 +54,7 @@ fn coordinator_config(journal: Option<PathBuf>) -> CoordinatorConfig {
         ttl_ticks: 20,
         tick_ms: 25, // TTL = 500 ms of silence
         floor_w: FLOOR_W,
+        evict_after_ticks: 0,
         journal,
         journal_sync: false,
     }
@@ -223,7 +224,9 @@ fn heterogeneous_family_shards_share_one_budget_and_warm_their_own_caches() {
         let mut client = Client::connect(shard_addr).unwrap();
         let mut last = None;
         for _ in 0..4 {
-            match client.call(&Request::Select { kernel_id: kernel_id.clone() }).unwrap() {
+            let select =
+                Request::Select { kernel_id: kernel_id.clone(), deadline_ms: None, priority: 0 };
+            match client.call(&select).unwrap() {
                 Response::Selected(s) => {
                     assert_eq!(s.kernel_id, kernel_id);
                     assert!(s.predicted_power_w > 0.0 && s.predicted_perf > 0.0);
@@ -376,6 +379,80 @@ fn a_sigkilled_shards_lease_expires_to_the_floor_and_frees_the_rest() {
 
     alive.shutdown();
     alive_join.join().unwrap();
+    coord.shutdown();
+    coord_join.join().unwrap();
+}
+
+#[test]
+fn an_evicted_shards_floor_is_reclaimed_and_a_replacement_readmits() {
+    // Same SIGKILL as above, but with the health-check horizon armed:
+    // 5 ticks past expiry the coordinator *evicts* the silent lease,
+    // reclaiming even the floor encumbrance the expiry path parks forever.
+    let config = CoordinatorConfig { evict_after_ticks: 5, ..coordinator_config(None) };
+    let (addr, coord, coord_join) = spawn_coordinator(config);
+    let (alive_addr, alive, alive_join) = spawn_shard(&addr, 60.0);
+    let (_, victim, victim_join) = spawn_shard(&addr, 60.0);
+
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            alive.lease_state() == "leased" && victim.lease_state() == "leased"
+        }),
+        "both shards lease"
+    );
+
+    victim.simulate_crash();
+    victim_join.join().unwrap();
+
+    // TTL expires the lease, then the horizon evicts it outright: no
+    // encumbered entry survives, and the coordinator counts the eviction.
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            let stats = coord.stats();
+            stats.evicted_shards >= 1 && stats.encumbered_leases == 0 && stats.live_leases == 1
+        }),
+        "the silent lease is evicted, not floor-parked: {:?}",
+        coord.stats()
+    );
+    assert_eq!(coord.stats().encumbered_w, 0.0, "eviction reclaims the floor watts");
+
+    // The survivor absorbs the FULL global cap — not cap minus floor, the
+    // ceiling the expiry-only path converges to.
+    assert!(
+        wait_until(Duration::from_secs(10), || { alive.lease_cap_w() >= GLOBAL_CAP_W - 1e-6 }),
+        "the survivor absorbs the whole cap, got {} W",
+        alive.lease_cap_w()
+    );
+
+    // A replacement shard re-admits against the reclaimed pool as a fresh
+    // grant — the evicted id is gone, not recycled.
+    let (_, replacement, replacement_join) = spawn_shard(&addr, 60.0);
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            replacement.lease_state() == "leased" && coord.stats().live_leases == 2
+        }),
+        "the replacement re-admits"
+    );
+    let stats = coord.stats();
+    assert!(stats.live_committed_w + stats.encumbered_w <= GLOBAL_CAP_W + 1e-9);
+
+    // The overload counters flow through the survivor's wire snapshot:
+    // this shard was never shed, never missed, never evicted.
+    let mut client = Client::connect(&alive_addr).unwrap();
+    assert!(matches!(client.call(&Request::Hello).unwrap(), Response::Welcome { .. }));
+    match client.call(&Request::Stats).unwrap() {
+        Response::Stats(s) => {
+            assert_eq!(s.sheds, 0);
+            assert_eq!(s.deadline_misses, 0);
+            assert_eq!(s.brownout_level, 0);
+            assert_eq!(s.evicted_shards, 0, "the survivor's own lease was never evicted");
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+
+    alive.shutdown();
+    alive_join.join().unwrap();
+    replacement.shutdown();
+    replacement_join.join().unwrap();
     coord.shutdown();
     coord_join.join().unwrap();
 }

@@ -153,7 +153,7 @@ proptest! {
         }
 
         let (mut replayed, recovery) =
-            replay_coordinator(&journal, CAP_W, policy_from(policy), TTL_TICKS, FLOOR_W)
+            replay_coordinator(&journal, CAP_W, policy_from(policy), TTL_TICKS, FLOOR_W, 0)
                 .expect("a faithfully recorded journal replays");
         prop_assert_eq!(recovery.replayed, journal.len() as u64);
         // The restarted coordinator's first act is advancing to the
@@ -177,6 +177,67 @@ proptest! {
                 got.committed_w.to_bits(),
                 lease.committed_w.to_bits(),
                 "lease {} budget is not bit-identical", id
+            );
+        }
+    }
+
+    /// With health-checked eviction armed, the same random op storms must
+    /// keep exact-sum conservation while expired leases are *removed* —
+    /// no zombie encumbrance survives past the horizon — and a grant
+    /// after an eviction re-admits against the reclaimed pool. Replay at
+    /// the same horizon still reproduces the bit-exact table, eviction
+    /// counters included, even though evictions are never journaled.
+    #[test]
+    fn eviction_reclaims_zombies_and_replays_exactly_under_random_storms(
+        policy in 0u8..2,
+        horizon in 1u64..5,
+        ops in prop::collection::vec(
+            (0u8..4, 0u64..16, 0.0..60.0f64, 0u64..4), 1..120),
+    ) {
+        let mut live = LeaseTable::new(CAP_W, policy_from(policy), TTL_TICKS, FLOOR_W);
+        live.set_evict_after_ticks(horizon);
+        let mut journal = Vec::new();
+        for (i, &(op, pick, demand_w, dt)) in ops.iter().enumerate() {
+            apply(&mut live, &mut journal, op, pick, demand_w, dt);
+            prop_assert!(
+                live.overshoot_w() == 0.0,
+                "op {}: live {} W overshoots pool {} W under eviction",
+                i, live.live_committed_w(), live.pool_w()
+            );
+            prop_assert!(
+                live.fleet_committed_w() <= CAP_W + 1e-9,
+                "op {}: fleet committed {} W exceeds the {} W cap under eviction",
+                i, live.fleet_committed_w(), CAP_W
+            );
+            for (id, lease) in live.snapshot() {
+                if !lease.live {
+                    prop_assert!(
+                        lease.expired_tick + horizon > live.tick(),
+                        "op {}: lease {} expired at {} should have been evicted by {}",
+                        i, id, lease.expired_tick, live.tick()
+                    );
+                }
+            }
+        }
+
+        let (mut replayed, recovery) =
+            replay_coordinator(&journal, CAP_W, policy_from(policy), TTL_TICKS, FLOOR_W, horizon)
+                .expect("a faithfully recorded journal replays under eviction");
+        prop_assert_eq!(recovery.replayed, journal.len() as u64);
+        replayed.advance_to(live.tick());
+
+        prop_assert_eq!(replayed.epoch(), live.epoch());
+        prop_assert_eq!(replayed.next_lease(), live.next_lease());
+        prop_assert_eq!(replayed.evictions(), live.evictions());
+        prop_assert_eq!(replayed.live_ids(), live.live_ids());
+        prop_assert_eq!(replayed.encumbered_ids(), live.encumbered_ids());
+        for (id, lease) in live.snapshot() {
+            let got = *replayed.lease(id).expect("replay kept every surviving lease");
+            prop_assert_eq!(got, lease, "lease {} diverged after eviction replay", id);
+            prop_assert_eq!(
+                got.committed_w.to_bits(),
+                lease.committed_w.to_bits(),
+                "lease {} budget is not bit-identical under eviction", id
             );
         }
     }

@@ -18,15 +18,35 @@ fn kernel_id(n: u64) -> String {
     format!("{base}{}", n / POOL.len() as u64)
 }
 
+/// Deadlines for the generators: absent two thirds of the time, so both
+/// the old-client (no field) and new-client shapes round-trip.
+fn deadline_from(n: u64) -> Option<u64> {
+    if n.is_multiple_of(3) {
+        Some(n % 5000)
+    } else {
+        None
+    }
+}
+
 fn request_from(variant: u8, n: u64, w: f64, extra: &[u64]) -> Request {
     match variant % 8 {
         0 => Request::Hello,
-        1 => Request::Select { kernel_id: kernel_id(n) },
-        2 => Request::Batch { kernel_ids: extra.iter().map(|&e| kernel_id(e)).collect() },
+        1 => Request::Select {
+            kernel_id: kernel_id(n),
+            deadline_ms: deadline_from(n),
+            priority: (n % 256) as u8,
+        },
+        2 => Request::Batch {
+            kernel_ids: extra.iter().map(|&e| kernel_id(e)).collect(),
+            deadline_ms: deadline_from(n.wrapping_add(1)),
+            priority: (n % 256) as u8,
+        },
         3 => Request::Run {
             kernel_id: kernel_id(n),
             iterations: n % 17,
             idem: if n.is_multiple_of(2) { Some(n.wrapping_mul(31)) } else { None },
+            deadline_ms: deadline_from(n.wrapping_add(2)),
+            priority: (n % 256) as u8,
         },
         4 => Request::Report { residual_w: w, feedback: None },
         5 => Request::Stats,
@@ -45,7 +65,7 @@ fn response_from(variant: u8, n: u64, w: f64) -> Response {
         predicted_perf: w.abs() * 3.0 + 1.0,
         budget_w: w.abs() + 5.0,
     };
-    match variant % 8 {
+    match variant % 9 {
         0 => Response::Welcome { node_id: n, budget_w: w.abs() },
         1 => Response::Selected(selection),
         2 => Response::BatchSelected { selections: vec![selection.clone(), selection] },
@@ -60,6 +80,11 @@ fn response_from(variant: u8, n: u64, w: f64) -> Response {
         4 => Response::Budget { budget_w: w.abs() },
         5 => Response::Overloaded { load: n, limit: n / 2 },
         6 => Response::Error { code: "oversized".into(), detail: kernel_id(n) },
+        7 => Response::ShedDeadline {
+            deadline_ms: n % 5000,
+            priority: (n % 256) as u8,
+            brownout_level: (n % 4) as u8,
+        },
         _ => Response::Bye,
     }
 }

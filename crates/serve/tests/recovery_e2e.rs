@@ -69,12 +69,16 @@ fn request_stream() -> Vec<Request> {
         acs_kernels::all_kernel_instances().iter().take(6).map(|k| k.id()).collect();
     let mut stream = Vec::new();
     for (i, id) in ids.iter().enumerate() {
-        stream.push(Request::Select { kernel_id: id.clone() });
+        stream.push(Request::Select { kernel_id: id.clone(), deadline_ms: None, priority: 0 });
         if i % 2 == 1 {
             stream.push(Request::Report { residual_w: 4.0 + i as f64, feedback: None });
         }
         if i % 3 == 2 {
-            stream.push(Request::Select { kernel_id: ids[0].clone() }); // revisit: warm path
+            stream.push(Request::Select {
+                kernel_id: ids[0].clone(),
+                deadline_ms: None,
+                priority: 0,
+            }); // revisit: warm path
         }
     }
     stream
@@ -165,7 +169,10 @@ fn kill_and_restart_replays_adaptation_state_and_rung_tallies() {
         let mut client = Client::connect(&addr).unwrap();
         client.call(&Request::Hello).unwrap();
         for id in &ids {
-            let selection = match client.call(&Request::Select { kernel_id: id.clone() }).unwrap() {
+            let selection = match client
+                .call(&Request::Select { kernel_id: id.clone(), deadline_ms: None, priority: 0 })
+                .unwrap()
+            {
                 Response::Selected(s) => s,
                 other => panic!("expected Selected, got {other:?}"),
             };
@@ -187,7 +194,13 @@ fn kill_and_restart_replays_adaptation_state_and_rung_tallies() {
         }
         for _ in 0..3 {
             client
-                .call(&Request::Run { kernel_id: ids[0].clone(), iterations: 1, idem: None })
+                .call(&Request::Run {
+                    kernel_id: ids[0].clone(),
+                    iterations: 1,
+                    idem: None,
+                    deadline_ms: None,
+                    priority: 0,
+                })
                 .unwrap();
         }
         let tallies = match client.call(&Request::Stats).unwrap() {

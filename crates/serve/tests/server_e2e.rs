@@ -53,7 +53,10 @@ fn hello_select_run_stats_bye() {
     };
 
     let id = &kernel_ids(1)[0];
-    match client.call(&Request::Select { kernel_id: id.clone() }).unwrap() {
+    match client
+        .call(&Request::Select { kernel_id: id.clone(), deadline_ms: None, priority: 0 })
+        .unwrap()
+    {
         Response::Selected(s) => {
             assert_eq!(&s.kernel_id, id);
             assert_eq!(s.budget_w, budget);
@@ -62,7 +65,16 @@ fn hello_select_run_stats_bye() {
         other => panic!("expected Selected, got {other:?}"),
     }
 
-    match client.call(&Request::Run { kernel_id: id.clone(), iterations: 3, idem: None }).unwrap() {
+    match client
+        .call(&Request::Run {
+            kernel_id: id.clone(),
+            iterations: 3,
+            idem: None,
+            deadline_ms: None,
+            priority: 0,
+        })
+        .unwrap()
+    {
         Response::Ran { kernel_id, iterations, avg_power_w, total_time_s, tier, .. } => {
             assert_eq!(&kernel_id, id);
             assert_eq!(iterations, 3);
@@ -111,19 +123,28 @@ fn batch_matches_singles_and_oversized_batch_is_overloaded() {
     let mut client = Client::connect(&addr).unwrap();
 
     let ids = kernel_ids(4);
-    let batch = match client.call(&Request::Batch { kernel_ids: ids.clone() }).unwrap() {
+    let batch = match client
+        .call(&Request::Batch { kernel_ids: ids.clone(), deadline_ms: None, priority: 0 })
+        .unwrap()
+    {
         Response::BatchSelected { selections } => selections,
         other => panic!("expected BatchSelected, got {other:?}"),
     };
     assert_eq!(batch.len(), ids.len());
     for (id, got) in ids.iter().zip(&batch) {
-        match client.call(&Request::Select { kernel_id: id.clone() }).unwrap() {
+        match client
+            .call(&Request::Select { kernel_id: id.clone(), deadline_ms: None, priority: 0 })
+            .unwrap()
+        {
             Response::Selected(single) => assert_eq!(&single, got),
             other => panic!("expected Selected, got {other:?}"),
         }
     }
 
-    match client.call(&Request::Batch { kernel_ids: kernel_ids(5) }).unwrap() {
+    match client
+        .call(&Request::Batch { kernel_ids: kernel_ids(5), deadline_ms: None, priority: 0 })
+        .unwrap()
+    {
         Response::Overloaded { load, limit } => {
             assert_eq!((load, limit), (5, 4));
         }
@@ -138,7 +159,14 @@ fn batch_matches_singles_and_oversized_batch_is_overloaded() {
 fn unknown_kernel_is_a_typed_error_not_a_dropped_session() {
     let (addr, handle, join) = spawn(ServeConfig::default());
     let mut client = Client::connect(&addr).unwrap();
-    match client.call(&Request::Select { kernel_id: "no/such/kernel".into() }).unwrap() {
+    match client
+        .call(&Request::Select {
+            kernel_id: "no/such/kernel".into(),
+            deadline_ms: None,
+            priority: 0,
+        })
+        .unwrap()
+    {
         Response::Error { code, detail } => {
             assert_eq!(code, "unknown-kernel");
             assert!(detail.contains("no/such/kernel"));
@@ -224,7 +252,10 @@ fn budget_reshuffle_rewrites_selection() {
     let id = &kernel_ids(1)[0];
 
     let mut a = Client::connect(&addr).unwrap();
-    let generous = match a.call(&Request::Select { kernel_id: id.clone() }).unwrap() {
+    let generous = match a
+        .call(&Request::Select { kernel_id: id.clone(), deadline_ms: None, priority: 0 })
+        .unwrap()
+    {
         Response::Selected(s) => s,
         other => panic!("expected Selected, got {other:?}"),
     };
@@ -235,7 +266,10 @@ fn budget_reshuffle_rewrites_selection() {
 
     // Session a's budget drops at its next poll; selections follow.
     let halved = loop {
-        match a.call(&Request::Select { kernel_id: id.clone() }).unwrap() {
+        match a
+            .call(&Request::Select { kernel_id: id.clone(), deadline_ms: None, priority: 0 })
+            .unwrap()
+        {
             Response::Selected(s) if (s.budget_w - 20.0).abs() < 1e-9 => break s,
             Response::Selected(_) => std::thread::sleep(Duration::from_millis(10)),
             other => panic!("expected Selected, got {other:?}"),
@@ -279,6 +313,72 @@ fn hostile_frame_gets_typed_error_and_counts() {
         other => panic!("expected typed Error response, got {other:?}"),
     }
     assert!(handle.protocol_errors() >= 1);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn expired_deadlines_shed_and_misses_surface_in_stats() {
+    let (addr, handle, join) = spawn(ServeConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+    assert!(matches!(client.call(&Request::Hello).unwrap(), Response::Welcome { .. }));
+    let id = &kernel_ids(1)[0];
+
+    // A zero deadline has expired before service: the gate answers with
+    // one typed frame before any selection work, even at brownout level 0
+    // (the controller is disabled here — brownout_us stays 0).
+    match client
+        .call(&Request::Select { kernel_id: id.clone(), deadline_ms: Some(0), priority: 9 })
+        .unwrap()
+    {
+        Response::ShedDeadline { deadline_ms, priority, brownout_level } => {
+            assert_eq!(deadline_ms, 0);
+            assert_eq!(priority, 9, "the shed frame echoes the request's priority");
+            assert_eq!(brownout_level, 0);
+        }
+        other => panic!("expected ShedDeadline, got {other:?}"),
+    }
+    assert_eq!(handle.sheds(), 1);
+
+    // A positive deadline is served below full brownout — and a run long
+    // enough to blow through it records a miss for the served request.
+    match client
+        .call(&Request::Run {
+            kernel_id: id.clone(),
+            iterations: 20_000,
+            idem: None,
+            deadline_ms: Some(1),
+            priority: 0,
+        })
+        .unwrap()
+    {
+        Response::Ran { iterations, .. } => assert_eq!(iterations, 20_000),
+        other => panic!("expected Ran, got {other:?}"),
+    }
+    assert_eq!(handle.sheds(), 1, "a served request is not a shed");
+    assert_eq!(handle.deadline_misses(), 1);
+
+    // Requests without a deadline never enter the gate: the old-client
+    // wire shape is untouched by the overload machinery.
+    match client
+        .call(&Request::Select { kernel_id: id.clone(), deadline_ms: None, priority: 0 })
+        .unwrap()
+    {
+        Response::Selected(_) => {}
+        other => panic!("expected Selected, got {other:?}"),
+    }
+
+    // All four overload counters flow through the wire snapshot.
+    match client.call(&Request::Stats).unwrap() {
+        Response::Stats(s) => {
+            assert_eq!(s.sheds, 1);
+            assert_eq!(s.deadline_misses, 1);
+            assert_eq!(s.brownout_level, 0, "disabled controller never leaves level 0");
+            assert_eq!(s.evicted_shards, 0, "standalone server observes no evictions");
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
 
     handle.shutdown();
     join.join().unwrap();

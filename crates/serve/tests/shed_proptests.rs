@@ -1,0 +1,84 @@
+//! Property tests for the deadline-aware shedding rule (DESIGN.md §17).
+//!
+//! The shed decision is a pure function of `(brownout_level, deadline_ms,
+//! priority, est_p99_us)`, which makes its contract directly provable
+//! under random inputs:
+//!
+//! - **priority-monotone**: raising a request's priority class can never
+//!   get it shed when a lower priority would have been served,
+//! - **deadline-gated**: requests without a deadline are never shed (old
+//!   clients opt out by construction; `deadline_ms: 0` always sheds),
+//! - **brownout-gated**: predictive shedding only engages at the top
+//!   brownout level, and the level itself is monotone in observed p99.
+
+use acs_serve::{brownout_level_for, required_priority, should_shed};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// If a request is served at priority `p`, it is served at every
+    /// priority above `p` (same level, deadline, and estimate): shedding
+    /// never inverts the priority order.
+    #[test]
+    fn shedding_is_monotone_in_priority(
+        level in 0u8..=3,
+        deadline_ms in 1u64..10_000,
+        priority in 0u8..255,
+        est_p99_us in 0u64..100_000_000,
+    ) {
+        let lower = should_shed(level, deadline_ms, priority, est_p99_us);
+        let higher = should_shed(level, deadline_ms, priority + 1, est_p99_us);
+        prop_assert!(
+            lower || !higher,
+            "priority {} served but {} shed (level {level}, deadline {deadline_ms} ms)",
+            priority, priority + 1
+        );
+    }
+
+    /// The required-priority threshold never *decreases* as brownout
+    /// deepens: a request admitted at level L is admitted at every level
+    /// below L.
+    #[test]
+    fn deeper_brownout_never_admits_what_lighter_brownout_shed(
+        level in 0u8..3,
+        deadline_ms in 1u64..10_000,
+        est_p99_us in 0u64..100_000_000,
+    ) {
+        prop_assert!(
+            required_priority(level, deadline_ms, est_p99_us)
+                <= required_priority(level + 1, deadline_ms, est_p99_us),
+            "threshold dropped from level {} to {}", level, level + 1
+        );
+    }
+
+    /// A zero deadline is always shed (it cannot be met by definition);
+    /// the maximum priority class 255 survives everything else.
+    #[test]
+    fn zero_deadlines_always_shed_and_max_priority_always_survives(
+        level in 0u8..=3,
+        deadline_ms in 1u64..10_000,
+        priority in 0u8..=255,
+        est_p99_us in 0u64..100_000_000,
+    ) {
+        prop_assert!(should_shed(level, 0, priority, est_p99_us));
+        prop_assert!(!should_shed(level, deadline_ms, 255, est_p99_us));
+    }
+
+    /// The brownout ladder is monotone in observed p99 and quiet at or
+    /// below the target.
+    #[test]
+    fn brownout_level_is_monotone_in_p99(
+        target_us in 1u64..1_000_000,
+        p99_a in 0u64..10_000_000,
+        p99_b in 0u64..10_000_000,
+    ) {
+        prop_assert_eq!(brownout_level_for(target_us, 0), 0);
+        prop_assert_eq!(brownout_level_for(target_us, target_us), 0);
+        let (lo, hi) = (p99_a.min(p99_b), p99_a.max(p99_b));
+        prop_assert!(
+            brownout_level_for(target_us, lo) <= brownout_level_for(target_us, hi),
+            "level fell as p99 rose ({} -> {})", lo, hi
+        );
+    }
+}

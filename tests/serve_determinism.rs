@@ -38,6 +38,10 @@ fn loadgen_seed7_replays_to_byte_identical_logs() {
         feedback: true,
         stats_at_end: false,
         shutdown_at_end: false,
+        open_loop: false,
+        rate_rps: 0.0,
+        deadline_ms: 0,
+        priority: 0,
     };
 
     let (first_report, first_log) = run_loadgen(&opts).expect("first run completes");
